@@ -1,0 +1,55 @@
+"""Shared infrastructure for the figure/table reproduction benchmarks.
+
+Each ``test_figNN_*`` / ``test_tabNN_*`` module regenerates one table or
+figure of the paper: it computes the rows/series the paper reports, prints
+them (run with ``-s`` to see them live), and writes them to
+``results/<name>.txt``.  Expensive artifacts (recordings, profiles, full
+reference simulations) are shared through a session-scoped
+:class:`~repro.analysis.experiments.EvaluationCache`.
+
+Scale note: all quantities are uniformly scaled down (see DESIGN.md §2 and
+§6); the benchmarks reproduce the paper's *shapes* — who wins, by what
+rough factor, where the crossovers are — not absolute magnitudes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import EvaluationCache
+from repro.config import get_scale
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: The paper's evaluation sets.
+SPEC_APPS = [
+    "603.bwaves_s.1", "603.bwaves_s.2", "607.cactuBSSN_s.1", "619.lbm_s.1",
+    "621.wrf_s.1", "627.cam4_s.1", "628.pop2_s.1", "638.imagick_s.1",
+    "644.nab_s.1", "644.nab_s.2", "649.fotonik3d_s.1", "654.roms_s.1",
+    "657.xz_s.1", "657.xz_s.2",
+]
+NPB_APPS = [
+    "npb-bt", "npb-cg", "npb-ep", "npb-ft", "npb-is",
+    "npb-lu", "npb-mg", "npb-sp", "npb-ua",
+]
+
+
+@pytest.fixture(scope="session")
+def cache() -> EvaluationCache:
+    return EvaluationCache(scale=get_scale())
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Returns a function that prints a figure's text and archives it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n{text}\n"
+        print(banner)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,207 @@
+"""Ablations of LoopPoint's design choices (DESIGN.md §5).
+
+Each ablation removes one ingredient of the methodology and measures what
+it costs, on a small representative set of applications:
+
+* **per-thread BBV concatenation** (Sec. III-B) vs an aggregated BBV —
+  concatenation is what separates slices with the same total work but
+  different thread balance (657.xz_s.2);
+* **slice size** (Sec. III-B's "sufficiently large slices") — smaller
+  slices buy speedup but amplify boundary/warmup sensitivity;
+* **checkpoint warmup prefix** (Sec. III-F) — constrained region simulation
+  without the warmup prefix starts microarchitecturally cold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import ascii_table
+from repro.clustering import select_simpoints
+from repro.core import LoopPointOptions, LoopPointPipeline, WarmupStrategy
+from repro.core.extrapolation import extrapolate_metrics, prediction_error
+from repro.policy import WaitPolicy
+from repro.timing import MultiCoreSimulator, RegionOfInterest
+
+
+def test_ablation_bbv_concatenation(benchmark, cache, report):
+    """Aggregated (summed-over-threads) BBVs lose the heterogeneity signal."""
+    name = "657.xz_s.2"
+
+    def compute():
+        pipeline = cache.pipeline(name)
+        profile = pipeline.profile()
+        workload = cache.workload(name)
+
+        # Heavy-thread label per slice: the heterogeneity signal of Fig. 3.
+        heavy = np.array([
+            int(np.argmax(s.per_thread_filtered)) for s in profile.slices
+        ])
+
+        outcomes = {}
+        concat = profile.bbv_matrix()
+        nblocks = workload.program.num_blocks
+        aggregated = concat.reshape(
+            (profile.num_slices, workload.nthreads, nblocks)
+        ).sum(axis=1)
+        for label, matrix in (("concatenated", concat),
+                              ("aggregated", aggregated)):
+            selection = select_simpoints(
+                matrix, profile.slice_filtered_counts()
+            )
+            # Cluster purity with respect to the heavy-thread label: do
+            # cluster members agree on which thread is doing the most work?
+            agree = 0
+            total = 0
+            for cluster in selection.clusters:
+                labels = heavy[cluster.members]
+                modal = np.bincount(labels).argmax()
+                agree += int((labels == modal).sum())
+                total += len(cluster.members)
+            outcomes[label] = (selection.k, agree / total)
+        return outcomes
+
+    outcomes = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = ascii_table(
+        ["BBV form", "k", "heavy-thread purity"],
+        [
+            [label, k, f"{purity:.3f}"]
+            for label, (k, purity) in outcomes.items()
+        ],
+        title=f"Ablation: per-thread BBV concatenation on {name}",
+    )
+    report("ablation_bbv_concat", text)
+    # The aggregated form blurs thread-balance phases: it must not find
+    # more structure, and its clusters mix heavy-thread phases at least as
+    # much as the concatenated form's.
+    assert outcomes["aggregated"][0] <= outcomes["concatenated"][0]
+    assert outcomes["concatenated"][1] >= outcomes["aggregated"][1] - 1e-9
+
+
+def test_ablation_slice_size(benchmark, cache, report):
+    """Slice-size sensitivity: speedup/error tradeoff (Sec. III-B)."""
+    name = "619.lbm_s.1"
+
+    def compute():
+        rows = {}
+        base = cache.scale.slice_size(8)
+        for factor in (0.5, 1.0, 2.0):
+            workload = cache.workload(name)
+            pipeline = LoopPointPipeline(
+                workload,
+                system=cache.system(workload.nthreads),
+                options=LoopPointOptions(
+                    wait_policy=WaitPolicy.PASSIVE,
+                    scale=cache.scale,
+                    slice_size=int(base * factor),
+                ),
+            )
+            result = pipeline.run()
+            rows[factor] = (
+                result.num_slices,
+                result.num_looppoints,
+                result.runtime_error_pct,
+                result.speedup.theoretical_parallel,
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = ascii_table(
+        ["slice factor", "slices", "looppoints", "err%", "parallel speedup"],
+        [
+            [f"{f}x", n, k, f"{e:.2f}", f"{s:.1f}x"]
+            for f, (n, k, e, s) in sorted(rows.items())
+        ],
+        title=f"Ablation: slice size on {name}",
+    )
+    report("ablation_slice_size", text)
+    # Smaller slices always mean more of them (more parallelism available).
+    assert rows[0.5][0] > rows[1.0][0] > rows[2.0][0]
+    assert rows[0.5][3] > rows[2.0][3]
+    # All three configurations stay in a sane error regime.
+    assert all(e < 15.0 for _n, _k, e, _s in rows.values())
+
+
+def test_ablation_checkpoint_warmup(benchmark, cache, report):
+    """Constrained region simulation without the warmup prefix runs cold."""
+    name = "619.lbm_s.1"
+
+    def compute():
+        outcomes = {}
+        for strategy in (WarmupStrategy.CHECKPOINT_PREFIX,
+                         WarmupStrategy.NONE):
+            workload = cache.workload(name)
+            pipeline = LoopPointPipeline(
+                workload,
+                system=cache.system(workload.nthreads),
+                options=LoopPointOptions(
+                    wait_policy=WaitPolicy.PASSIVE, scale=cache.scale
+                ),
+            )
+            result = pipeline.run(constrained=True)
+            # Re-run region sims under the chosen warmup strategy.
+            region_results = pipeline.simulate_regions_constrained(strategy)
+            predicted = extrapolate_metrics(
+                region_results, pipeline.select().clusters
+            )
+            actual = cache.looppoint_result(name).actual
+            outcomes[strategy.value] = prediction_error(
+                predicted.cycles, actual.cycles
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = ascii_table(
+        ["warmup strategy", "constrained err%"],
+        [[k, f"{v:.2f}"] for k, v in outcomes.items()],
+        title=f"Ablation: checkpoint warmup prefix on {name}",
+    )
+    report("ablation_warmup", text)
+    # Cold regions must not be *better* than warmed ones (and usually are
+    # noticeably worse).
+    assert outcomes["checkpoint-prefix"] <= outcomes["none"] + 2.0
+
+
+def test_ablation_phase_aligned_slicing(benchmark, cache, report):
+    """Variable-length intervals (Sec. III-B): slices may close early at
+    software phase markers.  Compared against fixed-target slicing on a
+    multi-phase application."""
+    name = "627.cam4_s.1"
+
+    def compute():
+        from repro.clustering import select_simpoints
+        from repro.profiling import profile_pinball
+
+        pipeline = cache.pipeline(name)
+        pinball = pipeline.record()
+        workload = cache.workload(name)
+        rows = {}
+        for label, aligned in (("fixed", False), ("phase-aligned", True)):
+            profile = profile_pinball(
+                workload.program, pinball, pipeline.slice_size,
+                phase_aligned=aligned,
+            )
+            selection = select_simpoints(
+                profile.bbv_matrix(), profile.slice_filtered_counts()
+            )
+            lengths = [s.filtered_instructions for s in profile.slices[:-1]]
+            rows[label] = (
+                profile.num_slices,
+                selection.k,
+                min(lengths),
+                max(lengths),
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    from repro.analysis.tables import ascii_table
+
+    text = ascii_table(
+        ["slicing", "slices", "k", "min slice", "max slice"],
+        [[label, *vals] for label, vals in rows.items()],
+        title=f"Ablation: fixed vs phase-aligned slicing on {name}",
+    )
+    report("ablation_phase_alignment", text)
+    fixed, aligned = rows["fixed"], rows["phase-aligned"]
+    # Phase alignment produces at least as many, variable-length slices.
+    assert aligned[0] >= fixed[0]
+    assert aligned[2] < fixed[2] or aligned[0] > fixed[0]

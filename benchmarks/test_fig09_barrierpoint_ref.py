@@ -1,0 +1,84 @@
+"""Fig. 9: LoopPoint vs BarrierPoint theoretical speedups on SPEC CPU2017
+*ref* inputs (passive).  As in the paper, the full ref runs are never
+simulated in detail — only profiled — and speedups are the reduction in
+instructions to simulate.
+
+The paper's shape: LoopPoint achieves consistently high speedups (avg
+parallel 11,587x, max 31,253x at paper scale); BarrierPoint collapses on
+638.imagick_s.1 (one inter-barrier region comparable to the whole run) and
+is unusable on 657.xz_s (no barriers), while it can win on barrier-dense
+applications with small inter-barrier regions.
+"""
+
+from repro.analysis.errors import geomean
+from repro.analysis.tables import ascii_table
+from repro.baselines import BarrierPointPipeline
+from repro.core.speedup import compute_speedups
+
+from conftest import SPEC_APPS
+
+
+def _one_app(cache, name):
+    pipeline = cache.pipeline(name, input_class="ref")
+    lp = compute_speedups(pipeline.profile(), pipeline.select().clusters)
+    bp_pipe = BarrierPointPipeline(cache.workload(name, "ref"))
+    bp_serial, bp_parallel = bp_pipe.theoretical_speedups()
+    return {
+        "lp_serial": lp.theoretical_serial,
+        "lp_parallel": lp.theoretical_parallel,
+        "bp_serial": bp_serial,
+        "bp_parallel": bp_parallel,
+    }
+
+
+def test_fig09_barrierpoint_vs_looppoint_ref(benchmark, cache, report):
+    def compute():
+        return {name: _one_app(cache, name) for name in SPEC_APPS}
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table_rows = [
+        [
+            name,
+            f"{rows[name]['lp_serial']:.1f}", f"{rows[name]['lp_parallel']:.1f}",
+            f"{rows[name]['bp_serial']:.1f}", f"{rows[name]['bp_parallel']:.1f}",
+        ]
+        for name in SPEC_APPS
+    ]
+    table_rows.append([
+        "GEOMEAN",
+        *(
+            f"{geomean(rows[n][k] for n in SPEC_APPS):.1f}"
+            for k in ("lp_serial", "lp_parallel", "bp_serial", "bp_parallel")
+        ),
+    ])
+    text = ascii_table(
+        ["app", "LP serial", "LP parallel", "BP serial", "BP parallel"],
+        table_rows,
+        title="Fig. 9: theoretical speedup, SPEC ref inputs (scaled)",
+    )
+    report("fig09_barrierpoint_ref", text)
+
+    # LoopPoint's parallel speedup is consistently large on ref inputs...
+    for name in SPEC_APPS:
+        assert rows[name]["lp_parallel"] > 20
+    # ...and much larger than on train (compare Fig. 8's regime): ref
+    # scaling grows the run, not the diversity.
+    lp_par = geomean(rows[n]["lp_parallel"] for n in SPEC_APPS)
+    assert lp_par > 150
+
+    # BarrierPoint's documented failures:
+    assert rows["657.xz_s.2"]["bp_parallel"] < 2.0       # no barriers
+    assert rows["638.imagick_s.1"]["bp_parallel"] < \
+        0.25 * rows["638.imagick_s.1"]["lp_parallel"]    # giant region
+    # But BarrierPoint can win on barrier-dense apps with tiny regions.
+    wins = [
+        n for n in SPEC_APPS
+        if rows[n]["bp_parallel"] > rows[n]["lp_parallel"]
+    ]
+    losses = [
+        n for n in SPEC_APPS
+        if rows[n]["bp_parallel"] < rows[n]["lp_parallel"]
+    ]
+    assert len(losses) >= len(SPEC_APPS) // 2, (
+        "LoopPoint should dominate on most ref applications"
+    )

@@ -1,0 +1,59 @@
+"""Fig. 10: actual LoopPoint speedups for NPB (class C, passive) at 8 and
+16 threads.  Paper magnitudes: 8-thread max 2,503x / avg 1,031x parallel;
+16-thread max 1,498x / avg 606x — 16-thread runs slice into fewer, larger
+regions (slice size scales with N), so their speedups are lower, which is
+the shape asserted here."""
+
+from repro.analysis.errors import geomean
+from repro.analysis.tables import ascii_table
+from repro.policy import WaitPolicy
+
+from conftest import NPB_APPS
+
+
+def test_fig10_npb_speedups(benchmark, cache, report):
+    def compute():
+        speedups = {}
+        for name in NPB_APPS:
+            speedups[name] = {
+                n: cache.looppoint_result(
+                    name, input_class="C", nthreads=n,
+                    wait_policy=WaitPolicy.PASSIVE,
+                ).speedup
+                for n in (8, 16)
+            }
+        return speedups
+
+    speedups = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{speedups[name][8].actual_serial:.1f}",
+            f"{speedups[name][8].actual_parallel:.1f}",
+            f"{speedups[name][16].actual_serial:.1f}",
+            f"{speedups[name][16].actual_parallel:.1f}",
+        ]
+        for name in NPB_APPS
+    ]
+    rows.append([
+        "GEOMEAN",
+        f"{geomean(speedups[n][8].actual_serial for n in NPB_APPS):.1f}",
+        f"{geomean(speedups[n][8].actual_parallel for n in NPB_APPS):.1f}",
+        f"{geomean(speedups[n][16].actual_serial for n in NPB_APPS):.1f}",
+        f"{geomean(speedups[n][16].actual_parallel for n in NPB_APPS):.1f}",
+    ])
+    text = ascii_table(
+        ["app", "8t serial", "8t parallel", "16t serial", "16t parallel"],
+        rows,
+        title="Fig. 10: actual LoopPoint speedups, NPB class C (scaled)",
+    )
+    report("fig10_npb_speedup", text)
+
+    for name in NPB_APPS:
+        for n in (8, 16):
+            sp = speedups[name][n]
+            assert sp.actual_parallel >= sp.actual_serial >= 1.0
+    # 16-thread slices are twice as large, so speedups drop (paper shape).
+    avg8 = geomean(speedups[n][8].actual_parallel for n in NPB_APPS)
+    avg16 = geomean(speedups[n][16].actual_parallel for n in NPB_APPS)
+    assert avg8 > avg16

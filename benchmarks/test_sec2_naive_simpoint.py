@@ -1,0 +1,72 @@
+"""Section II's motivating failure: a naive multi-threaded adaptation of
+SimPoint (raw instruction-count slices and boundaries, aggregate unfiltered
+BBVs) versus LoopPoint.  The paper reports naive errors averaging 25% (up to
+68.44%) with the active wait policy and up to 20% with passive, while
+LoopPoint stays in the low single digits."""
+
+from repro.analysis.errors import mean_absolute
+from repro.analysis.tables import ascii_table
+from repro.baselines import NaiveSimPointPipeline
+from repro.core.extrapolation import prediction_error
+from repro.policy import WaitPolicy
+
+#: Apps with serial/imbalanced sections, where spin noise is largest.
+APPS = ["621.wrf_s.1", "627.cam4_s.1", "628.pop2_s.1", "657.xz_s.2",
+        "619.lbm_s.1", "644.nab_s.1"]
+
+
+def test_sec2_naive_simpoint_errors(benchmark, cache, report):
+    def compute():
+        table = {}
+        for name in APPS:
+            table[name] = {}
+            for policy in (WaitPolicy.ACTIVE, WaitPolicy.PASSIVE):
+                workload = cache.workload(name)
+                naive = NaiveSimPointPipeline(
+                    workload,
+                    system=cache.system(workload.nthreads),
+                    wait_policy=policy,
+                    slice_size=cache.scale.slice_size(workload.nthreads),
+                )
+                predicted, _ = naive.run(simulate_full=False)
+                actual = cache.looppoint_result(
+                    name, wait_policy=policy
+                ).actual
+                lp_err = cache.looppoint_result(
+                    name, wait_policy=policy
+                ).runtime_error_pct
+                table[name][policy.value] = (
+                    prediction_error(predicted.cycles, actual.cycles),
+                    lp_err,
+                )
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{table[name]['active'][0]:.1f}",
+            f"{table[name]['active'][1]:.1f}",
+            f"{table[name]['passive'][0]:.1f}",
+            f"{table[name]['passive'][1]:.1f}",
+        ]
+        for name in APPS
+    ]
+    naive_active = mean_absolute(table[n]["active"][0] for n in APPS)
+    lp_active = mean_absolute(table[n]["active"][1] for n in APPS)
+    rows.append([
+        "AVERAGE", f"{naive_active:.1f}", f"{lp_active:.1f}",
+        f"{mean_absolute(table[n]['passive'][0] for n in APPS):.1f}",
+        f"{mean_absolute(table[n]['passive'][1] for n in APPS):.1f}",
+    ])
+    text = ascii_table(
+        ["app", "naive act%", "LP act%", "naive pas%", "LP pas%"],
+        rows,
+        title="Sec. II: naive SimPoint adaptation vs LoopPoint (err %)",
+    )
+    report("sec2_naive_simpoint", text)
+
+    # The naive adaptation is substantially worse than LoopPoint on average,
+    # and worst under the active policy (spin-inflated counts).
+    assert naive_active > 1.5 * lp_active
+    assert max(table[n]["active"][0] for n in APPS) > 10.0

@@ -1,0 +1,48 @@
+"""Section V-A.1: checkpoint-driven *constrained* simulation replays the
+recorded synchronization order, inserting artificial stalls and replaying
+recorded spin-loops.  The paper observes errors up to 19.6% (657.xz_s.2)
+in constrained mode, against ~2% unconstrained — constrained replay is not
+reliable for performance extrapolation."""
+
+from repro.analysis.tables import ascii_table
+from repro.core import LoopPointOptions, LoopPointPipeline
+from repro.policy import WaitPolicy
+
+APPS = ["657.xz_s.2", "619.lbm_s.1", "628.pop2_s.1", "644.nab_s.1"]
+
+
+def test_sec5_constrained_vs_unconstrained(benchmark, cache, report):
+    def compute():
+        table = {}
+        for name in APPS:
+            unconstrained = cache.looppoint_result(
+                name, wait_policy=WaitPolicy.ACTIVE
+            )
+            pipeline = cache.pipeline(name, wait_policy=WaitPolicy.ACTIVE)
+            constrained = pipeline.run(constrained=True)
+            table[name] = (
+                constrained.runtime_error_pct,
+                unconstrained.runtime_error_pct,
+            )
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [name, f"{c:.1f}", f"{u:.1f}"] for name, (c, u) in table.items()
+    ]
+    text = ascii_table(
+        ["app", "constrained err%", "unconstrained err%"],
+        rows,
+        title="Sec. V-A.1: constrained (checkpoint) vs unconstrained error",
+    )
+    report("sec5_constrained", text)
+
+    # Constrained simulation shows substantial error for the app with the
+    # fewest sync points and highest variability (657.xz_s.2) — the paper
+    # measures up to 19.6% there.
+    xz_constrained, xz_unconstrained = table["657.xz_s.2"]
+    assert xz_constrained > 5.0
+    # On average across apps, constrained errors exceed unconstrained.
+    avg_c = sum(c for c, _u in table.values()) / len(table)
+    avg_u = sum(u for _c, u in table.values()) / len(table)
+    assert avg_c > avg_u

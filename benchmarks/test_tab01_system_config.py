@@ -1,0 +1,29 @@
+"""Table I: the primary characteristics of the simulated system."""
+
+from repro.analysis.tables import ascii_table
+from repro.config import GAINESTOWN_8CORE
+
+PAPER_TABLE_I = {
+    "Processor": "8 & 16 cores, Gainestown-like microarch.",
+    "Core": "2.66 GHz, 128 entry ROB",
+    "Branch predictor": "Pentium M",
+    "L1-I cache": "32K, 4-way, LRU",
+    "L1-D cache": "32K, 8-way, LRU",
+    "L2 cache": "256K, 8-way, LRU",
+    "L3 cache": "8M, 16-way, LRU",
+}
+
+
+def test_tab01_system_config(benchmark, report):
+    rows = benchmark(GAINESTOWN_8CORE.table_rows)
+    text = ascii_table(
+        ["Component", "Paper", "This reproduction"],
+        [[k, PAPER_TABLE_I[k], rows[k]] for k in PAPER_TABLE_I],
+        title="Table I: simulated system characteristics",
+    )
+    report("tab01_system_config", text)
+    # Cache geometries and the predictor must match the paper exactly.
+    for key in ("L1-I cache", "L1-D cache", "L2 cache", "L3 cache",
+                "Branch predictor"):
+        assert rows[key] == PAPER_TABLE_I[key]
+    assert "2.66 GHz" in rows["Core"] and "128 entry ROB" in rows["Core"]

@@ -1,0 +1,30 @@
+"""Table II: SPEC CPU2017 speed application attributes."""
+
+from repro.analysis.tables import ascii_table
+from repro.workloads.spec import TABLE_II
+
+#: The rows printed in the paper's Table II (name, language, KLOC, area).
+PAPER_ROWS = {
+    "603.bwaves_s": ("F", 1, "Explosion modeling"),
+    "607.cactuBSSN_s": ("F, C++", 257, "Physics: relativity"),
+    "619.lbm_s": ("C", 1, "Fluid dynamics"),
+    "621.wrf_s": ("F, C", 991, "Weather forecasting"),
+    "627.cam4_s": ("F, C", 407, "Atmosphere modeling"),
+    "628.pop2_s": ("F, C", 338, "Wide-scale ocean modeling"),
+    "638.imagick_s": ("C", 259, "Image manipulation"),
+    "644.nab_s": ("C", 24, "Molecular dynamics"),
+    "649.fotonik3d_s": ("F", 14, "Comp. Electromagnetics"),
+    "654.roms_s": ("F", 210, "Regional ocean modeling"),
+}
+
+
+def test_tab02_workload_attributes(benchmark, report):
+    table = benchmark(lambda: dict(TABLE_II))
+    text = ascii_table(
+        ["Application", "Lang.", "KLOC", "Application Area"],
+        [[name, *table[name]] for name in sorted(table)],
+        title="Table II: SPEC CPU2017 speed application attributes",
+    )
+    report("tab02_workload_attrs", text)
+    for name, row in PAPER_ROWS.items():
+        assert table[name] == row, f"{name} deviates from the paper's Table II"

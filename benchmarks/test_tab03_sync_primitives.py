@@ -1,0 +1,77 @@
+"""Table III: synchronization primitives used by each SPEC application,
+cross-checked against what the workload models actually *do*."""
+
+from repro.analysis.tables import ascii_table
+from repro.exec_engine.observers import Observer
+from repro.exec_engine.engine import ExecutionEngine
+from repro.policy import WaitPolicy
+from repro.runtime.constructs import (
+    Master,
+    ParallelFor,
+    SCHEDULE_DYNAMIC,
+    SCHEDULE_STATIC,
+    Single,
+)
+from repro.workloads.spec import TABLE_III, SPEC_BUILDERS
+
+from conftest import SPEC_APPS
+
+
+def _observed_primitives(workload):
+    """Which primitives a workload model actually exercises."""
+    seen = dict.fromkeys(
+        ("sta4", "dyn4", "bar", "ma", "si", "red", "at", "lck"), False
+    )
+    for construct in workload.thread_program.constructs:
+        if isinstance(construct, ParallelFor):
+            if construct.schedule == SCHEDULE_STATIC:
+                seen["sta4"] = True
+            else:
+                seen["dyn4"] = True
+            if construct.reduction:
+                seen["red"] = True
+            if construct.critical is not None:
+                seen["lck"] = True
+            if construct.atomic is not None:
+                seen["at"] = True
+        elif isinstance(construct, Master):
+            seen["ma"] = True
+        elif isinstance(construct, Single):
+            seen["si"] = True
+        from repro.runtime.constructs import Barrier
+        if isinstance(construct, Barrier):
+            seen["bar"] = True
+    return seen
+
+
+def test_tab03_sync_primitives(benchmark, cache, report):
+    def build_rows():
+        rows = []
+        for name in SPEC_APPS:
+            base = name.rsplit(".", 1)[0]
+            declared = TABLE_III[base]
+            rows.append((name, declared))
+        return rows
+
+    rows = benchmark(build_rows)
+    keys = ("sta4", "dyn4", "bar", "ma", "si", "red", "at", "lck")
+    text = ascii_table(
+        ["Application", *keys],
+        [
+            [name] + ["Y" if declared.get(k) else "" for k in keys]
+            for name, declared in rows
+        ],
+        title="Table III: SPEC CPU2017 speed synchronization primitives",
+    )
+    report("tab03_sync_primitives", text)
+
+    # The models must exercise the primitives their Table III row declares.
+    for name in ("619.lbm_s.1", "621.wrf_s.1", "638.imagick_s.1",
+                 "644.nab_s.1", "657.xz_s.2"):
+        workload = cache.workload(name)
+        base = name.rsplit(".", 1)[0]
+        declared = TABLE_III[base]
+        observed = _observed_primitives(workload)
+        for key, value in declared.items():
+            if value:
+                assert observed[key], f"{name}: declared {key} not exercised"

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""LoopPoint vs BarrierPoint on three workload personalities (Fig. 9's
+story at a glance):
+
+* a barrier-dense regular app (npb-ft) where BarrierPoint is competitive;
+* 638.imagick_s.1, whose largest inter-barrier region spans a whole image
+  operation — BarrierPoint's representative is enormous;
+* 657.xz_s.2, which has no barriers until the final join — BarrierPoint
+  has nothing to sample.
+
+Run:  python examples/barrierpoint_vs_looppoint.py
+"""
+
+from repro import LoopPointOptions, LoopPointPipeline, get_scale, get_workload
+from repro.analysis.tables import ascii_table
+from repro.baselines import BarrierPointPipeline
+from repro.core.speedup import compute_speedups
+
+
+def main() -> None:
+    scale = get_scale()
+    rows = []
+    for name in ("npb-ft", "638.imagick_s.1", "657.xz_s.2"):
+        workload = get_workload(name, scale=scale)
+        lp = LoopPointPipeline(
+            workload, options=LoopPointOptions(scale=scale)
+        )
+        lp_speedup = compute_speedups(lp.profile(), lp.select().clusters)
+
+        bp = BarrierPointPipeline(get_workload(name, scale=scale))
+        bp_profile = bp.profile()
+        bp_serial, bp_parallel = bp.theoretical_speedups()
+        largest_share = (
+            bp_profile.largest_region_instructions
+            / bp_profile.filtered_instructions
+        )
+        rows.append([
+            name,
+            len(bp_profile.regions),
+            f"{100 * largest_share:.0f}%",
+            f"{lp_speedup.theoretical_serial:.1f}x",
+            f"{lp_speedup.theoretical_parallel:.1f}x",
+            f"{bp_serial:.1f}x",
+            f"{bp_parallel:.1f}x",
+        ])
+
+    print(ascii_table(
+        ["app", "barrier regions", "largest region",
+         "LP serial", "LP parallel", "BP serial", "BP parallel"],
+        rows,
+        title="LoopPoint vs BarrierPoint: theoretical speedups (train scale)",
+    ))
+    print("\nBarrierPoint collapses where inter-barrier regions are huge "
+          "(imagick) or absent (xz); LoopPoint's loop-entry boundaries keep "
+          "region sizes practical everywhere.")
+
+
+if __name__ == "__main__":
+    main()

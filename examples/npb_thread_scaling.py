@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fig. 6/Fig. 10's setting: NPB kernels at 8 and 16 threads.
+
+Each thread count is profiled separately (slice size scales with N), then
+sampled, simulated, and validated against the full run.
+
+Run:  python examples/npb_thread_scaling.py [--apps npb-cg,npb-mg]
+"""
+
+import argparse
+
+from repro import (
+    GAINESTOWN_16CORE,
+    GAINESTOWN_8CORE,
+    LoopPointOptions,
+    LoopPointPipeline,
+    WaitPolicy,
+    get_scale,
+    get_workload,
+)
+from repro.analysis.tables import ascii_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--apps", default="npb-cg,npb-mg,npb-ep",
+                        help="comma-separated NPB app names")
+    args = parser.parse_args()
+
+    scale = get_scale()
+    rows = []
+    for name in args.apps.split(","):
+        for nthreads, system in ((8, GAINESTOWN_8CORE),
+                                 (16, GAINESTOWN_16CORE)):
+            workload = get_workload(name, "C", nthreads, scale=scale)
+            pipeline = LoopPointPipeline(
+                workload,
+                system=system,
+                options=LoopPointOptions(
+                    wait_policy=WaitPolicy.PASSIVE, scale=scale
+                ),
+            )
+            result = pipeline.run()
+            rows.append([
+                name, nthreads, result.num_slices, result.num_looppoints,
+                f"{result.runtime_error_pct:.2f}",
+                f"{result.speedup.actual_parallel:.1f}x",
+            ])
+            print(f"{name} @ {nthreads}t done "
+                  f"(err {result.runtime_error_pct:.2f}%)")
+
+    print()
+    print(ascii_table(
+        ["app", "threads", "slices", "looppoints", "err%", "parallel speedup"],
+        rows,
+        title="NPB class C: LoopPoint across thread counts",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Quickstart: the complete LoopPoint methodology on the demo application.
+
+Mirrors the paper artifact's ``./run-looppoint.py -p demo-matrix-1 -n 8
+--force``: record the application as a pinball, profile it (DCFG + loop-
+aligned slicing + filtered BBVs), cluster with SimPoint, simulate the
+looppoints, extrapolate, and compare against the full detailed run.
+
+Run:  python examples/quickstart.py [--program demo-matrix-1] [--ncores 8]
+      [--wait-policy passive|active] [--input-class test]
+"""
+
+import argparse
+import time
+
+from repro import (
+    LoopPointOptions,
+    LoopPointPipeline,
+    WaitPolicy,
+    get_scale,
+    get_workload,
+)
+from repro.core.report import format_result_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--program", default="demo-matrix-1",
+                        help="workload name (see repro.list_workloads())")
+    parser.add_argument("-n", "--ncores", type=int, default=8,
+                        help="number of threads")
+    parser.add_argument("-i", "--input-class", default=None,
+                        help="input class (test/train/ref or A/B/C)")
+    parser.add_argument("-w", "--wait-policy", default="passive",
+                        choices=["passive", "active"],
+                        help="OpenMP wait policy")
+    args = parser.parse_args()
+
+    scale = get_scale()
+    workload = get_workload(
+        args.program, args.input_class, args.ncores, scale=scale
+    )
+    policy = WaitPolicy(args.wait_policy)
+    print(f"workload : {workload.full_name}")
+    print(f"policy   : {policy.value};  scale: {scale.name}")
+
+    pipeline = LoopPointPipeline(
+        workload, options=LoopPointOptions(wait_policy=policy, scale=scale)
+    )
+
+    t0 = time.time()
+    pinball = pipeline.record()
+    print(f"\n[1/5] recorded whole-program pinball: "
+          f"{pinball.total_instructions:,} instructions "
+          f"({pinball.num_entries:,} log entries)  [{time.time()-t0:.1f}s]")
+
+    t0 = time.time()
+    profile = pipeline.profile()
+    print(f"[2/5] profiled: {profile.num_slices} loop-aligned slices "
+          f"(slice target {profile.slice_size:,} instructions, "
+          f"{len(profile.marker_pcs)} worker-loop markers)  "
+          f"[{time.time()-t0:.1f}s]")
+
+    t0 = time.time()
+    selection = pipeline.select()
+    print(f"[3/5] clustered: {len(selection.clusters)} looppoints "
+          f"(k={selection.k})  [{time.time()-t0:.1f}s]")
+    for cluster in selection.clusters:
+        s = profile.slices[cluster.representative]
+        print(f"      looppoint @ slice {cluster.representative:>4} "
+              f"start={s.start} end={s.end} "
+              f"multiplier={cluster.multiplier:6.2f}")
+
+    t0 = time.time()
+    result = pipeline.run()
+    print(f"[4/5] simulated looppoints + full reference run "
+          f"[{time.time()-t0:.1f}s]")
+
+    print("[5/5] extrapolation:")
+    print(f"      predicted runtime : {result.predicted.cycles:>12,} cycles")
+    print(f"      actual runtime    : {result.actual.cycles:>12,} cycles")
+    print(f"      error             : {result.runtime_error_pct:.2f}%")
+    print(f"      speedups          : serial {result.speedup.actual_serial:.1f}x, "
+          f"parallel {result.speedup.actual_parallel:.1f}x "
+          f"(theoretical {result.speedup.theoretical_serial:.1f}x / "
+          f"{result.speedup.theoretical_parallel:.1f}x)")
+    print()
+    print(format_result_table([result]))
+
+
+if __name__ == "__main__":
+    main()

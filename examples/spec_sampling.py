@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Evaluate LoopPoint on a SPEC CPU2017-like workload, both wait policies.
+
+Reproduces one application's slice of Fig. 5a/Fig. 8: prediction error for
+runtime and microarchitectural metrics, plus the four speedup flavours.
+
+Run:  python examples/spec_sampling.py [--program 619.lbm_s.1]
+"""
+
+import argparse
+
+from repro import LoopPointOptions, LoopPointPipeline, WaitPolicy, get_scale, get_workload
+from repro.analysis.tables import ascii_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--program", default="619.lbm_s.1")
+    parser.add_argument("-n", "--ncores", type=int, default=8)
+    args = parser.parse_args()
+
+    scale = get_scale()
+    rows = []
+    for policy in (WaitPolicy.ACTIVE, WaitPolicy.PASSIVE):
+        workload = get_workload(args.program, nthreads=args.ncores, scale=scale)
+        pipeline = LoopPointPipeline(
+            workload, options=LoopPointOptions(wait_policy=policy, scale=scale)
+        )
+        result = pipeline.run()
+        errors = result.metric_errors()
+        rows.append([
+            policy.value,
+            result.num_slices,
+            result.num_looppoints,
+            f"{result.runtime_error_pct:.2f}",
+            f"{errors['branch_mpki_absdiff']:.3f}",
+            f"{errors['l2_mpki_absdiff']:.3f}",
+            f"{result.speedup.actual_serial:.1f}x",
+            f"{result.speedup.actual_parallel:.1f}x",
+        ])
+        print(f"{policy.value}: whole-app IPC {result.actual.ipc:.2f}, "
+              f"branch MPKI {result.actual.branch_mpki:.2f}, "
+              f"L2 MPKI {result.actual.l2_mpki:.2f}")
+
+    print()
+    print(ascii_table(
+        ["policy", "slices", "looppoints", "runtime err%",
+         "bMPKI diff", "L2MPKI diff", "serial", "parallel"],
+        rows,
+        title=f"LoopPoint on {args.program} (train, {args.ncores} threads)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

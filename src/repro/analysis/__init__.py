@@ -1,0 +1,20 @@
+"""Experiment harness: shared evaluation cache, error math, text tables."""
+
+from .errors import mean_absolute, geomean, signed_error_pct
+from .tables import ascii_table, bar_chart
+from .experiments import EvaluationCache, get_cache
+from .export import write_csv, write_result_json, write_suite_json, result_summary
+
+__all__ = [
+    "mean_absolute",
+    "geomean",
+    "signed_error_pct",
+    "ascii_table",
+    "bar_chart",
+    "EvaluationCache",
+    "get_cache",
+    "write_csv",
+    "write_result_json",
+    "write_suite_json",
+    "result_summary",
+]

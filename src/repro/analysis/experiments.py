@@ -1,0 +1,102 @@
+"""Shared evaluation cache for the benchmark harness.
+
+Several figures reuse the same expensive artifacts (a workload's recording,
+profile, clustering, full-run simulation).  :class:`EvaluationCache`
+memoizes per-(workload, input, threads, policy, core-kind) pipelines and
+results so each is computed once per benchmark session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import GAINESTOWN_8CORE, ReproScale, SystemConfig, get_scale
+from ..core.looppoint import (
+    LoopPointOptions,
+    LoopPointPipeline,
+    LoopPointResult,
+)
+from ..policy import WaitPolicy
+from ..workloads.base import Workload
+from ..workloads.registry import get_workload
+
+#: Cache keys: (name, input_class, nthreads, policy value, inorder flag).
+_Key = Tuple[str, Optional[str], int, str, bool]
+
+
+class EvaluationCache:
+    """Memoizes pipelines and results across experiments."""
+
+    def __init__(self, scale: Optional[ReproScale] = None) -> None:
+        self.scale = scale or get_scale()
+        self._workloads: Dict[Tuple[str, Optional[str], int], Workload] = {}
+        self._pipelines: Dict[_Key, LoopPointPipeline] = {}
+        self._results: Dict[Tuple[_Key, bool], LoopPointResult] = {}
+
+    def workload(
+        self, name: str, input_class: Optional[str] = None, nthreads: int = 8
+    ) -> Workload:
+        key = (name, input_class, nthreads)
+        if key not in self._workloads:
+            self._workloads[key] = get_workload(
+                name, input_class, nthreads, scale=self.scale
+            )
+        return self._workloads[key]
+
+    def system(self, nthreads: int, inorder: bool = False) -> SystemConfig:
+        base = GAINESTOWN_8CORE.with_cores(
+            max(GAINESTOWN_8CORE.num_cores, nthreads)
+        )
+        return base.as_inorder() if inorder else base
+
+    def pipeline(
+        self,
+        name: str,
+        input_class: Optional[str] = None,
+        nthreads: int = 8,
+        wait_policy: WaitPolicy = WaitPolicy.PASSIVE,
+        inorder: bool = False,
+    ) -> LoopPointPipeline:
+        key = (name, input_class, nthreads, wait_policy.value, inorder)
+        if key not in self._pipelines:
+            workload = self.workload(name, input_class, nthreads)
+            self._pipelines[key] = LoopPointPipeline(
+                workload,
+                system=self.system(workload.nthreads, inorder),
+                options=LoopPointOptions(
+                    wait_policy=wait_policy, scale=self.scale
+                ),
+            )
+        return self._pipelines[key]
+
+    def looppoint_result(
+        self,
+        name: str,
+        input_class: Optional[str] = None,
+        nthreads: int = 8,
+        wait_policy: WaitPolicy = WaitPolicy.PASSIVE,
+        inorder: bool = False,
+        simulate_full: bool = True,
+    ) -> LoopPointResult:
+        key = (
+            (name, input_class, nthreads, wait_policy.value, inorder),
+            simulate_full,
+        )
+        if key not in self._results:
+            pipeline = self.pipeline(
+                name, input_class, nthreads, wait_policy, inorder
+            )
+            self._results[key] = pipeline.run(simulate_full=simulate_full)
+        return self._results[key]
+
+
+_GLOBAL_CACHE: Optional[EvaluationCache] = None
+
+
+def get_cache() -> EvaluationCache:
+    """The process-wide cache used by the benchmark session."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = EvaluationCache()
+    return _GLOBAL_CACHE

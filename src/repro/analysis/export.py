@@ -1,0 +1,105 @@
+"""Export experiment results as CSV/JSON for external plotting.
+
+The benchmark harness prints ASCII tables; this module gives downstream
+users machine-readable bundles: per-figure CSV series, a JSON summary of a
+:class:`~repro.core.looppoint.LoopPointResult`, and a whole-suite dump.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.looppoint import LoopPointResult
+from ..errors import ReproError
+from ..timing.metrics import SimMetrics
+
+PathLike = Union[str, Path]
+
+
+def write_csv(
+    path: PathLike,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write one figure's series as CSV; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        count = 0
+        for row in rows:
+            if len(row) != len(headers):
+                raise ReproError(
+                    f"row {count} has {len(row)} cells for "
+                    f"{len(headers)} headers"
+                )
+            writer.writerow(row)
+            count += 1
+    return path
+
+
+def metrics_dict(metrics: SimMetrics) -> Dict[str, float]:
+    """A SimMetrics as a flat dict including derived rates."""
+    out = dict(asdict(metrics))
+    out.update(
+        ipc=metrics.ipc,
+        branch_mpki=metrics.branch_mpki,
+        l1d_mpki=metrics.l1d_mpki,
+        l2_mpki=metrics.l2_mpki,
+        l3_mpki=metrics.l3_mpki,
+    )
+    return out
+
+
+def result_summary(result: LoopPointResult) -> Dict[str, object]:
+    """A JSON-ready summary of one pipeline result."""
+    summary: Dict[str, object] = {
+        "workload": result.workload,
+        "wait_policy": result.wait_policy,
+        "num_slices": result.num_slices,
+        "num_looppoints": result.num_looppoints,
+        "predicted": metrics_dict(result.predicted),
+        "speedup": {
+            "theoretical_serial": result.speedup.theoretical_serial,
+            "theoretical_parallel": result.speedup.theoretical_parallel,
+            "actual_serial": result.speedup.actual_serial,
+            "actual_parallel": result.speedup.actual_parallel,
+        },
+        "regions": [
+            {
+                "region_id": r.region_id,
+                "cycles": r.metrics.cycles,
+                "instructions": r.metrics.instructions,
+            }
+            for r in result.region_results
+        ],
+    }
+    if result.actual is not None:
+        summary["actual"] = metrics_dict(result.actual)
+        summary["runtime_error_pct"] = result.runtime_error_pct
+        summary["metric_errors"] = result.metric_errors()
+    return summary
+
+
+def write_result_json(path: PathLike, result: LoopPointResult) -> Path:
+    """Serialize one result to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_summary(result), indent=2, sort_keys=True))
+    return path
+
+
+def write_suite_json(
+    path: PathLike, results: Sequence[LoopPointResult]
+) -> Path:
+    """Serialize a whole evaluation (one entry per workload/policy)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [result_summary(r) for r in results]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

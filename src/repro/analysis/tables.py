@@ -1,0 +1,71 @@
+"""Plain-text tables and bar charts for experiment output.
+
+The benchmark harness prints every figure as rows/series (and a quick ASCII
+bar rendering) so results can be eyeballed against the paper's plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A column-aligned text table."""
+    materialized: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    title: str = "",
+    width: int = 50,
+    log: bool = False,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bars, optionally on a log scale (speedup plots)."""
+    if not values:
+        raise ValueError("bar_chart of no values")
+    label_w = max(len(k) for k in values)
+    vmax = max(values.values())
+    if log:
+        floor = min(v for v in values.values() if v > 0)
+        span = math.log10(vmax / floor) or 1.0
+    lines = [title] if title else []
+    for key, val in values.items():
+        if log and val > 0:
+            frac = (math.log10(val / floor)) / span if span else 1.0
+        else:
+            frac = val / vmax if vmax else 0.0
+        bar = "#" * max(0, int(frac * width))
+        lines.append(f"{key.ljust(label_w)} |{bar} {_fmt(val)}{unit}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

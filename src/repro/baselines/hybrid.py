@@ -1,0 +1,87 @@
+"""The hybrid methodology sketched in Sec. V-B of the paper.
+
+"Overall, a hybrid approach can be chosen to speed up smaller applications"
+— BarrierPoint outperforms LoopPoint when an application has many barriers
+and its inter-barrier regions are *smaller* than loop-aligned slices; it is
+useless when regions are giant (imagick) or absent (xz).  The hybrid
+profiles both units of work and picks, per application, the methodology
+with the better parallel speedup, subject to the BarrierPoint regions being
+practical at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..config import SystemConfig, get_scale
+from ..core.looppoint import LoopPointOptions, LoopPointPipeline
+from ..core.speedup import compute_speedups
+from ..policy import WaitPolicy
+from ..workloads.base import Workload
+from .barrierpoint import BarrierPointPipeline
+
+
+@dataclass
+class HybridChoice:
+    """Which methodology the hybrid picked for one workload, and why."""
+
+    workload: str
+    method: str                      # "looppoint" | "barrierpoint"
+    looppoint_parallel: float
+    barrierpoint_parallel: float
+    barrierpoint_practical: bool
+
+    @property
+    def chosen_parallel_speedup(self) -> float:
+        return (
+            self.barrierpoint_parallel if self.method == "barrierpoint"
+            else self.looppoint_parallel
+        )
+
+
+def choose_method(
+    workload: Workload,
+    *,
+    wait_policy: WaitPolicy = WaitPolicy.PASSIVE,
+    system: Optional[SystemConfig] = None,
+    practicality_fraction: float = 0.25,
+) -> HybridChoice:
+    """Profile both units of work and pick the better methodology.
+
+    BarrierPoint is considered *practical* only if its largest inter-barrier
+    region is below ``practicality_fraction`` of the application (otherwise
+    the representative is no smaller than the problem it was meant to
+    shrink).
+    """
+    scale = get_scale()
+    lp = LoopPointPipeline(
+        workload,
+        system=system,
+        options=LoopPointOptions(wait_policy=wait_policy, scale=scale),
+    )
+    lp_speedup = compute_speedups(lp.profile(), lp.select().clusters)
+
+    bp = BarrierPointPipeline(workload, system=system, wait_policy=wait_policy)
+    bp_profile = bp.profile()
+    practical = (
+        len(bp_profile.regions) > 1
+        and bp_profile.largest_region_instructions
+        < practicality_fraction * bp_profile.filtered_instructions
+    )
+    bp_parallel = 0.0
+    if practical:
+        _serial, bp_parallel = bp.theoretical_speedups()
+
+    method = (
+        "barrierpoint"
+        if practical and bp_parallel > lp_speedup.theoretical_parallel
+        else "looppoint"
+    )
+    return HybridChoice(
+        workload=workload.full_name,
+        method=method,
+        looppoint_parallel=lp_speedup.theoretical_parallel,
+        barrierpoint_parallel=bp_parallel,
+        barrierpoint_practical=practical,
+    )

@@ -1,0 +1,145 @@
+"""``run-looppoint``: the artifact's driver script, reimplemented.
+
+Mirrors the paper artifact's ``run-looppoint.py`` interface::
+
+    run-looppoint -p demo-matrix-1 -n 8 --force
+    run-looppoint -p demo-matrix-2,demo-matrix-3 -w active -i test --force
+
+For each program it runs the end-to-end methodology — profiling, sampled
+simulation of the selected regions, full-application reference simulation —
+and prints the estimated error and speedup numbers as the final console
+output, exactly the artifact's workflow (Appendix E).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .analysis.tables import ascii_table
+from .config import get_scale
+from .core.looppoint import LoopPointOptions, LoopPointPipeline
+from .errors import ReproError
+from .policy import WaitPolicy
+from .workloads.registry import get_workload, list_workloads
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="run-looppoint",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "-p", "--program", default="demo-matrix-1",
+        help="program(s) to evaluate; comma-separated "
+             "(default: demo-matrix-1)",
+    )
+    parser.add_argument(
+        "-n", "--ncores", type=int, default=8,
+        help="number of threads (default: 8)",
+    )
+    parser.add_argument(
+        "-i", "--input-class", default=None,
+        help="input class (test/train/ref for SPEC, A/B/C for NPB)",
+    )
+    parser.add_argument(
+        "-w", "--wait-policy", choices=["passive", "active"],
+        default="passive", help="OpenMP wait policy (default: passive)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="start a new end-to-end run (accepted for artifact "
+             "compatibility; runs are always fresh in this reproduction)",
+    )
+    parser.add_argument(
+        "--reuse-profile", action="store_true",
+        help="accepted for artifact compatibility (profiles are cached "
+             "within a run)",
+    )
+    parser.add_argument(
+        "--reuse-fullsim", action="store_true",
+        help="accepted for artifact compatibility",
+    )
+    parser.add_argument(
+        "--no-fullsim", action="store_true",
+        help="skip the full-application reference simulation (speedup-only "
+             "evaluation, as the paper does for ref inputs)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list known workloads and exit",
+    )
+    return parser
+
+
+def run_one(
+    name: str,
+    ncores: int,
+    input_class: Optional[str],
+    wait_policy: WaitPolicy,
+    simulate_full: bool,
+) -> List[object]:
+    """Run the methodology end to end on one program; returns a table row."""
+    scale = get_scale()
+    t0 = time.time()
+    workload = get_workload(name, input_class, ncores, scale=scale)
+    pipeline = LoopPointPipeline(
+        workload,
+        options=LoopPointOptions(wait_policy=wait_policy, scale=scale),
+    )
+    result = pipeline.run(simulate_full=simulate_full)
+    err = (
+        f"{result.runtime_error_pct:.2f}%"
+        if result.runtime_error_pct is not None else "--"
+    )
+    return [
+        workload.full_name,
+        result.num_slices,
+        result.num_looppoints,
+        err,
+        f"{result.speedup.theoretical_serial:.1f}x",
+        f"{result.speedup.theoretical_parallel:.1f}x",
+        f"{time.time() - t0:.1f}s",
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        print("\n".join(list_workloads()))
+        return 0
+
+    programs = [p.strip() for p in args.program.split(",") if p.strip()]
+    if not programs:
+        parser.error("no programs given")
+    policy = WaitPolicy(args.wait_policy)
+
+    rows = []
+    for name in programs:
+        print(f"[run-looppoint] {name} "
+              f"(n={args.ncores}, policy={policy.value}, "
+              f"input={args.input_class or 'default'}) ...", flush=True)
+        try:
+            rows.append(
+                run_one(name, args.ncores, args.input_class, policy,
+                        simulate_full=not args.no_fullsim)
+            )
+        except ReproError as exc:
+            print(f"[run-looppoint] {name} FAILED: {exc}", file=sys.stderr)
+            return 1
+
+    print()
+    print(ascii_table(
+        ["workload", "slices", "looppoints", "runtime err",
+         "serial speedup", "parallel speedup", "wall"],
+        rows,
+        title="LoopPoint end-to-end results",
+    ))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""K-means with k-means++ seeding (Forgy/Lloyd iteration), pure numpy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ClusteringError
+
+
+@dataclass
+class KMeansResult:
+    """Labels, centroids, and the within-cluster sum of squares."""
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    k: int
+    iterations: int
+
+
+def _kmeanspp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]), dtype=points.dtype)
+    first = int(rng.integers(n))
+    centroids[0] = points[first]
+    dist2 = ((points - centroids[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = dist2.sum()
+        if total <= 0.0:
+            # All remaining points coincide with a chosen centroid.
+            centroids[i:] = points[int(rng.integers(n))]
+            break
+        probs = dist2 / total
+        choice = int(rng.choice(n, p=probs))
+        centroids[i] = points[choice]
+        new_d = ((points - centroids[i]) ** 2).sum(axis=1)
+        np.minimum(dist2, new_d, out=dist2)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iter: int = 100,
+    tol: float = 1e-8,
+    weights: np.ndarray = None,
+) -> KMeansResult:
+    """Lloyd's algorithm; optionally instruction-weighted points.
+
+    Weighting points by their instruction counts makes big slices pull
+    centroids harder, matching how extrapolation later weights clusters.
+    """
+    if points.ndim != 2:
+        raise ClusteringError(f"expected 2-D points, got shape {points.shape}")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ClusteringError(f"need 1 <= k <= {n}, got k={k}")
+    if weights is None:
+        weights = np.ones(n, dtype=np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n,) or np.any(weights < 0):
+            raise ClusteringError("weights must be non-negative, one per point")
+
+    rng = np.random.default_rng(seed)
+    centroids = _kmeanspp_init(points, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        # Assignment step.
+        d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = d2.argmin(axis=1)
+        # Update step.
+        new_centroids = centroids.copy()
+        for j in range(k):
+            mask = labels == j
+            w = weights[mask]
+            if w.sum() > 0:
+                new_centroids[j] = np.average(points[mask], axis=0, weights=w)
+            else:
+                # Re-seed an empty cluster at the farthest point.
+                far = int(d2.min(axis=1).argmax())
+                new_centroids[j] = points[far]
+        shift = float(((new_centroids - centroids) ** 2).sum())
+        centroids = new_centroids
+        if shift <= tol:
+            break
+    d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    labels = d2.argmin(axis=1)
+    inertia = float(d2[np.arange(n), labels].sum())
+    return KMeansResult(
+        labels=labels, centroids=centroids, inertia=inertia, k=k,
+        iterations=iterations,
+    )

@@ -1,0 +1,46 @@
+"""Random linear projection of BBVs (SimPoint's dimensionality reduction)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ClusteringError
+
+DEFAULT_DIMENSIONS = 100
+
+
+def random_projection(
+    input_dim: int, output_dim: int = DEFAULT_DIMENSIONS, seed: int = 0
+) -> np.ndarray:
+    """A seeded ``input_dim x output_dim`` projection matrix.
+
+    Entries are uniform in [-1, 1] as in the SimPoint tool; scaling is
+    irrelevant to K-means geometry.
+    """
+    if input_dim < 1 or output_dim < 1:
+        raise ClusteringError(
+            f"projection dims must be positive ({input_dim}->{output_dim})"
+        )
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(input_dim, output_dim))
+
+
+def project(
+    bbvs: np.ndarray, output_dim: int = DEFAULT_DIMENSIONS, seed: int = 0
+) -> np.ndarray:
+    """L1-normalize each BBV row, then randomly project it.
+
+    Normalization makes the fingerprint a distribution over (thread, block)
+    work shares, so slices of different lengths compare by *shape*.
+    If the input dimension is already at most ``output_dim``, the normalized
+    vectors are returned unchanged (projection would add nothing).
+    """
+    if bbvs.ndim != 2:
+        raise ClusteringError(f"expected 2-D BBV matrix, got shape {bbvs.shape}")
+    norms = np.abs(bbvs).sum(axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    normalized = bbvs / norms
+    if bbvs.shape[1] <= output_dim:
+        return normalized
+    matrix = random_projection(bbvs.shape[1], output_dim, seed)
+    return normalized @ matrix

@@ -1,0 +1,207 @@
+"""Representative selection: the SimPoint procedure over sliced BBVs.
+
+Sweep k = 1..maxK, score each K-means clustering with BIC, pick the smallest
+k whose (min-max normalized) BIC clears a threshold (the SimPoint tool's
+default 0.9), and take the slice closest to each centroid as the cluster
+representative.  The representative's weight is its cluster's share of
+filtered instructions — the "multiplier" numerator of Eq. (2) in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ClusteringError
+from .bic import bic_score
+from .kmeans import KMeansResult, kmeans
+from .projection import DEFAULT_DIMENSIONS, project
+
+
+@dataclass(frozen=True)
+class SimPointOptions:
+    """Knobs of the selection procedure (paper defaults)."""
+
+    max_k: int = 50
+    bic_threshold: float = 0.9
+    projection_dim: int = DEFAULT_DIMENSIONS
+    seed: int = 42
+    weighted: bool = True
+    #: K-means restarts per k (best inertia wins); reduces init noise in
+    #: the BIC curve.
+    n_init: int = 3
+    #: Representative near-tie margin, as a fraction of the cluster's mean
+    #: centroid distance (see _build_clusters).  Zero means only exact
+    #: distance ties are broken by median position; empirically the safest
+    #: default (wider margins drag representatives off-centroid).
+    tie_margin: float = 0.0
+
+
+@dataclass
+class ClusterInfo:
+    """One cluster and its chosen representative slice."""
+
+    cluster_id: int
+    representative: int          # slice index
+    members: List[int]           # slice indices
+    instruction_mass: float      # sum of member filtered instruction counts
+    multiplier: float            # mass / representative's own count (Eq. 2)
+
+
+@dataclass
+class SimPointSelection:
+    """The outcome of region selection."""
+
+    k: int
+    clusters: List[ClusterInfo]
+    labels: np.ndarray
+    bic_by_k: Dict[int, float]
+
+    @property
+    def representative_indices(self) -> List[int]:
+        return [c.representative for c in self.clusters]
+
+    def coverage(self) -> float:
+        """Fraction of instruction mass carried by representatives' clusters
+        (1.0 by construction — every slice belongs to a cluster)."""
+        return 1.0
+
+
+def select_simpoints(
+    bbvs: np.ndarray,
+    instruction_counts: Sequence[float],
+    options: Optional[SimPointOptions] = None,
+    ineligible: Optional[Sequence[int]] = None,
+) -> SimPointSelection:
+    """Cluster slice BBVs and select one representative per cluster.
+
+    ``ineligible`` slices may not be chosen as representatives (their
+    instruction mass still counts toward their cluster's multiplier).  The
+    pipeline passes the program-startup slices here: they execute the same
+    code as later occurrences but on cold microarchitectural state, so they
+    are valid cluster *members* but poor cluster *representatives* — the
+    standard SimPoint practice of steering clear of initialization.
+    """
+    opts = options or SimPointOptions()
+    counts = np.asarray(instruction_counts, dtype=np.float64)
+    if bbvs.ndim != 2 or bbvs.shape[0] != counts.shape[0]:
+        raise ClusteringError(
+            f"BBV matrix {bbvs.shape} does not match {counts.shape[0]} counts"
+        )
+    n = bbvs.shape[0]
+    points = project(bbvs, opts.projection_dim, opts.seed)
+    weights = counts if opts.weighted else None
+
+    # Sweep k; keep every clustering so the winner can be reused.  The sweep
+    # stays well below n: with n - k residual degrees of freedom near zero
+    # the variance estimate collapses and BIC diverges.
+    max_k = min(opts.max_k, max(1, n // 2)) if n > 1 else 1
+    results: Dict[int, KMeansResult] = {}
+    scores: Dict[int, float] = {}
+    # Restarts fight k-means init noise; with many points the landscape is
+    # well determined and a single init keeps ref-scale sweeps affordable.
+    n_init = 1 if n > 800 else max(1, opts.n_init)
+    for k in range(1, max_k + 1):
+        best = None
+        for restart in range(n_init):
+            candidate = kmeans(
+                points, k, seed=opts.seed + k + 1000 * restart,
+                weights=weights,
+            )
+            if best is None or candidate.inertia < best.inertia:
+                best = candidate
+        results[k] = best
+        if n > k:
+            scores[k] = bic_score(points, best)
+        else:
+            scores[k] = float("-inf")
+
+    chosen_k = _choose_k(scores, opts.bic_threshold)
+    chosen = results[chosen_k]
+    clusters = _build_clusters(
+        points, counts, chosen, opts.tie_margin,
+        frozenset(ineligible or ()),
+    )
+    return SimPointSelection(
+        k=chosen_k, clusters=clusters, labels=chosen.labels, bic_by_k=scores
+    )
+
+
+def _choose_k(scores: Dict[int, float], threshold: float) -> int:
+    """Smallest k whose (smoothed, min-max normalized) BIC clears threshold.
+
+    K-means is run from a single seeded initialization per k, so the raw BIC
+    curve carries init noise: an isolated spike at large k must not define
+    the normalization ceiling.  A short moving average removes the spikes
+    while preserving the knee the SimPoint rule looks for.
+    """
+    finite = {k: s for k, s in scores.items() if np.isfinite(s)}
+    if not finite:
+        return 1
+    ks = sorted(finite)
+    raw = np.array([finite[k] for k in ks], dtype=np.float64)
+    if len(ks) > 2:
+        window = min(5, len(ks))
+        kernel = np.ones(window) / window
+        pad = window // 2
+        padded = np.concatenate([np.repeat(raw[0], pad), raw,
+                                 np.repeat(raw[-1], pad)])
+        smooth = np.convolve(padded, kernel, mode="valid")[: len(ks)]
+    else:
+        smooth = raw
+    lo, hi = float(smooth.min()), float(smooth.max())
+    if hi == lo:
+        return ks[0]
+    for k, s in zip(ks, smooth):
+        if (s - lo) / (hi - lo) >= threshold:
+            return k
+    return ks[-1]
+
+
+def _build_clusters(
+    points: np.ndarray,
+    counts: np.ndarray,
+    result: KMeansResult,
+    tie_margin: float = 0.0,
+    ineligible: frozenset = frozenset(),
+) -> List[ClusterInfo]:
+    clusters: List[ClusterInfo] = []
+    for j in range(result.k):
+        members = np.flatnonzero(result.labels == j)
+        if members.size == 0:
+            continue
+        all_members = members
+        eligible = np.array(
+            [m for m in members if int(m) not in ineligible], dtype=np.int64
+        )
+        if eligible.size:
+            members = eligible
+        dists = ((points[members] - result.centroids[j]) ** 2).sum(axis=1)
+        # Near-duplicate BBVs (nearly) tie on distance; a plain argmin would
+        # then systematically elect the earliest such slice, which sits at
+        # the start of the run (cold caches) and is microarchitecturally
+        # atypical.  Among candidates within a small margin of the minimum,
+        # take the median-position member: an interior, typical occurrence.
+        cutoff = float(dists.min()) + tie_margin * float(dists.mean()) + 1e-12
+        tied = members[dists <= cutoff]
+        representative = int(tied[len(tied) // 2])
+        mass = float(counts[all_members].sum())
+        own = float(counts[representative])
+        if own <= 0:
+            raise ClusteringError(
+                f"representative slice {representative} has no filtered "
+                f"instructions; cannot weight cluster {j}"
+            )
+        clusters.append(
+            ClusterInfo(
+                cluster_id=j,
+                representative=representative,
+                members=[int(m) for m in all_members],
+                instruction_mass=mass,
+                multiplier=mass / own,
+            )
+        )
+    clusters.sort(key=lambda c: c.representative)
+    return clusters

@@ -1,0 +1,25 @@
+"""LoopPoint itself: the end-to-end sampled-simulation pipeline.
+
+``record -> profile (DCFG, loop-aligned slicing, filtered BBVs) -> cluster
+(SimPoint) -> simulate representatives -> extrapolate`` — Fig. 2 of the
+paper.  :class:`~repro.core.looppoint.LoopPointPipeline` wires the substrate
+packages together and caches intermediate artifacts so experiments can share
+the expensive stages.
+"""
+
+from .extrapolation import extrapolate_metrics, prediction_error
+from .looppoint import LoopPointOptions, LoopPointPipeline, LoopPointResult
+from .speedup import SpeedupReport, compute_speedups
+from .warmup import WarmupStrategy, region_cuts_for_selection
+
+__all__ = [
+    "extrapolate_metrics",
+    "prediction_error",
+    "LoopPointOptions",
+    "LoopPointPipeline",
+    "LoopPointResult",
+    "SpeedupReport",
+    "compute_speedups",
+    "WarmupStrategy",
+    "region_cuts_for_selection",
+]

@@ -1,0 +1,61 @@
+"""Weight-based extrapolation (Sec. III-G, Eqs. 1 and 2).
+
+``total_runtime = sum_i runtime_i * multiplier_i`` where a looppoint's
+multiplier is the ratio of its cluster's filtered instruction mass to its
+own filtered instruction count.  The same weighting applies to any event
+count (cache misses, branch mispredicts, ...), which is how Fig. 7's
+metrics are predicted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..clustering.simpoint import ClusterInfo
+from ..errors import ClusteringError
+from ..timing.metrics import SimMetrics
+from ..timing.mcsim import SimulationResult
+
+
+def extrapolate_metrics(
+    region_results: Sequence[SimulationResult],
+    clusters: Sequence[ClusterInfo],
+    allow_missing: bool = False,
+) -> SimMetrics:
+    """Combine per-looppoint metrics into a whole-program prediction.
+
+    ``region_results[i].region_id`` must equal the representative slice
+    index of some cluster.  ``allow_missing`` skips clusters whose
+    representative was never simulated (used by the naive baseline, whose
+    regions can overrun the execution) — the lost mass then shows up as
+    prediction error, as it should.
+    """
+    by_rep: Dict[int, ClusterInfo] = {c.representative: c for c in clusters}
+    if len(by_rep) != len(clusters):
+        raise ClusteringError("duplicate representative slice indices")
+    total = SimMetrics()
+    seen = set()
+    for result in region_results:
+        cluster = by_rep.get(result.region_id)
+        if cluster is None:
+            raise ClusteringError(
+                f"region {result.region_id} does not match any cluster "
+                f"representative"
+            )
+        if result.region_id in seen:
+            raise ClusteringError(
+                f"region {result.region_id} simulated twice"
+            )
+        seen.add(result.region_id)
+        total = total.plus(result.metrics.scaled(cluster.multiplier))
+    missing = set(by_rep) - seen
+    if missing and not allow_missing:
+        raise ClusteringError(f"no simulation results for looppoints {sorted(missing)}")
+    return total
+
+
+def prediction_error(predicted: float, actual: float) -> float:
+    """Absolute percentage error of a prediction."""
+    if actual == 0:
+        raise ClusteringError("actual value is zero; error undefined")
+    return 100.0 * abs(predicted - actual) / abs(actual)

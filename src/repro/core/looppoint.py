@@ -1,0 +1,290 @@
+"""The end-to-end LoopPoint pipeline (Fig. 2 of the paper).
+
+Stages, each cached on first use:
+
+1. **record** — one functional, flow-controlled execution captured as a
+   whole-program pinball (reproducible analysis substrate).
+2. **profile** — constrained replays build the DCFG, find worker-loop
+   headers, slice at loop entries, and collect filtered per-thread BBVs.
+3. **select** — SimPoint clustering picks looppoints and multipliers.
+4. **simulate** — binary-driven unconstrained detailed simulation of every
+   looppoint in one warming sweep (perfect warmup), or checkpoint-driven
+   constrained simulation of extracted region pinballs.
+5. **extrapolate** — Eq. (1)/(2) weighting reconstructs whole-program
+   metrics, compared against a full detailed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..clustering.simpoint import (
+    SimPointOptions,
+    SimPointSelection,
+    select_simpoints,
+)
+from ..config import GAINESTOWN_8CORE, ReproScale, SystemConfig, get_scale
+from ..errors import ClusteringError, SimulationError
+from ..pinplay.pinball import Pinball, RegionPinball
+from ..pinplay.recorder import record_execution
+from ..pinplay.region import extract_region_pinballs
+from ..policy import WaitPolicy
+from ..profiling.profile_result import ProfileData, profile_pinball
+from ..timing.mcsim import (
+    MultiCoreSimulator,
+    RegionOfInterest,
+    SimulationResult,
+)
+from ..timing.metrics import SimMetrics
+from ..workloads.base import Workload
+from .extrapolation import extrapolate_metrics, prediction_error
+from .speedup import SpeedupReport, compute_speedups
+from .warmup import WarmupStrategy, region_cuts_for_selection
+
+
+@dataclass(frozen=True)
+class LoopPointOptions:
+    """Pipeline configuration; defaults follow the paper."""
+
+    wait_policy: WaitPolicy = WaitPolicy.PASSIVE
+    scale: Optional[ReproScale] = None
+    slice_size: Optional[int] = None  # global; default scale.slice_size(n)
+    simpoint: SimPointOptions = field(default_factory=SimPointOptions)
+    record_seed: int = 0
+    #: Slices starting in the first this-fraction of the run are barred from
+    #: being representatives (program initialization is microarchitecturally
+    #: atypical); their mass still counts.
+    startup_fraction: float = 0.05
+
+    def resolved_scale(self) -> ReproScale:
+        return self.scale if self.scale is not None else get_scale()
+
+
+@dataclass
+class LoopPointResult:
+    """Everything an evaluation needs about one workload run."""
+
+    workload: str
+    wait_policy: str
+    num_slices: int
+    num_looppoints: int
+    predicted: SimMetrics
+    actual: Optional[SimMetrics]
+    region_results: List[SimulationResult]
+    speedup: SpeedupReport
+
+    @property
+    def runtime_error_pct(self) -> Optional[float]:
+        if self.actual is None:
+            return None
+        return prediction_error(self.predicted.cycles, self.actual.cycles)
+
+    def metric_errors(self) -> Dict[str, float]:
+        """Prediction quality for the Fig. 7 metrics."""
+        if self.actual is None:
+            raise SimulationError("no full-run reference simulation")
+        return {
+            "runtime_error_pct": prediction_error(
+                self.predicted.cycles, self.actual.cycles
+            ),
+            "cycles_error_pct": prediction_error(
+                self.predicted.cycles, self.actual.cycles
+            ),
+            "ipc_error_pct": prediction_error(
+                self.predicted.ipc, self.actual.ipc
+            ),
+            "branch_mpki_absdiff": abs(
+                self.predicted.branch_mpki - self.actual.branch_mpki
+            ),
+            "l2_mpki_absdiff": abs(
+                self.predicted.l2_mpki - self.actual.l2_mpki
+            ),
+            "l3_mpki_absdiff": abs(
+                self.predicted.l3_mpki - self.actual.l3_mpki
+            ),
+        }
+
+
+class LoopPointPipeline:
+    """Drives one workload through the LoopPoint methodology."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        system: Optional[SystemConfig] = None,
+        options: Optional[LoopPointOptions] = None,
+    ) -> None:
+        self.workload = workload
+        self.options = options or LoopPointOptions()
+        if system is None:
+            system = GAINESTOWN_8CORE.with_cores(
+                max(GAINESTOWN_8CORE.num_cores, workload.nthreads)
+            )
+        if system.num_cores < workload.nthreads:
+            raise SimulationError(
+                f"system has {system.num_cores} cores for "
+                f"{workload.nthreads} threads"
+            )
+        self.system = system
+        self._pinball: Optional[Pinball] = None
+        self._profile: Optional[ProfileData] = None
+        self._selection: Optional[SimPointSelection] = None
+
+    # -- cached stages ------------------------------------------------------
+
+    @property
+    def slice_size(self) -> int:
+        if self.options.slice_size is not None:
+            return self.options.slice_size
+        scale = self.options.resolved_scale()
+        # The paper slices at N x 100M instructions; at reproduction scale a
+        # single-threaded slice would be so short that boundary effects
+        # dominate its timing, so slices never shrink below four
+        # thread-equivalents.
+        return max(
+            scale.slice_size(self.workload.nthreads), scale.slice_size(4)
+        )
+
+    def record(self) -> Pinball:
+        """Stage 1: record the reproducible whole-program pinball."""
+        if self._pinball is None:
+            w = self.workload
+            self._pinball, _ = record_execution(
+                w.program,
+                w.thread_program,
+                w.omp,
+                w.nthreads,
+                wait_policy=self.options.wait_policy,
+                seed=self.options.record_seed,
+            )
+        return self._pinball
+
+    def profile(self) -> ProfileData:
+        """Stage 2: DCFG + loop-aligned slicing + filtered BBVs."""
+        if self._profile is None:
+            self._profile = profile_pinball(
+                self.workload.program, self.record(), self.slice_size
+            )
+        return self._profile
+
+    def select(self) -> SimPointSelection:
+        """Stage 3: SimPoint clustering of slice BBVs."""
+        if self._selection is None:
+            profile = self.profile()
+            startup = self.options.startup_fraction * profile.filtered_instructions
+            ineligible = [
+                s.index for s in profile.slices if s.start_filtered < startup
+            ]
+            self._selection = select_simpoints(
+                profile.bbv_matrix(),
+                profile.slice_filtered_counts(),
+                self.options.simpoint,
+                ineligible=ineligible,
+            )
+        return self._selection
+
+    def regions(self) -> List[RegionOfInterest]:
+        """The looppoints as (PC, count)-delimited regions, in run order."""
+        profile = self.profile()
+        selection = self.select()
+        rois = []
+        for cluster in selection.clusters:
+            s = profile.slices[cluster.representative]
+            rois.append(
+                RegionOfInterest(
+                    region_id=cluster.representative, start=s.start, end=s.end
+                )
+            )
+        rois.sort(key=lambda r: r.region_id)
+        return rois
+
+    # -- simulations ----------------------------------------------------------
+
+    def _fresh_simulator(self) -> MultiCoreSimulator:
+        return MultiCoreSimulator(
+            self.workload.program, self.system, self.workload.omp
+        )
+
+    def simulate_regions(self) -> List[SimulationResult]:
+        """Stage 4 (binary-driven): detailed sweep over all looppoints."""
+        return self._fresh_simulator().run_binary(
+            self.workload.thread_program,
+            self.workload.nthreads,
+            self.options.wait_policy,
+            regions=self.regions(),
+        )
+
+    def simulate_full(self) -> SimulationResult:
+        """Reference: the whole application in detail (the paper's
+        validation baseline, only feasible for train-scale inputs)."""
+        results = self._fresh_simulator().run_binary(
+            self.workload.thread_program,
+            self.workload.nthreads,
+            self.options.wait_policy,
+        )
+        return results[0]
+
+    def region_pinballs(
+        self, strategy: WarmupStrategy = WarmupStrategy.CHECKPOINT_PREFIX
+    ) -> List[RegionPinball]:
+        """Stage 4 (checkpoint-driven): cut region pinballs with warmup."""
+        scale = self.options.resolved_scale()
+        cuts = region_cuts_for_selection(
+            self.profile(),
+            self.select().clusters,
+            scale.warmup_instructions,
+            strategy,
+        )
+        return extract_region_pinballs(
+            self.workload.program, self.record(), cuts
+        )
+
+    def simulate_regions_constrained(
+        self, strategy: WarmupStrategy = WarmupStrategy.CHECKPOINT_PREFIX
+    ) -> List[SimulationResult]:
+        """Constrained simulation of every region pinball (Sec. V-A.1)."""
+        results = []
+        for pinball in self.region_pinballs(strategy):
+            sim = self._fresh_simulator()
+            results.append(sim.run_pinball(pinball))
+        return results
+
+    # -- the headline entry point -------------------------------------------
+
+    def run(
+        self,
+        simulate_full: bool = True,
+        constrained: bool = False,
+    ) -> LoopPointResult:
+        """Execute the whole methodology and evaluate it.
+
+        ``simulate_full=False`` skips the reference run (ref-input scale,
+        where the paper also only reports speedups).  ``constrained=True``
+        simulates checkpoint-driven instead of binary-driven.
+        """
+        profile = self.profile()
+        selection = self.select()
+        if constrained:
+            region_results = self.simulate_regions_constrained()
+        else:
+            region_results = self.simulate_regions()
+        predicted = extrapolate_metrics(region_results, selection.clusters)
+        actual = self.simulate_full().metrics if simulate_full else None
+        scale = self.options.resolved_scale()
+        speedup = compute_speedups(
+            profile,
+            selection.clusters,
+            warmup_instructions=scale.warmup_instructions,
+            region_results=region_results,
+        )
+        return LoopPointResult(
+            workload=self.workload.full_name,
+            wait_policy=self.options.wait_policy.value,
+            num_slices=profile.num_slices,
+            num_looppoints=len(selection.clusters),
+            predicted=predicted,
+            actual=actual,
+            region_results=region_results,
+            speedup=speedup,
+        )

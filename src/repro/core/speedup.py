@@ -1,0 +1,81 @@
+"""Speedup accounting (Sec. V-B of the paper).
+
+*Theoretical* speedup is the reduction in instructions that must be
+simulated in detail (spin instructions excluded): the whole application's
+filtered instruction count over the representatives'.  *Actual* speedup
+charges what a simulator really pays per region — all instructions including
+synchronization, plus the warmup prefix.  *Serial* sums the representatives;
+*parallel* assumes enough machines to simulate them concurrently, so the
+largest region bounds time-to-results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..clustering.simpoint import ClusterInfo
+from ..errors import ClusteringError
+from ..profiling.profile_result import ProfileData
+from ..timing.mcsim import SimulationResult
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """The four speedup flavours of Figs. 8-10."""
+
+    theoretical_serial: float
+    theoretical_parallel: float
+    actual_serial: Optional[float] = None
+    actual_parallel: Optional[float] = None
+
+    def row(self) -> str:
+        def fmt(x: Optional[float]) -> str:
+            return f"{x:10.1f}x" if x is not None else "         --"
+
+        return (
+            f"{fmt(self.theoretical_serial)} {fmt(self.theoretical_parallel)} "
+            f"{fmt(self.actual_serial)} {fmt(self.actual_parallel)}"
+        )
+
+
+def compute_speedups(
+    profile: ProfileData,
+    clusters: Sequence[ClusterInfo],
+    warmup_instructions: int = 0,
+    region_results: Optional[Sequence[SimulationResult]] = None,
+) -> SpeedupReport:
+    """Speedups of a selection over full-application simulation.
+
+    ``region_results`` (from the detailed sweep) enable the *actual*
+    speedups; without them only the theoretical ones are computed.
+    """
+    if not clusters:
+        raise ClusteringError("no clusters; cannot compute speedup")
+    total_filtered = float(profile.filtered_instructions)
+    rep_filtered = [
+        float(profile.slices[c.representative].filtered_instructions)
+        for c in clusters
+    ]
+    if min(rep_filtered) <= 0:
+        raise ClusteringError("representative with zero filtered instructions")
+    theoretical_serial = total_filtered / sum(rep_filtered)
+    theoretical_parallel = total_filtered / max(rep_filtered)
+
+    actual_serial = actual_parallel = None
+    if region_results is not None:
+        total_all = float(profile.total_instructions)
+        costs = [
+            float(r.metrics.instructions) + warmup_instructions
+            for r in region_results
+        ]
+        if min(costs) <= 0:
+            raise ClusteringError("region simulated zero instructions")
+        actual_serial = total_all / sum(costs)
+        actual_parallel = total_all / max(costs)
+    return SpeedupReport(
+        theoretical_serial=theoretical_serial,
+        theoretical_parallel=theoretical_parallel,
+        actual_serial=actual_serial,
+        actual_parallel=actual_parallel,
+    )

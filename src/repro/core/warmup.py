@@ -1,0 +1,57 @@
+"""Warmup strategies for region simulation (Sec. III-F).
+
+Binary-driven simulation gets *perfect* warmup for free: the sweep
+fast-forwards from program start with functional warming, so caches and
+predictor state are exact at each region entry.  Checkpoint-driven
+simulation instead prepends a warmup prefix to each region pinball; this
+module computes the per-region cut specifications for that.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Sequence
+
+from ..clustering.simpoint import ClusterInfo
+from ..errors import RegionError
+from ..pinplay.region import RegionCut
+from ..profiling.profile_result import ProfileData
+
+
+class WarmupStrategy(Enum):
+    """How microarchitectural state is warmed before a region."""
+
+    #: Fast-forward from program start with functional warming (binary mode).
+    PERFECT = "perfect"
+    #: Replay a recorded warmup prefix before the region (checkpoint mode).
+    CHECKPOINT_PREFIX = "checkpoint-prefix"
+    #: No warmup at all (for ablation: shows cold-start error).
+    NONE = "none"
+
+
+def region_cuts_for_selection(
+    profile: ProfileData,
+    clusters: Sequence[ClusterInfo],
+    warmup_instructions: int,
+    strategy: WarmupStrategy = WarmupStrategy.CHECKPOINT_PREFIX,
+) -> List[RegionCut]:
+    """Build :class:`RegionCut` specs for every cluster representative.
+
+    ``warmup_instructions`` is a global filtered-instruction budget placed
+    immediately before the region start (clamped at program start).
+    """
+    if warmup_instructions < 0:
+        raise RegionError("warmup_instructions must be >= 0")
+    warm = 0 if strategy is WarmupStrategy.NONE else warmup_instructions
+    cuts = []
+    for cluster in clusters:
+        s = profile.slices[cluster.representative]
+        cuts.append(
+            RegionCut(
+                region_id=cluster.representative,
+                start=s.start,
+                end=s.end,
+                warmup_filtered=max(0, s.start_filtered - warm),
+            )
+        )
+    return cuts

@@ -1,0 +1,91 @@
+"""Immediate dominators over the dynamic graph.
+
+Cooper-Harvey-Kennedy's iterative algorithm on a reverse-postorder numbering.
+The graphs here are small (hundreds of nodes), so the simple quadratic-ish
+iteration is more than fast enough and easy to verify.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ProgramStructureError
+from .graph import DCFG, ENTRY
+
+
+def _reverse_postorder(succ: Dict[int, List[int]], entry: int) -> List[int]:
+    seen = set()
+    order: List[int] = []
+    # Iterative DFS with an explicit stack (graphs can chain thousands deep).
+    stack: List[Tuple[int, Iterable[int]]] = [(entry, iter(succ.get(entry, ())))]
+    seen.add(entry)
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for child in it:
+            if child not in seen:
+                seen.add(child)
+                stack.append((child, iter(succ.get(child, ()))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def immediate_dominators(dcfg: DCFG, entry: int = ENTRY) -> Dict[int, int]:
+    """Immediate dominator of every node reachable from ``entry``.
+
+    The entry dominates itself.  Unreachable nodes are absent from the
+    result.
+    """
+    succ = dcfg.successors()
+    order = _reverse_postorder(succ, entry)
+    index = {node: i for i, node in enumerate(order)}
+    preds: Dict[int, List[int]] = defaultdict(list)
+    for (src, dst), _count in dcfg.edge_counts.items():
+        if src in index and dst in index:
+            preds[dst].append(src)
+
+    idom: Dict[int, int] = {entry: entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            candidates = [p for p in preds[node] if p in idom]
+            if not candidates:
+                raise ProgramStructureError(
+                    f"node {node} reachable but has no processed predecessor"
+                )
+            new = candidates[0]
+            for p in candidates[1:]:
+                new = intersect(new, p)
+            if idom.get(node) != new:
+                idom[node] = new
+                changed = True
+    return idom
+
+
+def dominates(idom: Dict[int, int], a: int, b: int, entry: int = ENTRY) -> bool:
+    """True if ``a`` dominates ``b`` (including a == b)."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        if node == entry:
+            return a == entry
+        node = idom[node]

@@ -1,0 +1,89 @@
+"""The dynamic control-flow graph and its construction.
+
+A DCFG differs from a static CFG in that every edge is annotated with the
+number of times it was traversed during the (replayed) execution.  We build
+it per thread — consecutive block executions on the same thread form an edge
+— and merge the per-thread counts, mirroring the per-thread edge recording of
+the paper's pin-tool (Sec. IV-D).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import ProgramStructureError
+from ..exec_engine.observers import Observer
+from ..isa.blocks import BasicBlock
+from ..isa.image import Program
+
+#: The virtual entry node (threads' first blocks hang off it).
+ENTRY = -1
+
+
+class DCFG:
+    """A dynamic control-flow graph with edge trip counts."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.edge_counts: Dict[Tuple[int, int], int] = defaultdict(int)
+        self.node_counts: Dict[int, int] = defaultdict(int)
+
+    def add_edge(self, src: int, dst: int, count: int = 1) -> None:
+        if count <= 0:
+            raise ProgramStructureError(f"edge count must be positive, got {count}")
+        self.edge_counts[(src, dst)] += count
+
+    def add_node_executions(self, bid: int, count: int) -> None:
+        self.node_counts[bid] += count
+
+    @property
+    def nodes(self) -> Set[int]:
+        found = set(self.node_counts)
+        for src, dst in self.edge_counts:
+            found.add(src)
+            found.add(dst)
+        found.discard(ENTRY)
+        return found
+
+    def successors(self) -> Dict[int, List[int]]:
+        succ: Dict[int, List[int]] = defaultdict(list)
+        for (src, dst) in self.edge_counts:
+            succ[src].append(dst)
+        return dict(succ)
+
+    def edge_trip_count(self, src: int, dst: int) -> int:
+        return self.edge_counts.get((src, dst), 0)
+
+    def block(self, bid: int) -> BasicBlock:
+        return self.program.blocks[bid]
+
+
+class DCFGBuilder(Observer):
+    """Observer that accumulates per-thread edges during a (re)play."""
+
+    def __init__(self, program: Program, nthreads: int) -> None:
+        self.dcfg = DCFG(program)
+        self._last: List[Optional[int]] = [None] * nthreads
+
+    def on_block(self, tid: int, block, repeat: int, start_index: int) -> None:
+        bid = block.bid
+        dcfg = self.dcfg
+        last = self._last[tid]
+        dcfg.add_edge(ENTRY if last is None else last, bid)
+        if repeat > 1:
+            dcfg.add_edge(bid, bid, repeat - 1)
+        dcfg.add_node_executions(bid, repeat)
+        self._last[tid] = bid
+
+    def result(self) -> DCFG:
+        return self.dcfg
+
+
+def build_dcfg_from_pinball(program: Program, pinball) -> DCFG:
+    """Replay a pinball and build its DCFG (the paper's analysis step)."""
+    from ..pinplay.replayer import ConstrainedReplayer
+
+    builder = DCFGBuilder(program, pinball.nthreads)
+    ConstrainedReplayer(program, pinball, observers=(builder,)).run()
+    return builder.result()

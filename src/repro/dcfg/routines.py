@@ -1,0 +1,60 @@
+"""Routine-level summaries of a DCFG.
+
+The paper's DCFG tool groups basic blocks into routines using call edges and
+heuristics (Sec. IV-D).  Our static model already knows each block's routine,
+so this module provides the summary view analyses want: per-routine node
+sets, execution counts, and the image each routine belongs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..isa.image import Program
+from .graph import DCFG
+
+
+@dataclass(frozen=True)
+class RoutineStats:
+    """Dynamic statistics for one routine."""
+
+    name: str
+    image: str
+    is_library: bool
+    num_blocks: int
+    executions: int
+    instructions: int
+
+
+def routine_summary(dcfg: DCFG, program: Program) -> List[RoutineStats]:
+    """Per-routine dynamic stats, most-executed first."""
+    grouped: Dict[str, Dict[str, int]] = {}
+    meta: Dict[str, tuple] = {}
+    for bid in dcfg.nodes:
+        block = program.blocks[bid]
+        routine = block.routine
+        if routine is None:
+            continue
+        key = f"{routine.image_name}:{routine.name}"
+        stats = grouped.setdefault(
+            key, {"blocks": 0, "execs": 0, "instrs": 0}
+        )
+        execs = dcfg.node_counts.get(bid, 0)
+        stats["blocks"] += 1
+        stats["execs"] += execs
+        stats["instrs"] += execs * block.n_instr
+        meta[key] = (routine.name, routine.image_name, block.image.is_library)
+    out = [
+        RoutineStats(
+            name=meta[key][0],
+            image=meta[key][1],
+            is_library=meta[key][2],
+            num_blocks=stats["blocks"],
+            executions=stats["execs"],
+            instructions=stats["instrs"],
+        )
+        for key, stats in grouped.items()
+    ]
+    out.sort(key=lambda r: r.instructions, reverse=True)
+    return out

@@ -1,0 +1,329 @@
+"""The functional execution engine (Pin's role in the paper).
+
+Runs a :class:`~repro.runtime.thread.ThreadProgram` against its static
+:class:`~repro.isa.image.Program` under a seeded host scheduler.  The seed
+models run-to-run host nondeterminism: different seeds interleave threads
+differently, which changes spin-loop instruction counts (ACTIVE wait policy)
+and dynamic-schedule chunk assignments — while the application's *work*
+(worker-loop trip counts, hence ``(PC, count)`` markers) stays invariant.
+
+Synchronization library code (:class:`~repro.runtime.omp.OmpRuntime` blocks)
+is executed here on behalf of threads: barrier entry/exit, spin iterations
+while blocked (ACTIVE), futex paths (PASSIVE), lock handoffs, chunk fetches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..errors import DeadlockError, ExecutionError
+from ..isa.blocks import BasicBlock
+from ..isa.image import Program
+from ..policy import WaitPolicy
+from .events import (
+    BarrierWait,
+    BlockExec,
+    ChunkRequest,
+    LockAcquire,
+    LockRelease,
+    Reduce,
+    SingleRequest,
+    SYNC_BARRIER,
+    SYNC_CHUNK,
+    SYNC_LOCK_ACQ,
+    SYNC_LOCK_REL,
+    SYNC_SINGLE,
+)
+from .flowcontrol import FlowControl
+from .observers import Observer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.omp import OmpRuntime
+    from ..runtime.thread import ThreadProgram
+
+
+class ThreadState(Enum):
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class _Thread:
+    __slots__ = ("tid", "gen", "state", "response")
+
+    def __init__(self, tid: int, gen) -> None:
+        self.tid = tid
+        self.gen = gen
+        self.state = ThreadState.RUNNABLE
+        self.response = None
+
+
+class _Lock:
+    __slots__ = ("owner", "waiters")
+
+    def __init__(self) -> None:
+        self.owner: Optional[int] = None
+        self.waiters: List[int] = []
+
+
+@dataclass
+class EngineResult:
+    """Summary of one functional execution."""
+
+    total_instructions: int
+    filtered_instructions: int
+    per_thread_total: List[int]
+    per_thread_filtered: List[int]
+    exec_counts: List[List[int]]
+    num_events: int
+    wait_policy: WaitPolicy
+    seed: int
+
+    @property
+    def library_instructions(self) -> int:
+        return self.total_instructions - self.filtered_instructions
+
+
+class ExecutionEngine:
+    """Interleaves thread generators and resolves synchronization."""
+
+    def __init__(
+        self,
+        program: Program,
+        thread_program: "ThreadProgram",
+        omp: "OmpRuntime",
+        nthreads: int,
+        *,
+        wait_policy: WaitPolicy = WaitPolicy.PASSIVE,
+        seed: int = 0,
+        observers: Sequence[Observer] = (),
+        flow_control: Optional[FlowControl] = None,
+        quantum_instructions: int = 600,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if nthreads < 1:
+            raise ExecutionError(f"need at least one thread, got {nthreads}")
+        self.program = program
+        self.thread_program = thread_program
+        self.omp = omp
+        self.nthreads = nthreads
+        self.wait_policy = wait_policy
+        self.seed = seed
+        self.observers = list(observers)
+        self.flow_control = flow_control
+        #: Scheduling quantum in *instructions* — batched block events make an
+        #: event-count quantum far too coarse for balanced interleavings.
+        self.quantum_instructions = quantum_instructions
+        self.max_events = max_events
+
+        self._threads = [
+            _Thread(tid, thread_program.thread_main(tid, nthreads))
+            for tid in range(nthreads)
+        ]
+        nblocks = program.num_blocks
+        self.exec_counts: List[List[int]] = [
+            [0] * nblocks for _ in range(nthreads)
+        ]
+        self.total_instructions = 0
+        self.filtered_instructions = 0
+        self.per_thread_total = [0] * nthreads
+        self.per_thread_filtered = [0] * nthreads
+        self.num_events = 0
+        self._gseq = 0
+        self._barriers: Dict[int, List[int]] = {}
+        self._locks: Dict[int, _Lock] = {}
+        self._chunks: Dict[int, int] = {}
+        self._singles: set = set()
+        self._rng = random.Random(seed)
+
+    # -- shared bookkeeping -------------------------------------------------
+
+    def _exec_block(self, tid: int, block: BasicBlock, repeat: int) -> None:
+        start = self.exec_counts[tid][block.bid]
+        self.exec_counts[tid][block.bid] = start + repeat
+        n = block.n_instr * repeat
+        self.total_instructions += n
+        self.per_thread_total[tid] += n
+        if not block.image.is_library:
+            self.filtered_instructions += n
+            self.per_thread_filtered[tid] += n
+        for ob in self.observers:
+            ob.on_block(tid, block, repeat, start)
+
+    def _sync(self, tid: int, kind: str, obj_id: int, response) -> None:
+        g = self._gseq
+        self._gseq = g + 1
+        for ob in self.observers:
+            ob.on_sync(tid, kind, obj_id, response, g)
+
+    # -- synchronization handling --------------------------------------------
+
+    def _block_thread(self, thread: _Thread) -> None:
+        thread.state = ThreadState.BLOCKED
+        if self.wait_policy is WaitPolicy.PASSIVE:
+            self._exec_block(thread.tid, self.omp.futex_wait, 1)
+
+    def _wake_thread(self, thread: _Thread) -> None:
+        thread.state = ThreadState.RUNNABLE
+        if self.wait_policy is WaitPolicy.PASSIVE:
+            self._exec_block(thread.tid, self.omp.futex_wake, 1)
+
+    def _handle_barrier(self, thread: _Thread, event: BarrierWait) -> None:
+        bid = event.barrier_id
+        arrived = self._barriers.setdefault(bid, [])
+        self._exec_block(thread.tid, self.omp.barrier_enter, 1)
+        self._sync(thread.tid, SYNC_BARRIER, bid, None)
+        arrived.append(thread.tid)
+        if len(arrived) == self.nthreads:
+            for tid2 in arrived:
+                self._sync(tid2, SYNC_BARRIER + "_rel", bid, None)
+                other = self._threads[tid2]
+                if other is not thread:
+                    self._wake_thread(other)
+                self._exec_block(tid2, self.omp.barrier_exit, 1)
+            del self._barriers[bid]
+        else:
+            self._block_thread(thread)
+
+    def _handle_lock_acquire(self, thread: _Thread, event: LockAcquire) -> None:
+        lock = self._locks.setdefault(event.lock_id, _Lock())
+        if lock.owner is None:
+            lock.owner = thread.tid
+            self._exec_block(thread.tid, self.omp.lock_acquire, 1)
+            self._sync(thread.tid, SYNC_LOCK_ACQ, event.lock_id, None)
+        else:
+            lock.waiters.append(thread.tid)
+            self._block_thread(thread)
+
+    def _handle_lock_release(self, thread: _Thread, event: LockRelease) -> None:
+        lock = self._locks.get(event.lock_id)
+        if lock is None or lock.owner != thread.tid:
+            raise ExecutionError(
+                f"thread {thread.tid} released lock {event.lock_id} it does "
+                f"not own"
+            )
+        self._exec_block(thread.tid, self.omp.lock_release, 1)
+        self._sync(thread.tid, SYNC_LOCK_REL, event.lock_id, None)
+        if lock.waiters:
+            next_tid = lock.waiters.pop(0)
+            lock.owner = next_tid
+            waiter = self._threads[next_tid]
+            self._wake_thread(waiter)
+            self._exec_block(next_tid, self.omp.lock_acquire, 1)
+            self._sync(next_tid, SYNC_LOCK_ACQ, event.lock_id, None)
+        else:
+            lock.owner = None
+
+    def _handle_chunk(self, thread: _Thread, event: ChunkRequest) -> None:
+        cursor = self._chunks.get(event.loop_id, 0)
+        self._exec_block(thread.tid, self.omp.chunk_fetch, 1)
+        if cursor >= event.total_iters:
+            response = -1
+        else:
+            response = cursor
+            self._chunks[event.loop_id] = cursor + event.chunk_size
+        self._sync(thread.tid, SYNC_CHUNK, event.loop_id, response)
+        thread.response = response
+
+    def _handle_single(self, thread: _Thread, event: SingleRequest) -> None:
+        granted = event.single_id not in self._singles
+        if granted:
+            self._singles.add(event.single_id)
+        self._sync(thread.tid, SYNC_SINGLE, event.single_id, granted)
+        thread.response = granted
+
+    def _dispatch(self, thread: _Thread, event) -> None:
+        if type(event) is BlockExec:
+            self._exec_block(thread.tid, event.block, event.repeat)
+        elif type(event) is BarrierWait:
+            self._handle_barrier(thread, event)
+        elif type(event) is LockAcquire:
+            self._handle_lock_acquire(thread, event)
+        elif type(event) is LockRelease:
+            self._handle_lock_release(thread, event)
+        elif type(event) is ChunkRequest:
+            self._handle_chunk(thread, event)
+        elif type(event) is SingleRequest:
+            self._handle_single(thread, event)
+        elif type(event) is Reduce:
+            self._exec_block(thread.tid, self.omp.reduce_combine, 1)
+        else:
+            raise ExecutionError(f"unknown event {event!r}")
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> EngineResult:
+        """Execute the program to completion and return the summary."""
+        threads = self._threads
+        spin_block = self.omp.spin_block
+        spin_iters = self.omp.spin.iterations_per_visit
+        active = self.wait_policy is WaitPolicy.ACTIVE
+        rng = self._rng
+
+        while True:
+            runnable = [t.tid for t in threads if t.state is ThreadState.RUNNABLE]
+            if not runnable:
+                if all(t.state is ThreadState.DONE for t in threads):
+                    break
+                blocked = [
+                    t.tid for t in threads if t.state is ThreadState.BLOCKED
+                ]
+                raise DeadlockError(
+                    f"all live threads blocked: {blocked} "
+                    f"(barriers={dict(self._barriers)!r})"
+                )
+
+            # Blocked threads under the ACTIVE policy burn spin iterations
+            # every scheduling round — host-schedule-dependent instruction
+            # counts, the noise source naive SimPoint trips over.
+            if active:
+                for t in threads:
+                    if t.state is ThreadState.BLOCKED:
+                        self._exec_block(t.tid, spin_block, spin_iters)
+
+            if self.flow_control is not None:
+                eligible = self.flow_control.eligible(
+                    self.per_thread_filtered, runnable
+                )
+            else:
+                eligible = runnable
+            tid = eligible[rng.randrange(len(eligible))]
+            thread = threads[tid]
+
+            jitter = 1.0 + rng.random() * 0.5
+            stop_at = self.per_thread_total[tid] + int(
+                self.quantum_instructions * jitter
+            )
+            while (
+                self.per_thread_total[tid] < stop_at
+                and thread.state is ThreadState.RUNNABLE
+            ):
+                try:
+                    event = thread.gen.send(thread.response)
+                except StopIteration:
+                    thread.state = ThreadState.DONE
+                    break
+                thread.response = None
+                self._dispatch(thread, event)
+                self.num_events += 1
+            if self.max_events is not None and self.num_events > self.max_events:
+                raise ExecutionError(
+                    f"exceeded max_events={self.max_events}; likely runaway "
+                    f"program"
+                )
+
+        for ob in self.observers:
+            ob.on_finish()
+        return EngineResult(
+            total_instructions=self.total_instructions,
+            filtered_instructions=self.filtered_instructions,
+            per_thread_total=list(self.per_thread_total),
+            per_thread_filtered=list(self.per_thread_filtered),
+            exec_counts=[list(row) for row in self.exec_counts],
+            num_events=self.num_events,
+            wait_policy=self.wait_policy,
+            seed=self.seed,
+        )

@@ -1,0 +1,121 @@
+"""Events yielded by thread generators to an execution driver.
+
+Thread programs (see :mod:`repro.runtime.thread`) are Python generators that
+yield these events.  Two drivers understand them: the functional
+:class:`~repro.exec_engine.engine.ExecutionEngine` (Pin's role) and the
+timing :class:`~repro.timing.mcsim.MultiCoreSimulator` (Sniper's role), so
+the exact same program runs under both — the paper's binary-driven setup.
+
+``BlockExec`` may carry ``repeat > 1``: the block (an innermost self-loop
+body) executes that many consecutive times.  Batching keeps Python event
+counts tractable at ref-input scales without changing observable semantics —
+drivers expand batches wherever per-iteration detail matters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..isa.blocks import BasicBlock
+
+
+class Event:
+    """Base class for generator events."""
+
+    __slots__ = ()
+
+
+class BlockExec(Event):
+    """Execute ``block`` ``repeat`` consecutive times."""
+
+    __slots__ = ("block", "repeat")
+
+    def __init__(self, block: "BasicBlock", repeat: int = 1) -> None:
+        self.block = block
+        self.repeat = repeat
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BlockExec({self.block.name}, x{self.repeat})"
+
+
+class BarrierWait(Event):
+    """Arrive at barrier ``barrier_id``; resume once all threads arrived."""
+
+    __slots__ = ("barrier_id",)
+
+    def __init__(self, barrier_id: int) -> None:
+        self.barrier_id = barrier_id
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BarrierWait({self.barrier_id})"
+
+
+class LockAcquire(Event):
+    """Acquire lock ``lock_id``; resume once owned."""
+
+    __slots__ = ("lock_id",)
+
+    def __init__(self, lock_id: int) -> None:
+        self.lock_id = lock_id
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LockAcquire({self.lock_id})"
+
+
+class LockRelease(Event):
+    """Release lock ``lock_id`` (must be held by this thread)."""
+
+    __slots__ = ("lock_id",)
+
+    def __init__(self, lock_id: int) -> None:
+        self.lock_id = lock_id
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LockRelease({self.lock_id})"
+
+
+class ChunkRequest(Event):
+    """Dynamic-schedule work request: driver replies with the next chunk
+    start index, or -1 when the iteration space is exhausted."""
+
+    __slots__ = ("loop_id", "chunk_size", "total_iters")
+
+    def __init__(self, loop_id: int, chunk_size: int, total_iters: int) -> None:
+        self.loop_id = loop_id
+        self.chunk_size = chunk_size
+        self.total_iters = total_iters
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ChunkRequest(loop={self.loop_id}, chunk={self.chunk_size})"
+
+
+class SingleRequest(Event):
+    """``omp single`` arbitration: driver replies True for exactly one
+    thread per ``single_id`` instance."""
+
+    __slots__ = ("single_id",)
+
+    def __init__(self, single_id: int) -> None:
+        self.single_id = single_id
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SingleRequest({self.single_id})"
+
+
+class Reduce(Event):
+    """OpenMP reduction combine: the driver executes the runtime's combine
+    block (library code, atomic update of the shared accumulator)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "Reduce()"
+
+
+#: Sync-event kind tags used by the recorder / replayer.
+SYNC_BARRIER = "barrier"
+SYNC_LOCK_ACQ = "lock_acq"
+SYNC_LOCK_REL = "lock_rel"
+SYNC_CHUNK = "chunk"
+SYNC_SINGLE = "single"

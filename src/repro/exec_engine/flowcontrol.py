@@ -1,0 +1,38 @@
+"""Flow control: equal forward progress during analysis.
+
+Section III-B of the paper: "we make sure that all threads in the application
+make the same amount of forward progress during analysis ... to stabilize the
+collected profile for any thread imbalance that is caused by external events
+on the host processor".  We implement the same window rule over *filtered*
+(application-image) instructions: a runnable thread may only be scheduled if
+it is within ``window`` filtered instructions of the slowest runnable thread.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class FlowControl:
+    """Window-based equal-progress policy over filtered instruction counts."""
+
+    def __init__(self, window: int = 1_500) -> None:
+        if window <= 0:
+            raise ValueError("flow-control window must be positive")
+        self.window = window
+
+    def eligible(
+        self,
+        filtered_per_thread: Sequence[int],
+        runnable: Sequence[int],
+    ) -> List[int]:
+        """Runnable thread ids allowed to make progress right now.
+
+        The slowest runnable thread is always eligible, so this never
+        introduces a livelock on its own.
+        """
+        if not runnable:
+            return []
+        floor = min(filtered_per_thread[tid] for tid in runnable)
+        limit = floor + self.window
+        return [tid for tid in runnable if filtered_per_thread[tid] <= limit]

@@ -1,0 +1,82 @@
+"""Observer interface for execution drivers.
+
+Both the functional engine and the timing simulator publish the same two
+callbacks, so profiling tools (BBV collection, marker counting, recording)
+are driver-agnostic — like pintools that work under both Pin and PinPlay.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from ..isa.blocks import BasicBlock
+
+
+class Observer:
+    """Base observer; subclasses override what they need."""
+
+    def on_block(
+        self, tid: int, block: BasicBlock, repeat: int, start_index: int
+    ) -> None:
+        """``block`` executed ``repeat`` times on ``tid``; ``start_index`` is
+        the thread's prior execution count of this block."""
+
+    def on_sync(
+        self, tid: int, kind: str, obj_id: int, response, gseq: int
+    ) -> None:
+        """A synchronization action with global sequence number ``gseq``."""
+
+    def on_finish(self) -> None:
+        """Execution completed."""
+
+
+class InstructionCounter(Observer):
+    """Counts instructions, split by image and by thread."""
+
+    def __init__(self, nthreads: int) -> None:
+        self.nthreads = nthreads
+        self.total = 0
+        self.filtered = 0  # application (non-library) instructions
+        self.per_thread_total = [0] * nthreads
+        self.per_thread_filtered = [0] * nthreads
+        self.per_block: Counter = Counter()
+
+    def on_block(
+        self, tid: int, block: BasicBlock, repeat: int, start_index: int
+    ) -> None:
+        n = block.n_instr * repeat
+        self.total += n
+        self.per_thread_total[tid] += n
+        self.per_block[block.bid] += repeat
+        if not block.image.is_library:
+            self.filtered += n
+            self.per_thread_filtered[tid] += n
+
+    @property
+    def library_instructions(self) -> int:
+        return self.total - self.filtered
+
+
+class TraceCollector(Observer):
+    """Collects the raw per-thread event stream (tests and DCFG building).
+
+    ``limit`` guards against accidentally collecting an unbounded trace.
+    """
+
+    def __init__(self, limit: Optional[int] = 5_000_000) -> None:
+        self.blocks: List[Tuple[int, int, int]] = []  # (tid, bid, repeat)
+        self.syncs: List[Tuple[int, str, int, object, int]] = []
+        self.limit = limit
+
+    def on_block(
+        self, tid: int, block: BasicBlock, repeat: int, start_index: int
+    ) -> None:
+        self.blocks.append((tid, block.bid, repeat))
+        if self.limit is not None and len(self.blocks) > self.limit:
+            raise MemoryError("TraceCollector limit exceeded")
+
+    def on_sync(
+        self, tid: int, kind: str, obj_id: int, response, gseq: int
+    ) -> None:
+        self.syncs.append((tid, kind, obj_id, response, gseq))

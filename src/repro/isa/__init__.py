@@ -1,0 +1,35 @@
+"""Static program model: instructions, basic blocks, images, routines.
+
+This package is the reproduction's stand-in for a compiled x86 binary.  A
+:class:`~repro.isa.image.Program` is a set of images (the main executable and
+shared libraries such as the OpenMP runtime), each holding routines made of
+basic blocks with assigned PCs.  The dynamic side (who executes what, when)
+lives in :mod:`repro.runtime` and :mod:`repro.exec_engine`.
+"""
+
+from .instructions import (
+    InstrKind,
+    Instruction,
+    AddressGen,
+    StridedAccess,
+    RandomAccess,
+    PointerChaseAccess,
+)
+from .blocks import BasicBlock, BranchSpec
+from .image import Image, Routine, Program
+from .builder import ProgramBuilder
+
+__all__ = [
+    "InstrKind",
+    "Instruction",
+    "AddressGen",
+    "StridedAccess",
+    "RandomAccess",
+    "PointerChaseAccess",
+    "BasicBlock",
+    "BranchSpec",
+    "Image",
+    "Routine",
+    "Program",
+    "ProgramBuilder",
+]

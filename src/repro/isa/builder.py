@@ -1,0 +1,133 @@
+"""A small DSL for constructing static programs.
+
+Workload models (:mod:`repro.workloads`) and the OpenMP runtime image
+(:mod:`repro.runtime.omp`) build their code through this builder rather than
+hand-assembling :class:`~repro.isa.image.Program` objects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ProgramStructureError
+from .blocks import BasicBlock, BranchSpec
+from .image import (
+    IMAGE_SPACING,
+    LIBRARY_IMAGE_BASE,
+    MAIN_IMAGE_BASE,
+    Image,
+    Program,
+    Routine,
+)
+from .instructions import AddressGen, Instruction, InstrKind
+
+
+class RoutineBuilder:
+    """Accumulates blocks for one routine."""
+
+    def __init__(self, program_builder: "ProgramBuilder", routine: Routine):
+        self._pb = program_builder
+        self._routine = routine
+
+    @property
+    def name(self) -> str:
+        return self._routine.name
+
+    def block(
+        self,
+        name: str,
+        *,
+        ialu: int = 0,
+        fp: int = 0,
+        loads: Sequence[AddressGen] = (),
+        stores: Sequence[AddressGen] = (),
+        atomics: Sequence[AddressGen] = (),
+        branch: BranchSpec = BranchSpec(),
+        loop_header: bool = False,
+        extra_branches: int = 0,
+    ) -> BasicBlock:
+        """Create a block from an instruction mix and append it.
+
+        The block's instructions are laid out as: ialu ops interleaved with
+        loads/stores/fp, optional data-dependent branches, then the
+        terminating control transfer implied by ``branch``.
+        """
+        instrs: List[Instruction] = []
+        for gen in loads:
+            instrs.append(Instruction(InstrKind.LOAD, mem=gen))
+        for _ in range(fp):
+            instrs.append(Instruction(InstrKind.FP, latency=3))
+        for _ in range(ialu):
+            instrs.append(Instruction(InstrKind.IALU))
+        for gen in stores:
+            instrs.append(Instruction(InstrKind.STORE, mem=gen))
+        for gen in atomics:
+            instrs.append(Instruction(InstrKind.ATOMIC, mem=gen, latency=8))
+        for _ in range(extra_branches):
+            instrs.append(Instruction(InstrKind.BRANCH))
+        if branch.kind != "none":
+            kind = {
+                "call": InstrKind.CALL,
+                "ret": InstrKind.RET,
+            }.get(branch.kind, InstrKind.BRANCH)
+            instrs.append(Instruction(kind))
+        if not instrs:
+            instrs.append(Instruction(InstrKind.NOP))
+        blk = BasicBlock(
+            f"{self._routine.name}.{name}",
+            instrs,
+            branch=branch,
+            is_loop_header=loop_header,
+        )
+        self._routine.blocks.append(blk)
+        return blk
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` with a main image and optional libraries."""
+
+    def __init__(self, name: str) -> None:
+        self._program = Program(name)
+        self._main = Image(name, MAIN_IMAGE_BASE, is_library=False)
+        self._program.add_image(self._main)
+        self._num_libraries = 0
+        self._finalized: Optional[Program] = None
+
+    def library(self, name: str) -> "LibraryBuilder":
+        """Add a shared-library image (e.g. the OpenMP runtime)."""
+        base = LIBRARY_IMAGE_BASE + self._num_libraries * IMAGE_SPACING
+        image = Image(name, base, is_library=True)
+        self._program.add_image(image)
+        self._num_libraries += 1
+        return LibraryBuilder(self, image)
+
+    def routine(self, name: str) -> RoutineBuilder:
+        """Add a routine to the main image."""
+        routine = Routine(name, self._main.name)
+        self._main.add_routine(routine)
+        return RoutineBuilder(self, routine)
+
+    def finalize(self) -> Program:
+        """Lay out all images and return the immutable program."""
+        if self._finalized is not None:
+            raise ProgramStructureError("builder already finalized")
+        self._program.finalize()
+        self._finalized = self._program
+        return self._program
+
+
+class LibraryBuilder:
+    """Adds routines to a library image."""
+
+    def __init__(self, program_builder: ProgramBuilder, image: Image) -> None:
+        self._pb = program_builder
+        self._image = image
+
+    @property
+    def name(self) -> str:
+        return self._image.name
+
+    def routine(self, name: str) -> RoutineBuilder:
+        routine = Routine(name, self._image.name)
+        self._image.add_routine(routine)
+        return RoutineBuilder(self._pb, routine)

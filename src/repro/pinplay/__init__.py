@@ -1,0 +1,28 @@
+"""Record-and-replay substrate (PinPlay's role in the paper).
+
+A :class:`~repro.pinplay.pinball.Pinball` captures one whole-program
+execution: per-thread logs of every executed basic block (application *and*
+library code, spin loops included) plus a global total order over
+synchronization actions.  Replaying a pinball reproduces the execution
+deterministically — the paper's "constrained" mode used for analysis — and
+the recorded sync order is what the constrained timing simulation must
+honour, producing the artificial stalls discussed in Sec. V-A.1.
+"""
+
+from .pinball import Pinball, RegionPinball
+from .recorder import Recorder, record_execution
+from .replayer import ConstrainedReplayer
+from .region import RegionCut, extract_region_pinballs
+from .elfie import ELFie, pinball_to_elfie
+
+__all__ = [
+    "Pinball",
+    "RegionPinball",
+    "Recorder",
+    "record_execution",
+    "ConstrainedReplayer",
+    "RegionCut",
+    "extract_region_pinballs",
+    "ELFie",
+    "pinball_to_elfie",
+]

@@ -1,0 +1,214 @@
+"""ELFies: executable region checkpoints (Patil et al., CGO 2021).
+
+The paper (Sec. II, "How to simulate") names two routes to *unconstrained*
+region simulation: binary-driven ``(PC, count)`` regions, and converting a
+region pinball into an executable checkpoint — an *ELFie* — that runs like
+a regular program, freeing the threads from the recorded shared-memory
+order.  The paper's evaluation uses the former; this module implements the
+latter as the natural extension.
+
+Our ELFie materializes a region pinball back into *live thread programs*:
+each thread's remaining work (worker-loop iterations, synchronization
+events) is reconstructed from its log, and the synchronization objects are
+re-armed so the timing simulator resolves barriers/locks/chunking itself —
+unconstrained — starting from the checkpointed execution-counter state for
+exact address-stream resumption.  Spin/futex library entries recorded in
+the log are *dropped* (an ELFie re-executes synchronization natively rather
+than replaying the recorded waiting), which is precisely what removes the
+constrained-replay distortions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ReplayError
+from ..exec_engine.events import (
+    BarrierWait,
+    BlockExec,
+    SYNC_BARRIER,
+    SYNC_CHUNK,
+    SYNC_LOCK_ACQ,
+    SYNC_LOCK_REL,
+    SYNC_SINGLE,
+)
+from ..isa.image import Program
+from ..runtime.omp import OmpRuntime
+from .pinball import RegionPinball
+
+
+@dataclass
+class ELFie:
+    """An executable region checkpoint.
+
+    ``thread_codes`` hold, per thread, the reconstructed instruction-level
+    work as ``("b", bid, repeat)`` / ``("sync", kind, obj_id)`` entries;
+    ``start_exec_counts`` is the architectural-state snapshot (execution
+    counters determine all address streams and branch outcomes);
+    ``detail_positions`` marks where warmup ends per thread.
+    """
+
+    program_name: str
+    nthreads: int
+    region_id: int
+    thread_codes: List[List[tuple]]
+    start_exec_counts: List[List[int]]
+    detail_positions: List[int]
+
+    @property
+    def num_entries(self) -> int:
+        return sum(len(code) for code in self.thread_codes)
+
+    def thread_main(self, program: Program, tid: int) -> Iterator[object]:
+        """The generator one thread runs when the ELFie executes.
+
+        Yields the standard event protocol, so the ELFie runs under the
+        same drivers as a regular application binary.
+        """
+        from ..exec_engine.events import (
+            ChunkRequest,
+            LockAcquire,
+            LockRelease,
+            SingleRequest,
+        )
+
+        for entry in self.thread_codes[tid]:
+            if entry[0] == "b":
+                yield BlockExec(program.blocks[entry[1]], entry[2])
+            else:
+                _tag, kind, obj_id = entry
+                if kind == SYNC_BARRIER:
+                    yield BarrierWait(obj_id)
+                elif kind == SYNC_LOCK_ACQ:
+                    yield LockAcquire(obj_id)
+                elif kind == SYNC_LOCK_REL:
+                    yield LockRelease(obj_id)
+                elif kind == SYNC_SINGLE:
+                    # Re-arbitrated at run time; the response is ignored
+                    # because the executed work is already in the code.
+                    yield SingleRequest(obj_id)
+                elif kind == SYNC_CHUNK:
+                    # Chunks were resolved at record time; an ELFie replays
+                    # the thread's own assignment (the work is inlined), so
+                    # nothing is re-requested.
+                    continue
+
+
+def pinball_to_elfie(
+    program: Program,
+    omp: OmpRuntime,
+    pinball: RegionPinball,
+) -> ELFie:
+    """Convert a region pinball into an executable checkpoint.
+
+    Library-image block entries (spin iterations, futex paths, barrier
+    bookkeeping) are stripped: the ELFie re-executes synchronization
+    natively.  Sync *actions* that shape control flow are kept: barrier
+    arrivals become live barriers (re-keyed per ordinal so partial barriers
+    at the region edges stay consistent), lock acquire/release pairs become
+    live lock operations.
+    """
+    if not isinstance(pinball, RegionPinball):
+        raise ReplayError("ELFie conversion expects a RegionPinball")
+    lib_bids = {
+        block.bid for block in program.blocks if block.image.is_library
+    }
+    thread_codes: List[List[tuple]] = []
+    for tid in range(pinball.nthreads):
+        code: List[tuple] = []
+        held_locks: Dict[int, bool] = {}
+        for entry in pinball.logs[tid]:
+            if entry[0] == "b":
+                if entry[1] in lib_bids:
+                    continue
+                if code and code[-1][0] == "b" and code[-1][1] == entry[1]:
+                    code[-1] = ("b", entry[1], code[-1][2] + entry[2])
+                else:
+                    code.append(("b", entry[1], entry[2]))
+            else:
+                _s, kind, obj_id, _response, _gseq = entry
+                if kind == SYNC_BARRIER:
+                    code.append(("sync", SYNC_BARRIER, obj_id))
+                elif kind == SYNC_LOCK_ACQ:
+                    held_locks[obj_id] = True
+                    code.append(("sync", SYNC_LOCK_ACQ, obj_id))
+                elif kind == SYNC_LOCK_REL:
+                    if held_locks.pop(obj_id, False):
+                        code.append(("sync", SYNC_LOCK_REL, obj_id))
+                    else:
+                        # Release without a recorded acquire (cut mid-
+                        # critical-section): drop it, the lock was never
+                        # taken in the ELFie.
+                        continue
+                # barrier releases, chunk grants, single grants are
+                # record-time artifacts; they are re-resolved live.
+        # A lock still held at the region edge must be released or the
+        # ELFie deadlocks on itself at the next acquire.
+        for obj_id, held in held_locks.items():
+            if held:
+                code.append(("sync", SYNC_LOCK_REL, obj_id))
+        thread_codes.append(code)
+
+    # Re-key barrier ordinals per thread so every thread agrees on barrier
+    # instance identity even when the cut clipped some arrivals.
+    _rekey_barriers(thread_codes)
+
+    detail_positions = []
+    for tid in range(pinball.nthreads):
+        # Map the pinball's detail position (log index) onto the stripped
+        # code: count surviving entries before it.
+        cut = pinball.detail_positions[tid] if pinball.detail_positions else 0
+        survived = 0
+        seen = 0
+        for entry in pinball.logs[tid]:
+            if seen >= cut:
+                break
+            seen += 1
+            if entry[0] == "b":
+                if entry[1] not in lib_bids:
+                    survived += 1
+            elif entry[1] in (SYNC_BARRIER, SYNC_LOCK_ACQ, SYNC_LOCK_REL):
+                survived += 1
+        detail_positions.append(min(survived, len(thread_codes[tid])))
+
+    return ELFie(
+        program_name=pinball.program_name,
+        nthreads=pinball.nthreads,
+        region_id=pinball.region_id,
+        thread_codes=thread_codes,
+        start_exec_counts=[list(r) for r in pinball.start_exec_counts],
+        detail_positions=detail_positions,
+    )
+
+
+def _rekey_barriers(thread_codes: List[List[tuple]]) -> None:
+    """Renumber barrier ids by per-thread arrival ordinal.
+
+    Within a region, every thread passes the same barrier sequence; the
+    n-th barrier arrival of each thread is the same dynamic barrier, so the
+    ordinal is a valid shared key (and robust to clipped ids).  A thread
+    with fewer arrivals than the others simply stops before the extra
+    barriers, which then can never release — so all threads are truncated
+    to the minimum arrival count.
+    """
+    counts = []
+    for code in thread_codes:
+        counts.append(
+            sum(1 for e in code if e[0] == "sync" and e[1] == SYNC_BARRIER)
+        )
+    if not counts:
+        return
+    limit = min(counts)
+    for tid, code in enumerate(thread_codes):
+        rekeyed: List[tuple] = []
+        ordinal = 0
+        for entry in code:
+            if entry[0] == "sync" and entry[1] == SYNC_BARRIER:
+                if ordinal >= limit:
+                    break
+                rekeyed.append(("sync", SYNC_BARRIER, ordinal))
+                ordinal += 1
+            else:
+                rekeyed.append(entry)
+        thread_codes[tid] = rekeyed

@@ -1,0 +1,73 @@
+"""Recording executions into pinballs."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..exec_engine.engine import EngineResult, ExecutionEngine
+from ..exec_engine.flowcontrol import FlowControl
+from ..exec_engine.observers import Observer
+from ..isa.image import Program
+from ..policy import WaitPolicy
+from ..runtime.omp import OmpRuntime
+from ..runtime.thread import ThreadProgram
+from .pinball import Pinball, append_block
+
+
+class Recorder(Observer):
+    """Observer that captures per-thread logs suitable for a pinball."""
+
+    def __init__(self, nthreads: int) -> None:
+        self.logs = [[] for _ in range(nthreads)]
+
+    def on_block(self, tid, block, repeat, start_index) -> None:
+        # Only library blocks (spin runs, sync paths) are merged: worker
+        # entries keep their emitted batch granularity so replay interleaves
+        # exactly as finely as the original run did.
+        append_block(self.logs[tid], block.bid, repeat,
+                     mergeable=block.image.is_library)
+
+    def on_sync(self, tid, kind, obj_id, response, gseq) -> None:
+        self.logs[tid].append(("s", kind, obj_id, response, gseq))
+
+
+def record_execution(
+    program: Program,
+    thread_program: ThreadProgram,
+    omp: OmpRuntime,
+    nthreads: int,
+    *,
+    wait_policy: WaitPolicy = WaitPolicy.PASSIVE,
+    seed: int = 0,
+    flow_control: Optional[FlowControl] = FlowControl(),
+    extra_observers: Tuple[Observer, ...] = (),
+) -> Tuple[Pinball, EngineResult]:
+    """Run the program once under the functional engine and record it.
+
+    Flow control is on by default, as in the paper's profiling runs: the
+    recorded execution is balanced so the profile is stable against host
+    scheduling noise.
+    """
+    recorder = Recorder(nthreads)
+    engine = ExecutionEngine(
+        program,
+        thread_program,
+        omp,
+        nthreads,
+        wait_policy=wait_policy,
+        seed=seed,
+        observers=(recorder, *extra_observers),
+        flow_control=flow_control,
+    )
+    result = engine.run()
+    pinball = Pinball(
+        program_name=program.name,
+        nthreads=nthreads,
+        wait_policy=wait_policy.value,
+        seed=seed,
+        logs=recorder.logs,
+        total_instructions=result.total_instructions,
+        filtered_instructions=result.filtered_instructions,
+        metadata={"num_events": result.num_events},
+    )
+    return pinball, result

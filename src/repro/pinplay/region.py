@@ -1,0 +1,214 @@
+"""Cutting region checkpoints out of a whole-program pinball.
+
+The paper generates region pinballs "with a large enough warmup region added
+to the representative region" (Sec. V-A.1) so checkpoint-driven simulation
+starts from warmed microarchitectural state.  We replay the whole-program
+pinball once and, for every requested region, capture three cut points per
+thread: warmup start (a filtered-instruction coordinate), detail start (the
+region's start marker), and detail end (the end marker).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import RegionError
+from ..isa.image import Program
+from ..profiling.markers import Marker
+from .pinball import Pinball, RegionPinball
+from .replayer import ConstrainedReplayer
+
+# Cut stages.
+_AWAIT_WARMUP = 0
+_AWAIT_START = 1
+_AWAIT_END = 2
+_DONE = 3
+
+
+@dataclass(frozen=True)
+class RegionCut:
+    """One region to extract.
+
+    ``start``/``end`` of ``None`` mean program start/end.  ``warmup_filtered``
+    is the global filtered-instruction coordinate at which the warmup prefix
+    begins (clamped to the region start by construction).
+    """
+
+    region_id: int
+    start: Optional[Marker]
+    end: Optional[Marker]
+    warmup_filtered: int = 0
+
+
+class _CutState:
+    __slots__ = (
+        "cut", "stage", "warm_pos", "warm_counts", "warm_total",
+        "warm_filtered", "detail_pos", "end_pos", "detail_total",
+        "detail_filtered", "end_total", "end_filtered",
+    )
+
+    def __init__(self, cut: RegionCut) -> None:
+        self.cut = cut
+        self.stage = _AWAIT_WARMUP
+        self.warm_pos: Optional[List[int]] = None
+        self.warm_counts: Optional[List[List[int]]] = None
+        self.warm_total = 0
+        self.warm_filtered = 0
+        self.detail_pos: Optional[List[int]] = None
+        self.detail_total = 0
+        self.detail_filtered = 0
+        self.end_pos: Optional[List[int]] = None
+        self.end_total = 0
+        self.end_filtered = 0
+
+
+def extract_region_pinballs(
+    program: Program,
+    pinball: Pinball,
+    cuts: Sequence[RegionCut],
+) -> List[RegionPinball]:
+    """Extract one :class:`RegionPinball` per :class:`RegionCut`.
+
+    A single constrained replay of ``pinball`` locates every cut point, so
+    extraction cost is one replay regardless of the number of regions.
+    """
+    states = [_CutState(cut) for cut in cuts]
+    marker_pcs = set()
+    for cut in cuts:
+        for marker in (cut.start, cut.end):
+            if marker is not None:
+                marker_pcs.add(marker.pc)
+    bid_to_pc = {program.block_at(pc).bid: pc for pc in marker_pcs}
+    marker_counts: Dict[int, int] = {pc: 0 for pc in marker_pcs}
+
+    replayer = ConstrainedReplayer(program, pinball)
+
+    def hook(tid: int, pos: int, entry) -> None:
+        filtered = replayer.filtered_instructions
+        total = replayer.total_instructions
+        positions = replayer.positions
+        for state in states:
+            if (
+                state.stage == _AWAIT_WARMUP
+                and filtered >= state.cut.warmup_filtered
+            ):
+                state.warm_pos = list(positions)
+                state.warm_counts = copy.deepcopy(replayer.exec_counts)
+                state.warm_total = total
+                state.warm_filtered = filtered
+                state.stage = _AWAIT_START
+                if state.cut.start is None:
+                    state.detail_pos = list(positions)
+                    state.detail_total = total
+                    state.detail_filtered = filtered
+                    state.stage = _AWAIT_END
+
+        if entry[0] != "b":
+            return
+        pc = bid_to_pc.get(entry[1])
+        if pc is None:
+            return
+        before = marker_counts[pc]
+        repeat = entry[2]
+        marker_counts[pc] = before + repeat
+        for state in states:
+            if state.stage == _AWAIT_START:
+                m = state.cut.start
+                if m is not None and m.pc == pc and before <= m.count < before + repeat:
+                    if m.count != before:
+                        raise RegionError(
+                            f"start marker {m} falls inside a batched entry"
+                        )
+                    state.detail_pos = list(positions)
+                    state.detail_total = total
+                    state.detail_filtered = filtered
+                    state.stage = _AWAIT_END
+            if state.stage == _AWAIT_END:
+                m = state.cut.end
+                if m is not None and m.pc == pc and before <= m.count < before + repeat:
+                    if m.count != before:
+                        raise RegionError(
+                            f"end marker {m} falls inside a batched entry"
+                        )
+                    state.end_pos = list(positions)
+                    state.end_total = total
+                    state.end_filtered = filtered
+                    state.stage = _DONE
+
+    replayer.entry_hook = hook
+    replayer.run()
+
+    # Finalize open-ended cuts at program end.
+    log_ends = [len(log) for log in pinball.logs]
+    for state in states:
+        if state.stage == _AWAIT_WARMUP:
+            raise RegionError(
+                f"region {state.cut.region_id}: warmup coordinate "
+                f"{state.cut.warmup_filtered} beyond end of execution"
+            )
+        if state.stage == _AWAIT_START:
+            raise RegionError(
+                f"region {state.cut.region_id}: start marker "
+                f"{state.cut.start} never reached"
+            )
+        if state.stage == _AWAIT_END:
+            if state.cut.end is not None:
+                raise RegionError(
+                    f"region {state.cut.region_id}: end marker "
+                    f"{state.cut.end} never reached"
+                )
+            state.end_pos = log_ends
+            state.end_total = replayer.total_instructions
+            state.end_filtered = replayer.filtered_instructions
+
+    return [_build_region_pinball(pinball, state) for state in states]
+
+
+def _build_region_pinball(pinball: Pinball, state: _CutState) -> RegionPinball:
+    assert state.warm_pos is not None and state.detail_pos is not None
+    assert state.end_pos is not None and state.warm_counts is not None
+    logs = [
+        list(pinball.logs[tid][state.warm_pos[tid]:state.end_pos[tid]])
+        for tid in range(pinball.nthreads)
+    ]
+    _renumber_gseq(logs)
+    return RegionPinball(
+        program_name=pinball.program_name,
+        nthreads=pinball.nthreads,
+        wait_policy=pinball.wait_policy,
+        seed=pinball.seed,
+        logs=logs,
+        total_instructions=state.end_total - state.warm_total,
+        filtered_instructions=state.end_filtered - state.warm_filtered,
+        metadata={
+            "warmup_total": state.detail_total - state.warm_total,
+            "warmup_filtered": state.detail_filtered - state.warm_filtered,
+            "detail_total": state.end_total - state.detail_total,
+            "detail_filtered": state.end_filtered - state.detail_filtered,
+            "start": None if state.cut.start is None else
+                     (state.cut.start.pc, state.cut.start.count),
+            "end": None if state.cut.end is None else
+                   (state.cut.end.pc, state.cut.end.count),
+        },
+        start_exec_counts=state.warm_counts,
+        detail_positions=[
+            state.detail_pos[tid] - state.warm_pos[tid]
+            for tid in range(pinball.nthreads)
+        ],
+        region_id=state.cut.region_id,
+    )
+
+
+def _renumber_gseq(logs: List[List[tuple]]) -> None:
+    """Densely renumber sync sequence numbers, preserving relative order."""
+    entries = []
+    for tid, log in enumerate(logs):
+        for idx, entry in enumerate(log):
+            if entry[0] == "s":
+                entries.append((entry[4], tid, idx))
+    entries.sort()
+    for new_gseq, (_, tid, idx) in enumerate(entries):
+        kind, obj_id, response = logs[tid][idx][1:4]
+        logs[tid][idx] = ("s", kind, obj_id, response, new_gseq)

@@ -1,0 +1,143 @@
+"""Constrained (deterministic) replay of pinballs.
+
+Replay re-executes the recorded per-thread logs while enforcing the recorded
+global order over synchronization actions (``gseq``), like PinPlay enforcing
+recorded shared-memory access order.  Scheduling between sync points is
+deterministic: always advance the thread with the least filtered progress —
+the flow-controlled balance the profile was recorded with.
+
+Every analysis pass of the LoopPoint pipeline (BBV profiling, DCFG
+construction, slicing) runs on a replay, so analysis is reproducible no
+matter how noisy the original host was — requirement (1a) of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ReplayError
+from ..exec_engine.engine import EngineResult
+from ..exec_engine.observers import Observer
+from ..isa.image import Program
+from ..policy import WaitPolicy
+from .pinball import Pinball
+
+
+class ConstrainedReplayer:
+    """Replays a :class:`Pinball` deterministically."""
+
+    def __init__(
+        self,
+        program: Program,
+        pinball: Pinball,
+        *,
+        observers: Sequence[Observer] = (),
+        quantum_instructions: int = 600,
+        initial_exec_counts: Optional[List[List[int]]] = None,
+        entry_hook=None,
+    ) -> None:
+        if pinball.program_name != program.name:
+            raise ReplayError(
+                f"pinball was recorded for {pinball.program_name!r}, "
+                f"not {program.name!r}"
+            )
+        self.program = program
+        self.pinball = pinball
+        self.observers = list(observers)
+        #: Scheduling quantum in instructions (mirrors the engine's).
+        self.quantum_instructions = quantum_instructions
+        #: Called as ``entry_hook(tid, pos, entry)`` immediately *before* an
+        #: entry is processed; used by region extraction to find cut points.
+        self.entry_hook = entry_hook
+        #: Per-thread index of the next unprocessed log entry.
+        self.positions: List[int] = [0] * pinball.nthreads
+        nthreads = pinball.nthreads
+        nblocks = program.num_blocks
+        if initial_exec_counts is not None:
+            if len(initial_exec_counts) != nthreads:
+                raise ReplayError("initial_exec_counts thread-count mismatch")
+            self.exec_counts = [list(row) for row in initial_exec_counts]
+        else:
+            self.exec_counts = [[0] * nblocks for _ in range(nthreads)]
+        self.total_instructions = 0
+        self.filtered_instructions = 0
+        self.per_thread_total = [0] * nthreads
+        self.per_thread_filtered = [0] * nthreads
+        self.num_events = 0
+
+    def _exec_block(self, tid: int, bid: int, repeat: int) -> None:
+        block = self.program.blocks[bid]
+        start = self.exec_counts[tid][bid]
+        self.exec_counts[tid][bid] = start + repeat
+        n = block.n_instr * repeat
+        self.total_instructions += n
+        self.per_thread_total[tid] += n
+        if not block.image.is_library:
+            self.filtered_instructions += n
+            self.per_thread_filtered[tid] += n
+        for ob in self.observers:
+            ob.on_block(tid, block, repeat, start)
+
+    def run(self) -> EngineResult:
+        """Replay to completion, feeding observers; returns the summary."""
+        logs = self.pinball.logs
+        nthreads = self.pinball.nthreads
+        pos = self.positions
+        hook = self.entry_hook
+        ends = [len(log) for log in logs]
+        next_gseq = 0
+        live = set(tid for tid in range(nthreads) if pos[tid] < ends[tid])
+
+        while live:
+            # Deterministic balance: least filtered progress first.
+            candidates = sorted(
+                live, key=lambda t: (self.per_thread_filtered[t], t)
+            )
+            progressed = False
+            for tid in candidates:
+                log = logs[tid]
+                stop_at = self.per_thread_total[tid] + self.quantum_instructions
+                while self.per_thread_total[tid] < stop_at and pos[tid] < ends[tid]:
+                    entry = log[pos[tid]]
+                    if entry[0] == "b":
+                        if hook is not None:
+                            hook(tid, pos[tid], entry)
+                        self._exec_block(tid, entry[1], entry[2])
+                    else:
+                        _, kind, obj_id, response, gseq = entry
+                        if gseq != next_gseq:
+                            break  # not this thread's turn at the sync order
+                        if hook is not None:
+                            hook(tid, pos[tid], entry)
+                        next_gseq += 1
+                        for ob in self.observers:
+                            ob.on_sync(tid, kind, obj_id, response, gseq)
+                    pos[tid] += 1
+                    self.num_events += 1
+                    progressed = True
+                if pos[tid] >= ends[tid]:
+                    live.discard(tid)
+                if progressed:
+                    break
+            if not progressed and live:
+                waiting = {
+                    t: logs[t][pos[t]][4] for t in live
+                    if logs[t][pos[t]][0] == "s"
+                }
+                raise ReplayError(
+                    f"replay stuck: next_gseq={next_gseq}, thread sync heads "
+                    f"{waiting} — corrupt or truncated pinball"
+                )
+
+        for ob in self.observers:
+            ob.on_finish()
+        return EngineResult(
+            total_instructions=self.total_instructions,
+            filtered_instructions=self.filtered_instructions,
+            per_thread_total=list(self.per_thread_total),
+            per_thread_filtered=list(self.per_thread_filtered),
+            exec_counts=[list(row) for row in self.exec_counts],
+            num_events=self.num_events,
+            wait_policy=WaitPolicy(self.pinball.wait_policy),
+            seed=self.pinball.seed,
+        )

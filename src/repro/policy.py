@@ -1,0 +1,34 @@
+"""Execution-environment policies shared by all drivers.
+
+Kept free of package dependencies so both the runtime layer and the
+execution drivers can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class WaitPolicy(Enum):
+    """``OMP_WAIT_POLICY``: spin (ACTIVE) or sleep (PASSIVE) while waiting."""
+
+    ACTIVE = "active"
+    PASSIVE = "passive"
+
+
+@dataclass(frozen=True)
+class SpinParams:
+    """How drivers expand waiting time into spin-loop executions."""
+
+    #: Spin iterations emitted per scheduler visit to a blocked thread
+    #: (functional engine).
+    iterations_per_visit: int = 16
+    #: Simulated cycles one spin iteration takes (timing simulator).
+    cycles_per_iteration: int = 6
+    #: Extra resume latency after a futex wake (PASSIVE), in cycles.  A real
+    #: futex round-trip is microseconds; we scale it with the rest of the
+    #: reproduction so it keeps the same proportion to a slice's runtime.
+    futex_wake_cycles: int = 250
+    #: Resume latency after a spin observes the release (ACTIVE), in cycles.
+    spin_resume_cycles: int = 50

@@ -1,0 +1,22 @@
+"""Profiling: BBV collection, (PC, count) markers, loop-aligned slicing."""
+
+from .markers import Marker, MarkerTracker
+from .filters import FilterPolicy
+from .bbv import BBVCollector
+from .slicer import LoopAlignedSlicer, Slice
+from .profile_result import ProfileData, profile_pinball
+from .stability import RegionStability, StabilityReport, analyze_stability
+
+__all__ = [
+    "Marker",
+    "MarkerTracker",
+    "FilterPolicy",
+    "BBVCollector",
+    "LoopAlignedSlicer",
+    "Slice",
+    "ProfileData",
+    "profile_pinball",
+    "RegionStability",
+    "StabilityReport",
+    "analyze_stability",
+]

@@ -1,0 +1,63 @@
+"""Basic Block Vectors, per thread, concatenated globally.
+
+Section III-B of the paper: per-region BBVs of each thread are concatenated
+into a longer global BBV so that regions with the same total work but
+different thread balance land in different clusters (heterogeneous apps like
+657.xz_s.2).  Counts are instruction-weighted, as in SimPoint, and library
+(spin/synchronization) code is filtered out entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ProfilingError
+from ..isa.blocks import BasicBlock
+from .filters import FilterPolicy
+
+
+class BBVCollector:
+    """Accumulates one interval's concatenated per-thread BBV."""
+
+    def __init__(
+        self,
+        nthreads: int,
+        nblocks: int,
+        filter_policy: Optional[FilterPolicy] = None,
+    ) -> None:
+        if nthreads < 1 or nblocks < 1:
+            raise ProfilingError("need nthreads >= 1 and nblocks >= 1")
+        self.nthreads = nthreads
+        self.nblocks = nblocks
+        self.filter_policy = filter_policy or FilterPolicy()
+        self._matrix = np.zeros((nthreads, nblocks), dtype=np.float64)
+        self._per_thread_instructions = [0] * nthreads
+
+    def add(self, tid: int, block: BasicBlock, repeat: int) -> None:
+        """Record ``repeat`` executions of ``block`` on ``tid`` (if countable)."""
+        if not self.filter_policy.counts_as_work(block):
+            return
+        weight = block.n_instr * repeat
+        self._matrix[tid, block.bid] += weight
+        self._per_thread_instructions[tid] += weight
+
+    @property
+    def per_thread_instructions(self) -> List[int]:
+        return list(self._per_thread_instructions)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self._per_thread_instructions)
+
+    def emit(self) -> np.ndarray:
+        """The concatenated global BBV; resets the accumulator."""
+        vector = self._matrix.reshape(-1).copy()
+        self._matrix[:] = 0.0
+        self._per_thread_instructions = [0] * self.nthreads
+        return vector
+
+    @property
+    def dimension(self) -> int:
+        return self.nthreads * self.nblocks

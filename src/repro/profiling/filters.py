@@ -1,0 +1,37 @@
+"""Filtering rules: what counts as work, what may bound a region.
+
+Section IV-F of the paper: "we ignore the entire code from the relevant
+synchronization library (libiomp5.so in our case)" during BBV profiling, and
+Sec. III-B: regions may end "only at a loop entry that is present in the main
+image of the application".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from ..isa.blocks import BasicBlock
+
+
+class FilterPolicy:
+    """Image-based (plus optional routine-based) filtering."""
+
+    def __init__(self, exclude_routines: Iterable[str] = ()) -> None:
+        self.exclude_routines: FrozenSet[str] = frozenset(exclude_routines)
+
+    def counts_as_work(self, block: BasicBlock) -> bool:
+        """True if this block's instructions count toward work done."""
+        if block.image.is_library:
+            return False
+        routine = block.routine
+        if routine is not None and routine.name in self.exclude_routines:
+            return False
+        return True
+
+    def marker_eligible(self, block: BasicBlock) -> bool:
+        """True if this block may serve as a region boundary.
+
+        It must be a loop header doing countable work in the main image —
+        spin loops live in library images and are excluded wholesale.
+        """
+        return block.is_loop_header and self.counts_as_work(block)

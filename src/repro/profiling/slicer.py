@@ -1,0 +1,165 @@
+"""Loop-aligned slicing of an execution into candidate regions.
+
+Section III-B of the paper: slices target ``N x slice_size`` global filtered
+instructions for an ``N``-thread run; "the end of a region specified by a BBV
+is the next loop entry once the instruction-count target is achieved", where
+eligible loop entries are worker loops in the main image.  Each boundary is
+a :class:`~repro.profiling.markers.Marker` — a ``(PC, count)`` pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ProfilingError
+from ..exec_engine.observers import Observer
+from ..isa.blocks import BasicBlock
+from .bbv import BBVCollector
+from .filters import FilterPolicy
+from .markers import Marker, MarkerTracker
+
+
+@dataclass
+class Slice:
+    """One profiled interval.
+
+    ``start``/``end`` of ``None`` mean program start/end.  ``start_filtered``
+    is the global filtered-instruction coordinate where the slice begins
+    (used later to place warmup for region checkpoints).
+    """
+
+    index: int
+    start: Optional[Marker]
+    end: Optional[Marker]
+    bbv: np.ndarray
+    filtered_instructions: int
+    total_instructions: int
+    per_thread_filtered: List[int]
+    start_filtered: int
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean ratio of per-thread filtered work (Fig. 3's quantity)."""
+        mean = np.mean(self.per_thread_filtered)
+        if mean == 0:
+            return 0.0
+        return float(np.max(self.per_thread_filtered) / mean)
+
+
+class LoopAlignedSlicer(Observer):
+    """Observer that cuts slices at worker-loop entries.
+
+    Attach to a :class:`~repro.pinplay.replayer.ConstrainedReplayer` (the
+    reproducible analysis run); after :meth:`on_finish`, ``slices`` holds the
+    full partition of the execution.
+    """
+
+    def __init__(
+        self,
+        nthreads: int,
+        nblocks: int,
+        marker_blocks: Sequence[BasicBlock],
+        slice_size: int,
+        filter_policy: Optional[FilterPolicy] = None,
+        phase_aligned: bool = False,
+        min_slice_fraction: float = 0.4,
+    ) -> None:
+        """``phase_aligned`` enables variable-length intervals (Sec. III-B:
+        "the methodology can also be used with varying length intervals"):
+        a slice may close *early* — once it holds at least
+        ``min_slice_fraction`` of the target — when execution enters a loop
+        whose routine differs from the slice's dominant routine, i.e. at a
+        software phase marker in the sense of Lau et al. [19]."""
+        if slice_size <= 0:
+            raise ProfilingError(f"slice_size must be positive, got {slice_size}")
+        if not 0.0 < min_slice_fraction <= 1.0:
+            raise ProfilingError("min_slice_fraction must be in (0, 1]")
+        policy = filter_policy or FilterPolicy()
+        for block in marker_blocks:
+            if not policy.marker_eligible(block):
+                raise ProfilingError(
+                    f"block {block.name!r} is not marker-eligible "
+                    f"(library or not a loop header)"
+                )
+        self.slice_size = slice_size
+        self.filter_policy = policy
+        self.phase_aligned = phase_aligned
+        self.min_slice_size = int(slice_size * min_slice_fraction)
+        self.tracker = MarkerTracker(marker_blocks)
+        self.bbv = BBVCollector(nthreads, nblocks, policy)
+        self.slices: List[Slice] = []
+        self._slice_start: Optional[Marker] = None
+        self._slice_filtered = 0
+        self._slice_total = 0
+        self._global_filtered = 0
+        self._finished = False
+        # Phase tracking: instruction mass per routine within the slice.
+        self._routine_mass: dict = {}
+
+    # -- observer interface ---------------------------------------------------
+
+    def on_block(self, tid: int, block, repeat: int, start_index: int) -> None:
+        # A marker execution closes the current slice if the target was met
+        # (or, in phase-aligned mode, if this marker is a phase change and
+        # the slice is big enough); the marker execution itself belongs to
+        # the *next* slice.
+        before = self.tracker.record(block.bid, repeat)
+        if before is not None:
+            if self._slice_filtered >= self.slice_size or (
+                self.phase_aligned
+                and self._slice_filtered >= self.min_slice_size
+                and self._is_phase_change(block)
+            ):
+                self._close_slice(Marker(block.pc, before))
+        n = block.n_instr * repeat
+        self._slice_total += n
+        if self.filter_policy.counts_as_work(block):
+            self._slice_filtered += n
+            self._global_filtered += n
+            if self.phase_aligned and block.routine is not None:
+                key = block.routine.name
+                self._routine_mass[key] = self._routine_mass.get(key, 0) + n
+        self.bbv.add(tid, block, repeat)
+
+    def _is_phase_change(self, block) -> bool:
+        """True when this loop entry belongs to a routine other than the
+        slice's dominant routine — a software phase marker."""
+        if not self._routine_mass or block.routine is None:
+            return False
+        dominant = max(self._routine_mass, key=self._routine_mass.get)
+        return block.routine.name != dominant
+
+    def on_finish(self) -> None:
+        if self._finished:
+            raise ProfilingError("slicer finished twice")
+        self._finished = True
+        if self._slice_total > 0 or not self.slices:
+            self._close_slice(None)
+
+    # -- internals --------------------------------------------------------------
+
+    def _close_slice(self, end: Optional[Marker]) -> None:
+        per_thread = self.bbv.per_thread_instructions
+        vector = self.bbv.emit()
+        start_coordinate = (
+            self._global_filtered - self._slice_filtered
+        )
+        self.slices.append(
+            Slice(
+                index=len(self.slices),
+                start=self._slice_start,
+                end=end,
+                bbv=vector,
+                filtered_instructions=self._slice_filtered,
+                total_instructions=self._slice_total,
+                per_thread_filtered=per_thread,
+                start_filtered=start_coordinate,
+            )
+        )
+        self._slice_start = end
+        self._slice_filtered = 0
+        self._slice_total = 0
+        self._routine_mass = {}

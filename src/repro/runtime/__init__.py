@@ -1,0 +1,42 @@
+"""OpenMP-like runtime: parallel constructs and the synchronization library.
+
+The constructs in :mod:`repro.runtime.constructs` mirror the primitives Table
+III of the paper attributes to the SPEC CPU2017 speed workloads (static and
+dynamic ``for``, barrier, master, single, reduction, atomic, lock/critical).
+Synchronization executes code from a *library image*
+(:class:`~repro.runtime.omp.OmpRuntime`, standing in for ``libiomp5.so``), so
+LoopPoint's image-based spin filtering applies exactly as in the paper.
+"""
+
+from .constructs import (
+    Construct,
+    LoopWork,
+    ParallelFor,
+    Serial,
+    Barrier,
+    Single,
+    Master,
+    CriticalSpec,
+    AtomicSpec,
+    SCHEDULE_STATIC,
+    SCHEDULE_DYNAMIC,
+)
+from .omp import OmpRuntime, WaitPolicy
+from .thread import ThreadProgram
+
+__all__ = [
+    "Construct",
+    "LoopWork",
+    "ParallelFor",
+    "Serial",
+    "Barrier",
+    "Single",
+    "Master",
+    "CriticalSpec",
+    "AtomicSpec",
+    "SCHEDULE_STATIC",
+    "SCHEDULE_DYNAMIC",
+    "OmpRuntime",
+    "WaitPolicy",
+    "ThreadProgram",
+]

@@ -1,0 +1,294 @@
+"""OpenMP-like parallel constructs.
+
+A workload is a list of constructs executed in order by every thread (the
+fork-join model with a persistent thread pool).  Constructs are *pure work
+descriptions*: they yield :mod:`~repro.exec_engine.events` and never touch
+scheduling, timing, or the wait policy — those belong to the drivers.  This
+separation is what lets the identical program run under the functional engine
+(recording/profiling) and the timing simulator (the paper's binary-driven
+unconstrained simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ProgramStructureError
+from ..exec_engine.events import (
+    BarrierWait,
+    BlockExec,
+    ChunkRequest,
+    Event,
+    LockAcquire,
+    LockRelease,
+    Reduce,
+    SingleRequest,
+)
+from ..isa.blocks import BasicBlock
+
+SCHEDULE_STATIC = "static"
+SCHEDULE_DYNAMIC = "dynamic"
+
+#: Inner-loop trip counts may vary with the outer iteration index; that is
+#: how workload models create per-thread load imbalance under static
+#: scheduling (the slow iterations land on specific threads).
+TripCount = Union[int, Callable[[int], int]]
+
+
+def _trips(t: TripCount, outer_index: int) -> int:
+    return t(outer_index) if callable(t) else t
+
+
+#: Largest ``repeat`` emitted for one batched self-loop event.  Batching
+#: keeps Python event counts low, but over-large batches make thread
+#: interleaving (and therefore per-slice per-thread BBV shares) artificially
+#: coarse; 64 iterations keeps an event well under typical scheduling quanta.
+BATCH_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class LoopWork:
+    """The work of one worker loop.
+
+    ``header`` is the loop-header block in the main image — the
+    marker-eligible "loop entry" LoopPoint slices at.  Each outer iteration
+    executes the header once, then each body block for its (possibly
+    iteration-dependent) trip count as a batched self-loop.
+    """
+
+    header: BasicBlock
+    body: Sequence[Tuple[BasicBlock, TripCount]]
+
+    def __post_init__(self) -> None:
+        if not self.header.is_loop_header:
+            raise ProgramStructureError(
+                f"LoopWork header {self.header.name!r} is not a loop header"
+            )
+
+    def emit(self, tid: int, start: int, stop: int) -> Iterator[Event]:
+        """Yield the events of outer iterations ``[start, stop)``."""
+        body = self.body
+        header = self.header
+        for i in range(start, stop):
+            yield BlockExec(header, 1)
+            for block, trip in body:
+                n = _trips(trip, i)
+                while n > BATCH_LIMIT:
+                    yield BlockExec(block, BATCH_LIMIT)
+                    n -= BATCH_LIMIT
+                if n > 0:
+                    yield BlockExec(block, n)
+
+    def instructions_per_iteration(self, outer_index: int = 0) -> int:
+        """Instruction cost of one outer iteration (for sizing workloads)."""
+        total = self.header.n_instr
+        for block, trip in self.body:
+            total += block.n_instr * _trips(trip, outer_index)
+        return total
+
+
+@dataclass(frozen=True)
+class CriticalSpec:
+    """A critical section executed every ``every``-th outer iteration."""
+
+    lock_id: int
+    block: BasicBlock
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ProgramStructureError("CriticalSpec.every must be >= 1")
+
+
+@dataclass(frozen=True)
+class AtomicSpec:
+    """An atomic update executed every ``every``-th outer iteration."""
+
+    block: BasicBlock
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ProgramStructureError("AtomicSpec.every must be >= 1")
+
+
+class Construct:
+    """Base class: one top-level parallel construct.
+
+    ``uid`` is assigned by :class:`~repro.runtime.thread.ThreadProgram` and
+    namespaces the construct's derived sync objects (implicit barrier, loop
+    counter, single ticket).  Each construct instance executes exactly once
+    per program run; workloads unroll outer timestep loops into the construct
+    list.
+    """
+
+    def __init__(self) -> None:
+        self.uid: int = -1
+
+    # Derived sync-object ids (valid once uid is assigned).
+    @property
+    def implicit_barrier_id(self) -> int:
+        return self.uid * 4 + 0
+
+    @property
+    def loop_id(self) -> int:
+        return self.uid * 4 + 1
+
+    @property
+    def single_id(self) -> int:
+        return self.uid * 4 + 2
+
+    def run(self, tid: int, nthreads: int) -> Iterator[Event]:
+        """Yield this construct's events for thread ``tid``."""
+        raise NotImplementedError
+
+    def total_instructions(self, nthreads: int) -> int:
+        """Approximate application (main-image) instructions, all threads."""
+        raise NotImplementedError
+
+
+def static_chunk(total: int, nthreads: int, tid: int) -> Tuple[int, int]:
+    """Contiguous static-schedule chunk ``[start, stop)`` for ``tid``."""
+    base, rem = divmod(total, nthreads)
+    start = tid * base + min(tid, rem)
+    stop = start + base + (1 if tid < rem else 0)
+    return start, stop
+
+
+class ParallelFor(Construct):
+    """``#pragma omp parallel for`` over ``total_iters`` outer iterations."""
+
+    def __init__(
+        self,
+        work: LoopWork,
+        total_iters: int,
+        schedule: str = SCHEDULE_STATIC,
+        chunk: int = 8,
+        nowait: bool = False,
+        critical: Optional[CriticalSpec] = None,
+        atomic: Optional[AtomicSpec] = None,
+        reduction: bool = False,
+    ) -> None:
+        super().__init__()
+        if schedule not in (SCHEDULE_STATIC, SCHEDULE_DYNAMIC):
+            raise ProgramStructureError(f"unknown schedule {schedule!r}")
+        if total_iters < 0 or chunk < 1:
+            raise ProgramStructureError("need total_iters >= 0 and chunk >= 1")
+        self.work = work
+        self.total_iters = total_iters
+        self.schedule = schedule
+        self.chunk = chunk
+        self.nowait = nowait
+        self.critical = critical
+        self.atomic = atomic
+        self.reduction = reduction
+
+    def _iteration_events(self, tid: int, start: int, stop: int) -> Iterator[Event]:
+        crit, atom = self.critical, self.atomic
+        if crit is None and atom is None:
+            yield from self.work.emit(tid, start, stop)
+            return
+        for i in range(start, stop):
+            yield from self.work.emit(tid, i, i + 1)
+            if crit is not None and i % crit.every == 0:
+                yield LockAcquire(crit.lock_id)
+                yield BlockExec(crit.block, 1)
+                yield LockRelease(crit.lock_id)
+            if atom is not None and i % atom.every == 0:
+                yield BlockExec(atom.block, 1)
+
+    def run(self, tid: int, nthreads: int) -> Iterator[Event]:
+        if self.schedule == SCHEDULE_STATIC:
+            start, stop = static_chunk(self.total_iters, nthreads, tid)
+            yield from self._iteration_events(tid, start, stop)
+        else:
+            while True:
+                start = yield ChunkRequest(self.loop_id, self.chunk, self.total_iters)
+                if start is None or start < 0:
+                    break
+                stop = min(start + self.chunk, self.total_iters)
+                yield from self._iteration_events(tid, start, stop)
+        if self.reduction:
+            yield Reduce()
+        if not self.nowait:
+            yield BarrierWait(self.implicit_barrier_id)
+
+    def total_instructions(self, nthreads: int) -> int:
+        total = 0
+        for i in range(self.total_iters):
+            total += self.work.instructions_per_iteration(i)
+            if self.critical is not None and i % self.critical.every == 0:
+                total += self.critical.block.n_instr
+            if self.atomic is not None and i % self.atomic.every == 0:
+                total += self.atomic.block.n_instr
+        return total
+
+
+class Serial(Construct):
+    """A serial phase: the master executes; workers wait at the join barrier."""
+
+    def __init__(self, work: LoopWork, iters: int) -> None:
+        super().__init__()
+        self.work = work
+        self.iters = iters
+
+    def run(self, tid: int, nthreads: int) -> Iterator[Event]:
+        if tid == 0:
+            yield from self.work.emit(tid, 0, self.iters)
+        yield BarrierWait(self.implicit_barrier_id)
+
+    def total_instructions(self, nthreads: int) -> int:
+        return sum(
+            self.work.instructions_per_iteration(i) for i in range(self.iters)
+        )
+
+
+class Barrier(Construct):
+    """An explicit ``#pragma omp barrier``."""
+
+    def run(self, tid: int, nthreads: int) -> Iterator[Event]:
+        yield BarrierWait(self.implicit_barrier_id)
+
+    def total_instructions(self, nthreads: int) -> int:
+        return 0
+
+
+class Single(Construct):
+    """``#pragma omp single``: first arriver executes; implicit barrier."""
+
+    def __init__(self, work: LoopWork, iters: int) -> None:
+        super().__init__()
+        self.work = work
+        self.iters = iters
+
+    def run(self, tid: int, nthreads: int) -> Iterator[Event]:
+        granted = yield SingleRequest(self.single_id)
+        if granted:
+            yield from self.work.emit(tid, 0, self.iters)
+        yield BarrierWait(self.implicit_barrier_id)
+
+    def total_instructions(self, nthreads: int) -> int:
+        return sum(
+            self.work.instructions_per_iteration(i) for i in range(self.iters)
+        )
+
+
+class Master(Construct):
+    """``#pragma omp master``: master executes, no implied barrier."""
+
+    def __init__(self, work: LoopWork, iters: int) -> None:
+        super().__init__()
+        self.work = work
+        self.iters = iters
+
+    def run(self, tid: int, nthreads: int) -> Iterator[Event]:
+        if tid == 0:
+            yield from self.work.emit(tid, 0, self.iters)
+        return
+        yield  # pragma: no cover - makes this a generator even for tid != 0
+
+    def total_instructions(self, nthreads: int) -> int:
+        return sum(
+            self.work.instructions_per_iteration(i) for i in range(self.iters)
+        )

@@ -1,0 +1,106 @@
+"""The synchronization library image — our ``libiomp5.so``.
+
+Every synchronization action executes real basic blocks from this *library*
+image: barrier entry bookkeeping, spin-wait loops (ACTIVE wait policy), futex
+sleep/wake paths (PASSIVE), lock acquire/release, dynamic-schedule chunk
+fetches, and reduction combines.  Because these blocks live in a library
+image, LoopPoint's filtering rule ("ignore the entire code from the relevant
+synchronization library", Sec. IV-F) applies to them wholesale, while naive
+instruction-count sampling is polluted by them — the exact contrast the paper
+builds on.
+"""
+
+from __future__ import annotations
+
+from ..isa.blocks import BRANCH_COND, BRANCH_LOOP, BRANCH_RET, BranchSpec
+from ..isa.builder import ProgramBuilder
+from ..isa.instructions import StridedAccess
+from ..policy import SpinParams, WaitPolicy
+
+__all__ = ["OmpRuntime", "WaitPolicy", "SpinParams", "SYNC_REGION_BASE"]
+
+#: All synchronization flags/counters live on one shared page; contended
+#: sync lines bouncing between cores is the behaviour we care about.
+SYNC_REGION_BASE = 0x7FFF_0000_0000
+
+
+def _flag_access(offset: int) -> StridedAccess:
+    """A constant-address access to a sync flag (stride == window == one line)."""
+    return StridedAccess(base=SYNC_REGION_BASE + offset, stride=64, window=64)
+
+
+class OmpRuntime:
+    """Builds the OpenMP-runtime library image and exposes block handles.
+
+    Drivers (functional engine, timing simulator) execute these blocks around
+    the synchronization events the application yields.
+    """
+
+    def __init__(self, builder: ProgramBuilder, name: str = "libomp.so") -> None:
+        lib = builder.library(name)
+        self.spin = SpinParams()
+
+        barrier = lib.routine("__kmp_barrier")
+        #: Executed once on barrier arrival (atomic counter increment).
+        self.barrier_enter = barrier.block(
+            "enter", ialu=5, loads=[_flag_access(0)], atomics=[_flag_access(64)],
+        )
+        #: Executed once when a thread leaves the barrier.
+        self.barrier_exit = barrier.block(
+            "exit", ialu=4, loads=[_flag_access(0)],
+            branch=BranchSpec(BRANCH_RET),
+        )
+
+        wait = lib.routine("__kmp_wait_release")
+        #: The spin loop body: poll the flag and branch back.  A *library*
+        #: loop header — present so tests can prove library loop entries are
+        #: never chosen as region boundaries.
+        self.spin_block = wait.block(
+            "spin", ialu=2, loads=[_flag_access(0)],
+            branch=BranchSpec(BRANCH_LOOP), loop_header=True,
+        )
+        #: PASSIVE path: futex syscall entry (executed once, then the thread
+        #: sleeps without executing instructions).
+        self.futex_wait = wait.block(
+            "futex_wait", ialu=24, loads=[_flag_access(128)],
+            branch=BranchSpec(BRANCH_RET),
+        )
+        #: PASSIVE path: kernel wake-up return.
+        self.futex_wake = wait.block(
+            "futex_wake", ialu=18, loads=[_flag_access(128)],
+            branch=BranchSpec(BRANCH_RET),
+        )
+
+        lock = lib.routine("__kmp_acquire_lock")
+        #: Successful lock acquisition (atomic compare-exchange).
+        self.lock_acquire = lock.block(
+            "acquire", ialu=3, atomics=[_flag_access(192)],
+        )
+        self.lock_release = lock.block(
+            "release", ialu=2, atomics=[_flag_access(192)],
+            branch=BranchSpec(BRANCH_RET),
+        )
+
+        sched = lib.routine("__kmp_dispatch_next")
+        #: Dynamic-schedule chunk fetch (atomic fetch-add on the loop counter).
+        self.chunk_fetch = sched.block(
+            "fetch", ialu=6, atomics=[_flag_access(256)],
+            branch=BranchSpec(BRANCH_COND, taken_prob=0.1),
+        )
+
+        reduce = lib.routine("__kmp_reduce")
+        #: Reduction combine into the shared accumulator.
+        self.reduce_combine = reduce.block(
+            "combine", ialu=4, fp=2, atomics=[_flag_access(320)],
+            branch=BranchSpec(BRANCH_RET),
+        )
+
+        fork = lib.routine("__kmp_fork_call")
+        #: Parallel-region fork/join bookkeeping (master side).
+        self.fork_call = fork.block(
+            "fork", ialu=12, loads=[_flag_access(384)],
+        )
+        self.join_call = fork.block(
+            "join", ialu=8, loads=[_flag_access(384)],
+            branch=BranchSpec(BRANCH_RET),
+        )

@@ -1,0 +1,40 @@
+"""Thread programs: the construct list every thread executes.
+
+:class:`ThreadProgram` is the dynamic half of a workload — the static half is
+the :class:`~repro.isa.image.Program`.  Assigning construct uids here (by
+position) makes sync-object ids stable across runs and across processes,
+which the pinball recorder/replayer relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from ..errors import ProgramStructureError
+from ..exec_engine.events import Event
+from .constructs import Construct
+
+
+class ThreadProgram:
+    """An ordered list of constructs executed by all threads."""
+
+    def __init__(self, constructs: Sequence[Construct]) -> None:
+        if not constructs:
+            raise ProgramStructureError("thread program has no constructs")
+        self.constructs: List[Construct] = list(constructs)
+        for uid, construct in enumerate(self.constructs):
+            construct.uid = uid
+
+    def thread_main(self, tid: int, nthreads: int) -> Iterator[Event]:
+        """The generator one thread runs: every construct, in order."""
+        if not 0 <= tid < nthreads:
+            raise ProgramStructureError(f"tid {tid} out of range 0..{nthreads - 1}")
+        for construct in self.constructs:
+            yield from construct.run(tid, nthreads)
+
+    def total_instructions(self, nthreads: int) -> int:
+        """Approximate application (main-image) instructions, all threads."""
+        return sum(c.total_instructions(nthreads) for c in self.constructs)
+
+    def __len__(self) -> int:
+        return len(self.constructs)

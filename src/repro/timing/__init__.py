@@ -1,0 +1,27 @@
+"""Multicore timing simulation (Sniper's role in the paper).
+
+An interval-style out-of-order core model (plus an in-order variant), a
+Pentium-M-like branch predictor, and a private-L1/L2, shared-L3 LRU cache
+hierarchy with invalidation-based sharing, per Table I.  The simulator drives
+the same thread generators as the functional engine (binary-driven
+unconstrained simulation) or replays region pinballs under the recorded sync
+order (checkpoint-driven constrained simulation).
+"""
+
+from .metrics import SimMetrics
+from .cache import Cache
+from .branch import BranchPredictor
+from .hierarchy import MemoryHierarchy
+from .core import CoreModel
+from .mcsim import MultiCoreSimulator, RegionOfInterest, SimulationResult
+
+__all__ = [
+    "SimMetrics",
+    "Cache",
+    "BranchPredictor",
+    "MemoryHierarchy",
+    "CoreModel",
+    "MultiCoreSimulator",
+    "RegionOfInterest",
+    "SimulationResult",
+]

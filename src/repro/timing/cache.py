@@ -1,0 +1,88 @@
+"""A set-associative LRU cache.
+
+Per-set LRU is implemented with insertion-ordered dicts: a hit reinserts the
+tag (moving it to the MRU end); on overflow the LRU tag is the first key.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import CacheConfig
+
+
+class Cache:
+    """One cache level (line-granular, tag-only)."""
+
+    __slots__ = (
+        "config", "num_sets", "assoc", "sets", "hits", "misses",
+        "evictions", "invalidations", "_set_mask",
+    )
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.assoc = config.associativity
+        self.sets = [dict() for _ in range(self.num_sets)]
+        # num_sets is a power of two for all Table I geometries; fall back to
+        # modulo otherwise.
+        self._set_mask = (
+            self.num_sets - 1 if (self.num_sets & (self.num_sets - 1)) == 0
+            else None
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def _set_index(self, line: int) -> int:
+        if self._set_mask is not None:
+            return line & self._set_mask
+        return line % self.num_sets
+
+    def access(self, line: int) -> bool:
+        """Access ``line`` (line-number, i.e. address >> log2(line size)).
+
+        Returns True on hit.  On miss the line is installed, evicting LRU.
+        """
+        s = self.sets[self._set_index(line)]
+        tag = line
+        if tag in s:
+            del s[tag]
+            s[tag] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        s[tag] = True
+        if len(s) > self.assoc:
+            del s[next(iter(s))]
+            self.evictions += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        return line in self.sets[self._set_index(line)]
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present (coherence invalidation)."""
+        s = self.sets[self._set_index(line)]
+        if line in s:
+            del s[line]
+            self.invalidations += 1
+            return True
+        return False
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.config.name}, sets={self.num_sets}, "
+            f"assoc={self.assoc}, hits={self.hits}, misses={self.misses})"
+        )

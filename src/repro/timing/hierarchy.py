@@ -1,0 +1,95 @@
+"""The cache hierarchy: private L1-I/L1-D/L2 per core, shared L3.
+
+Sharing is tracked by a presence directory over private caches: a write
+invalidates every other core's private copies, so producer-consumer and
+falsely-shared lines (the sync page!) bounce between cores with L3-latency
+transfers — the behaviour that couples thread placement to memory timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from .cache import Cache
+
+#: Hit levels returned by :meth:`MemoryHierarchy.access`.
+L1 = 1
+L2 = 2
+L3 = 3
+MEM = 4
+
+
+class MemoryHierarchy:
+    """All caches of the simulated system plus a presence directory."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        n = config.num_cores
+        self.l1i = [Cache(config.l1i) for _ in range(n)]
+        self.l1d = [Cache(config.l1d) for _ in range(n)]
+        self.l2 = [Cache(config.l2) for _ in range(n)]
+        self.l3 = Cache(config.l3)
+        #: line -> set of cores with a private copy.
+        self._directory: Dict[int, Set[int]] = {}
+        mem = config.memory
+        self._latency = {
+            L1: config.l1d.hit_latency,
+            L2: mem.l2_latency,
+            L3: mem.l3_latency,
+            MEM: mem.dram_latency,
+        }
+
+    def latency(self, level: int) -> int:
+        return self._latency[level]
+
+    def access(self, core: int, line: int, is_write: bool) -> int:
+        """One data access; returns the level that served it.
+
+        Installs the line in the core's private caches and maintains the
+        presence directory (writes invalidate remote private copies).
+        """
+        if is_write:
+            sharers = self._directory.get(line)
+            if sharers:
+                for other in sharers:
+                    if other != core:
+                        self.l1d[other].invalidate(line)
+                        self.l2[other].invalidate(line)
+                if sharers - {core}:
+                    self._directory[line] = {core}
+
+        if self.l1d[core].access(line):
+            level = L1
+        elif self.l2[core].access(line):
+            level = L2
+        elif self.l3.access(line):
+            level = L3
+        else:
+            level = MEM
+        sharers = self._directory.setdefault(line, set())
+        sharers.add(core)
+        return level
+
+    def fetch(self, core: int, line: int) -> int:
+        """Instruction fetch; L1-I backed by the shared L3."""
+        if self.l1i[core].access(line):
+            return L1
+        if self.l3.access(line):
+            return L3
+        return MEM
+
+    # -- statistics -----------------------------------------------------------
+
+    def core_stats(self, core: int) -> Dict[str, int]:
+        return {
+            "l1i_misses": self.l1i[core].misses,
+            "l1d_accesses": self.l1d[core].accesses,
+            "l1d_misses": self.l1d[core].misses,
+            "l2_misses": self.l2[core].misses,
+        }
+
+    @property
+    def l3_misses(self) -> int:
+        return self.l3.misses

@@ -1,0 +1,823 @@
+"""The multicore simulator: binary-driven and checkpoint-driven modes.
+
+**Binary-driven unconstrained** (:meth:`MultiCoreSimulator.run_binary`): the
+timing model owns thread progress.  Threads are advanced in simulated-time
+order; barriers, locks, and dynamic scheduling are resolved at simulated
+time, so spin-loop instruction counts and chunk assignments follow the
+*target* microarchitecture — the paper's preferred mode (Sec. II "How to
+simulate").  Regions of interest are delimited by ``(PC, count)`` markers
+(LoopPoint), global instruction counts (the naive SimPoint baseline), or
+barrier ordinals (BarrierPoint).  The simulator fast-forwards with
+functional warming (caches and predictor stay warm — the paper's "perfect
+warmup") and measures detailed metrics inside each region; passing several
+disjoint regions measures all of them in one sweep, which is equivalent to
+warming each region from program start.
+
+**Checkpoint-driven constrained** (:meth:`MultiCoreSimulator.run_pinball`):
+replays a (region) pinball's logs while *enforcing the recorded sync order*.
+Recorded spin iterations are re-executed verbatim and threads are stalled
+artificially to honour ``gseq`` order — reproducing the distortions the
+paper measures in Sec. V-A.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..errors import DeadlockError, RegionError, SimulationError
+from ..exec_engine.events import (
+    BarrierWait,
+    BlockExec,
+    ChunkRequest,
+    LockAcquire,
+    LockRelease,
+    Reduce,
+    SingleRequest,
+)
+from ..isa.blocks import BasicBlock
+from ..isa.image import Program
+from ..pinplay.pinball import Pinball, RegionPinball
+from ..policy import SpinParams, WaitPolicy
+from ..profiling.markers import Marker, MarkerTracker
+from ..runtime.omp import OmpRuntime
+from ..runtime.thread import ThreadProgram
+from .core import CoreModel
+from .hierarchy import MemoryHierarchy
+from .metrics import SimMetrics
+
+_RUNNABLE = 0
+_BLOCKED = 1
+_DONE = 2
+
+
+@dataclass(frozen=True)
+class RegionOfInterest:
+    """One simulation region, delimited in one of three coordinate systems.
+
+    Exactly one family of boundaries should be used per region:
+
+    * ``start``/``end`` — LoopPoint ``(PC, count)`` markers;
+    * ``start_instr``/``end_instr`` — global instruction counts (the naive
+      SimPoint adaptation of Sec. II);
+    * ``start_barrier``/``end_barrier`` — global barrier-release ordinals
+      (BarrierPoint).
+
+    A missing start means "program start"; a missing end means "program
+    end".
+    """
+
+    region_id: int
+    start: Optional[Marker] = None
+    end: Optional[Marker] = None
+    start_instr: Optional[int] = None
+    end_instr: Optional[int] = None
+    start_barrier: Optional[int] = None
+    end_barrier: Optional[int] = None
+
+    @property
+    def starts_at_origin(self) -> bool:
+        return (
+            self.start is None
+            and self.start_instr is None
+            and self.start_barrier is None
+        )
+
+    @property
+    def open_ended(self) -> bool:
+        return (
+            self.end is None
+            and self.end_instr is None
+            and self.end_barrier is None
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Detailed metrics of one region (or the whole run)."""
+
+    region_id: int
+    metrics: SimMetrics
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def runtime_cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+class _SimThread:
+    __slots__ = ("tid", "gen", "state", "response", "park_cycle")
+
+    def __init__(self, tid: int, gen) -> None:
+        self.tid = tid
+        self.gen = gen
+        self.state = _RUNNABLE
+        self.response = None
+        self.park_cycle = 0
+
+
+class _SimLock:
+    __slots__ = ("owner", "waiters")
+
+    def __init__(self) -> None:
+        self.owner: Optional[int] = None
+        self.waiters: List[Tuple[int, int]] = []  # (request_cycle, tid)
+
+
+class _NullController:
+    """A no-op stand-in for the region controller (ELFie execution)."""
+
+    detailed = True
+
+    def post_barrier_release(self) -> None:
+        pass
+
+
+class _RegionController:
+    """Tracks region transitions during a binary-driven sweep.
+
+    The simulator reports marker executions, instruction progress, and
+    barrier releases; the controller flips between fast-forward and detailed
+    mode and snapshots metrics at each boundary.
+    """
+
+    def __init__(
+        self,
+        sim: "MultiCoreSimulator",
+        rois: Sequence[RegionOfInterest],
+        nthreads: int,
+    ):
+        self._sim = sim
+        self._nthreads = nthreads
+        self.rois = list(rois)
+        for i, roi in enumerate(self.rois[1:], start=1):
+            if roi.starts_at_origin:
+                raise RegionError(
+                    f"region {roi.region_id} (position {i}) may not start at "
+                    f"program origin"
+                )
+        marker_blocks = []
+        for roi in self.rois:
+            for marker in (roi.start, roi.end):
+                if marker is not None:
+                    marker_blocks.append(sim.program.block_at(marker.pc))
+        self.tracker = MarkerTracker(marker_blocks) if marker_blocks else None
+        self.global_instructions = 0
+        self.barrier_releases = 0
+        self.results: List[SimulationResult] = []
+        self._idx = 0
+        self.detailed = self.rois[0].starts_at_origin
+        self._start_snapshot = sim._snapshot() if self.detailed else None
+        self._start_cycle = 0
+
+    @property
+    def finished(self) -> bool:
+        return self._idx >= len(self.rois)
+
+    # -- boundary events --------------------------------------------------------
+    #
+    # Region time is read from the *global* clock: the maximum core cycle.
+    # It is monotone at every boundary, so adjacent regions telescope exactly
+    # and the sum of all slices equals the whole run — a per-core clock would
+    # leak inter-core drift (which, at reproduction scale, is not negligible
+    # relative to a slice) into every region measurement.
+
+    def _global_cycle(self) -> int:
+        return max(
+            core.cycle for core in self._sim.cores[: self._nthreads]
+        )
+
+    def _begin(self) -> None:
+        self.detailed = True
+        self._start_snapshot = self._sim._snapshot()
+        self._start_cycle = self._global_cycle()
+
+    def _finish(self) -> None:
+        roi = self.rois[self._idx]
+        end_cycle = self._global_cycle()
+        metrics = self._sim._snapshot().minus(self._start_snapshot)
+        metrics.cycles = max(1, end_cycle - self._start_cycle)
+        self.results.append(
+            SimulationResult(
+                region_id=roi.region_id,
+                metrics=metrics,
+                start_cycle=self._start_cycle,
+                end_cycle=end_cycle,
+            )
+        )
+        self.detailed = False
+        self._idx += 1
+
+    def pre_block(self, block: BasicBlock, repeat: int) -> None:
+        """Called before every block execution."""
+        before = None
+        if self.tracker is not None:
+            before = self.tracker.record(block.bid, repeat)
+        while not self.finished:
+            roi = self.rois[self._idx]
+            if not self.detailed:
+                if roi.start is not None:
+                    if before is None:
+                        return
+                    m = roi.start
+                    # Trigger when the marker count is reached *or passed*:
+                    # under racing threads the global counts of different
+                    # marker PCs may cross in a different order than during
+                    # profiling (the paper's region-stability caveat), so a
+                    # strict equality could wait forever.
+                    if m.pc == block.pc and before + repeat > m.count:
+                        self._begin()
+                    else:
+                        return
+                elif roi.start_instr is not None:
+                    if self.global_instructions >= roi.start_instr:
+                        self._begin()
+                    else:
+                        return
+                elif roi.start_barrier is not None:
+                    return  # barrier starts handled in post_barrier
+                else:
+                    return
+            # Detailed: check whether this same point ends the region.
+            roi = self.rois[self._idx]
+            if roi.end is not None:
+                if before is None:
+                    return
+                m = roi.end
+                if m.pc == block.pc and before + repeat > m.count:
+                    self._finish()
+                    continue  # same marker may open the next region
+                return
+            if roi.end_instr is not None:
+                if self.global_instructions >= roi.end_instr:
+                    self._finish()
+                    continue
+                return
+            return  # barrier-delimited or open end
+
+    def post_block(self, n_instructions: int) -> None:
+        self.global_instructions += n_instructions
+
+    def post_barrier_release(self) -> None:
+        """Called after every barrier release (all threads through)."""
+        self.barrier_releases += 1
+        while not self.finished:
+            roi = self.rois[self._idx]
+            if (
+                self.detailed
+                and roi.end_barrier is not None
+                and self.barrier_releases >= roi.end_barrier
+            ):
+                self._finish()
+                continue
+            if (
+                not self.detailed
+                and roi.start_barrier is not None
+                and self.barrier_releases >= roi.start_barrier
+            ):
+                self._begin()
+                continue
+            return
+
+    def finalize(self, whole_run: bool, clip_at_end: bool = False) -> None:
+        if self.finished:
+            return
+        roi = self.rois[self._idx]
+        if self.detailed and (roi.open_ended or clip_at_end):
+            self._finish()
+            return
+        if self.detailed or not roi.open_ended:
+            if clip_at_end:
+                return
+            raise RegionError(
+                f"region {roi.region_id}: boundaries never reached "
+                f"(detailed={self.detailed})"
+            )
+        if whole_run:
+            raise RegionError("whole-run simulation never started detail")
+
+
+class MultiCoreSimulator:
+    """A Sniper-like multicore simulator over the repro program model."""
+
+    def __init__(
+        self,
+        program: Program,
+        system: SystemConfig,
+        omp: OmpRuntime,
+        spin: Optional[SpinParams] = None,
+    ) -> None:
+        self.program = program
+        self.system = system
+        self.omp = omp
+        self.spin = spin or SpinParams()
+        self.hierarchy = MemoryHierarchy(system)
+        self.cores = [
+            CoreModel(i, system.core, self.hierarchy)
+            for i in range(system.num_cores)
+        ]
+        self.exec_counts = [
+            [0] * program.num_blocks for _ in range(system.num_cores)
+        ]
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _snapshot(self) -> SimMetrics:
+        m = SimMetrics()
+        for core in self.cores:
+            m.instructions += core.instructions
+            m.filtered_instructions += core.filtered_instructions
+            m.branches += core.predictor.branches
+            m.branch_mispredicts += core.predictor.mispredicts
+            m.l1d_accesses += core.l1d_accesses
+        for i in range(self.system.num_cores):
+            stats = self.hierarchy.core_stats(i)
+            m.l1i_misses += stats["l1i_misses"]
+            m.l1d_misses += stats["l1d_misses"]
+            m.l2_misses += stats["l2_misses"]
+        m.l3_misses = self.hierarchy.l3_misses
+        return m
+
+    def _core_snapshot(self, tid: int) -> Dict[str, int]:
+        """One core's contribution to the (per-core) SimMetrics counters."""
+        core = self.cores[tid]
+        stats = self.hierarchy.core_stats(tid)
+        return {
+            "instructions": core.instructions,
+            "filtered_instructions": core.filtered_instructions,
+            "branches": core.predictor.branches,
+            "branch_mispredicts": core.predictor.mispredicts,
+            "l1d_accesses": core.l1d_accesses,
+            "l1i_misses": stats["l1i_misses"],
+            "l1d_misses": stats["l1d_misses"],
+            "l2_misses": stats["l2_misses"],
+        }
+
+    def _exec(self, tid: int, block: BasicBlock, repeat: int, warming: bool) -> int:
+        start = self.exec_counts[tid][block.bid]
+        self.exec_counts[tid][block.bid] = start + repeat
+        return self.cores[tid].execute_block(block, start, repeat, warming)
+
+    def _spin_fill(self, tid: int, duration: int, warming: bool) -> None:
+        """Fill a wait of ``duration`` cycles with spin-loop iterations."""
+        iters = max(1, duration // self.spin.cycles_per_iteration)
+        self._exec(tid, self.omp.spin_block, iters, warming)
+
+    # ======================================================================
+    # Binary-driven unconstrained simulation
+    # ======================================================================
+
+    def run_binary(
+        self,
+        thread_program: ThreadProgram,
+        nthreads: int,
+        wait_policy: WaitPolicy,
+        regions: Optional[Sequence[RegionOfInterest]] = None,
+        max_events: Optional[int] = None,
+        clip_at_end: bool = False,
+    ) -> List[SimulationResult]:
+        """Simulate the program, measuring each region (whole run if None).
+
+        Regions must be disjoint and given in execution order; the simulator
+        performs one sweep, warming functionally between regions.
+
+        ``clip_at_end`` tolerates region boundaries the execution never
+        reaches (regions past program end are dropped; an open detailed
+        region is closed at termination).  The naive instruction-count
+        baseline needs this: its profiled coordinates routinely overrun the
+        simulated execution, which is precisely its failure mode.
+        """
+        if nthreads > self.system.num_cores:
+            raise SimulationError(
+                f"{nthreads} threads need {nthreads} cores, system has "
+                f"{self.system.num_cores}"
+            )
+        whole_run = not regions
+        if whole_run:
+            regions = [RegionOfInterest(region_id=-1)]
+        ctl = _RegionController(self, regions, nthreads)
+
+        threads = [
+            _SimThread(tid, thread_program.thread_main(tid, nthreads))
+            for tid in range(nthreads)
+        ]
+        cores = self.cores
+        active = wait_policy is WaitPolicy.ACTIVE
+
+        barriers: Dict[int, List[Tuple[int, int]]] = {}
+        locks: Dict[int, _SimLock] = {}
+        chunks: Dict[int, int] = {}
+        singles: set = set()
+        num_events = 0
+
+        while not ctl.finished:
+            best = None
+            best_cycle = None
+            for t in threads:
+                if t.state == _RUNNABLE:
+                    c = cores[t.tid].cycle
+                    if best_cycle is None or c < best_cycle:
+                        best, best_cycle = t, c
+            if best is None:
+                if all(t.state == _DONE for t in threads):
+                    break
+                blocked = [t.tid for t in threads if t.state == _BLOCKED]
+                raise DeadlockError(
+                    f"timing sim: all live threads blocked {blocked}"
+                )
+
+            thread = best
+            tid = thread.tid
+            # Single-event turns keep inter-core drift at one block batch,
+            # which bounds region-boundary jitter on the global clock.
+            for _burst in range(1):
+                if thread.state != _RUNNABLE or ctl.finished:
+                    break
+                try:
+                    event = thread.gen.send(thread.response)
+                except StopIteration:
+                    thread.state = _DONE
+                    break
+                thread.response = None
+                num_events += 1
+                etype = type(event)
+                if etype is BlockExec:
+                    ctl.pre_block(event.block, event.repeat)
+                    if ctl.finished:
+                        break
+                    self._exec(tid, event.block, event.repeat, not ctl.detailed)
+                    ctl.post_block(event.block.n_instr * event.repeat)
+                elif etype is BarrierWait:
+                    self._handle_barrier_timed(
+                        thread, event.barrier_id, barriers, threads, active, ctl
+                    )
+                elif etype is LockAcquire:
+                    self._handle_lock_acquire_timed(
+                        thread, event.lock_id, locks, active, ctl.detailed
+                    )
+                elif etype is LockRelease:
+                    self._handle_lock_release_timed(
+                        thread, event.lock_id, locks, threads, active,
+                        ctl.detailed,
+                    )
+                elif etype is ChunkRequest:
+                    cursor = chunks.get(event.loop_id, 0)
+                    self._exec(tid, self.omp.chunk_fetch, 1, not ctl.detailed)
+                    if cursor >= event.total_iters:
+                        thread.response = -1
+                    else:
+                        thread.response = cursor
+                        chunks[event.loop_id] = cursor + event.chunk_size
+                elif etype is SingleRequest:
+                    granted = event.single_id not in singles
+                    if granted:
+                        singles.add(event.single_id)
+                    thread.response = granted
+                elif etype is Reduce:
+                    self._exec(tid, self.omp.reduce_combine, 1, not ctl.detailed)
+                else:
+                    raise SimulationError(f"unknown event {event!r}")
+                if max_events is not None and num_events > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+
+        ctl.finalize(whole_run, clip_at_end)
+        if len(ctl.results) != len(ctl.rois) and not clip_at_end:
+            raise RegionError(
+                f"{len(ctl.rois) - len(ctl.results)} region(s) never reached"
+            )
+        return ctl.results
+
+    # -- timed synchronization (binary-driven) ------------------------------
+
+    def _handle_barrier_timed(
+        self,
+        thread: _SimThread,
+        barrier_id: int,
+        barriers: Dict[int, List[Tuple[int, int]]],
+        threads: List[_SimThread],
+        active: bool,
+        ctl: _RegionController,
+    ) -> None:
+        tid = thread.tid
+        cores = self.cores
+        warming = not ctl.detailed
+        self._exec(tid, self.omp.barrier_enter, 1, warming)
+        arrivals = barriers.setdefault(barrier_id, [])
+        arrivals.append((cores[tid].cycle, tid))
+        if len(arrivals) < len(threads):
+            thread.state = _BLOCKED
+            thread.park_cycle = cores[tid].cycle
+            if not active:
+                self._exec(tid, self.omp.futex_wait, 1, warming)
+            return
+        # Last arrival releases everyone.
+        release = max(cycle for cycle, _t in arrivals)
+        for arrive_cycle, other_tid in arrivals:
+            other = threads[other_tid]
+            if other_tid != tid:
+                wait = release - arrive_cycle
+                if active:
+                    if wait > 0:
+                        self._spin_fill(other_tid, wait, warming)
+                    cores[other_tid].cycle = release + self.spin.spin_resume_cycles
+                else:
+                    self._exec(other_tid, self.omp.futex_wake, 1, warming)
+                    cores[other_tid].cycle = release + self.spin.futex_wake_cycles
+                other.state = _RUNNABLE
+            self._exec(other_tid, self.omp.barrier_exit, 1, warming)
+        del barriers[barrier_id]
+        ctl.post_barrier_release()
+
+    def _handle_lock_acquire_timed(
+        self,
+        thread: _SimThread,
+        lock_id: int,
+        locks: Dict[int, _SimLock],
+        active: bool,
+        detailed: bool,
+    ) -> None:
+        tid = thread.tid
+        warming = not detailed
+        lock = locks.setdefault(lock_id, _SimLock())
+        if lock.owner is None:
+            lock.owner = tid
+            self._exec(tid, self.omp.lock_acquire, 1, warming)
+            return
+        lock.waiters.append((self.cores[tid].cycle, tid))
+        thread.state = _BLOCKED
+        thread.park_cycle = self.cores[tid].cycle
+        if not active:
+            self._exec(tid, self.omp.futex_wait, 1, warming)
+
+    def _handle_lock_release_timed(
+        self,
+        thread: _SimThread,
+        lock_id: int,
+        locks: Dict[int, _SimLock],
+        threads: List[_SimThread],
+        active: bool,
+        detailed: bool,
+    ) -> None:
+        tid = thread.tid
+        warming = not detailed
+        lock = locks.get(lock_id)
+        if lock is None or lock.owner != tid:
+            raise SimulationError(
+                f"thread {tid} released lock {lock_id} it does not own"
+            )
+        self._exec(tid, self.omp.lock_release, 1, warming)
+        release = self.cores[tid].cycle
+        if not lock.waiters:
+            lock.owner = None
+            return
+        lock.waiters.sort()
+        request_cycle, next_tid = lock.waiters.pop(0)
+        lock.owner = next_tid
+        waiter = threads[next_tid]
+        wait = max(0, release - request_cycle)
+        if active:
+            if wait > 0:
+                self._spin_fill(next_tid, wait, warming)
+            self.cores[next_tid].cycle = (
+                max(release, request_cycle) + self.spin.spin_resume_cycles
+            )
+        else:
+            self._exec(next_tid, self.omp.futex_wake, 1, warming)
+            self.cores[next_tid].cycle = release + self.spin.futex_wake_cycles
+        self._exec(next_tid, self.omp.lock_acquire, 1, warming)
+        waiter.state = _RUNNABLE
+
+    # ======================================================================
+    # ELFie execution (unconstrained executable checkpoints)
+    # ======================================================================
+
+    def run_elfie(self, elfie) -> SimulationResult:
+        """Execute an :class:`~repro.pinplay.elfie.ELFie` unconstrained.
+
+        The ELFie's reconstructed thread code runs under the live
+        synchronization semantics (barriers, locks re-resolved by the
+        timing model), starting from the checkpointed execution counters.
+        Warmup entries run with functional warming; metrics cover the
+        detail portion, per-core-snapshotted at each thread's crossing.
+        """
+        nthreads = elfie.nthreads
+        if nthreads > self.system.num_cores:
+            raise SimulationError(
+                f"ELFie has {nthreads} threads, system has "
+                f"{self.system.num_cores} cores"
+            )
+        if elfie.start_exec_counts:
+            for tid in range(nthreads):
+                self.exec_counts[tid] = list(elfie.start_exec_counts[tid])
+
+        threads = [
+            _SimThread(tid, elfie.thread_main(self.program, tid))
+            for tid in range(nthreads)
+        ]
+        cores = self.cores
+        progress = [0] * nthreads
+        detail_at = list(elfie.detail_positions) if elfie.detail_positions \
+            else [0] * nthreads
+        in_detail = [progress[t] >= detail_at[t] for t in range(nthreads)]
+        core_snaps = [
+            self._core_snapshot(t) if in_detail[t] else None
+            for t in range(nthreads)
+        ]
+        l3_snap = self.hierarchy.l3_misses if any(in_detail) else None
+        detail_started = all(in_detail)
+        start_cycle = 0
+
+        barriers: Dict[int, List[Tuple[int, int]]] = {}
+        locks: Dict[int, _SimLock] = {}
+        singles: set = set()
+        # ELFie barriers involve only this region's threads; use a dummy
+        # controller-free barrier handler via a local class:
+        ctl_stub = _NullController()
+
+        while True:
+            best = None
+            best_cycle = None
+            for t in threads:
+                if t.state == _RUNNABLE:
+                    c = cores[t.tid].cycle
+                    if best_cycle is None or c < best_cycle:
+                        best, best_cycle = t, c
+            if best is None:
+                if all(t.state == _DONE for t in threads):
+                    break
+                # Clipped region edges can leave some threads waiting at a
+                # final barrier that others never reach; end gracefully.
+                break
+
+            thread = best
+            tid = thread.tid
+            try:
+                event = thread.gen.send(thread.response)
+            except StopIteration:
+                thread.state = _DONE
+                continue
+            thread.response = None
+            warming = not in_detail[tid]
+            etype = type(event)
+            if etype is BlockExec:
+                self._exec(tid, event.block, event.repeat, warming)
+            elif etype is BarrierWait:
+                self._handle_barrier_timed(
+                    thread, event.barrier_id, barriers, threads,
+                    active=False, ctl=ctl_stub,
+                )
+            elif etype is LockAcquire:
+                self._handle_lock_acquire_timed(
+                    thread, event.lock_id, locks, False, not warming
+                )
+            elif etype is LockRelease:
+                self._handle_lock_release_timed(
+                    thread, event.lock_id, locks, threads, False, not warming
+                )
+            elif etype is SingleRequest:
+                granted = event.single_id not in singles
+                if granted:
+                    singles.add(event.single_id)
+                thread.response = granted
+            else:
+                raise SimulationError(f"unexpected ELFie event {event!r}")
+            progress[tid] += 1
+            if not in_detail[tid] and progress[tid] >= detail_at[tid]:
+                in_detail[tid] = True
+                core_snaps[tid] = self._core_snapshot(tid)
+                if l3_snap is None:
+                    l3_snap = self.hierarchy.l3_misses
+                if not detail_started and all(in_detail):
+                    detail_started = True
+                    start_cycle = max(
+                        cores[i].cycle for i in range(nthreads)
+                    )
+
+        if not detail_started:
+            raise RegionError("ELFie never reached its detail portion")
+        end_cycle = max(cores[i].cycle for i in range(nthreads))
+        metrics = SimMetrics()
+        for t in range(nthreads):
+            now = self._core_snapshot(t)
+            snap = core_snaps[t]
+            for key, value in now.items():
+                setattr(metrics, key, getattr(metrics, key) + value - snap[key])
+        metrics.l3_misses = self.hierarchy.l3_misses - (l3_snap or 0)
+        metrics.cycles = max(1, end_cycle - start_cycle)
+        return SimulationResult(
+            region_id=elfie.region_id,
+            metrics=metrics,
+            start_cycle=start_cycle,
+            end_cycle=end_cycle,
+        )
+
+    # ======================================================================
+    # Checkpoint-driven constrained simulation
+    # ======================================================================
+
+    def run_pinball(self, pinball: Pinball) -> SimulationResult:
+        """Constrained simulation of a (region) pinball.
+
+        The recorded sync order is enforced exactly: a thread whose next
+        sync action is not yet due stalls (its recorded spin iterations, if
+        any, were already captured in the logs).  For a
+        :class:`RegionPinball`, warmup entries run with functional warming
+        and metrics cover only the detail portion.
+        """
+        nthreads = pinball.nthreads
+        if nthreads > self.system.num_cores:
+            raise SimulationError(
+                f"pinball has {nthreads} threads, system has "
+                f"{self.system.num_cores} cores"
+            )
+        logs = pinball.logs
+        is_region = isinstance(pinball, RegionPinball)
+        if is_region and pinball.start_exec_counts:
+            for tid in range(nthreads):
+                self.exec_counts[tid] = list(pinball.start_exec_counts[tid])
+        detail_at = (
+            list(pinball.detail_positions) if is_region and
+            pinball.detail_positions else [0] * nthreads
+        )
+
+        pos = [0] * nthreads
+        ends = [len(log) for log in logs]
+        next_gseq = 0
+        # PinPlay enforces the recorded order of *conflicting* accesses (the
+        # per-address .race dependencies), not one global total order; the
+        # time coupling is therefore per synchronization object, while the
+        # gseq gate still fixes the global interleaving of sync actions.
+        last_sync_cycle: Dict[tuple, int] = {}
+        cores = self.cores
+        program = self.program
+        in_detail = [pos[t] >= detail_at[t] for t in range(nthreads)]
+        # Each core's counters are snapshotted when *its* thread crosses
+        # into the detail portion — threads drift during constrained replay,
+        # so a single global snapshot would misattribute work near the
+        # boundary.  The shared L3 is snapshotted at the first crossing.
+        core_snaps: List[Optional[Dict[str, int]]] = [
+            self._core_snapshot(t) if in_detail[t] else None
+            for t in range(nthreads)
+        ]
+        l3_snap = self.hierarchy.l3_misses if any(in_detail) else None
+        detail_started = all(in_detail)
+        start_cycle = 0
+
+        live = set(t for t in range(nthreads) if pos[t] < ends[t])
+        while live:
+            best = None
+            best_cycle = None
+            for t in live:
+                entry = logs[t][pos[t]]
+                if entry[0] == "s" and entry[4] != next_gseq:
+                    continue
+                c = cores[t].cycle
+                if best_cycle is None or c < best_cycle:
+                    best, best_cycle = t, c
+            if best is None:
+                raise DeadlockError(f"constrained sim stuck at gseq {next_gseq}")
+            t = best
+            entry = logs[t][pos[t]]
+            if entry[0] == "b":
+                block = program.blocks[entry[1]]
+                self._exec(t, block, entry[2], not in_detail[t])
+            else:
+                # The artificial stall: this thread may have been ready long
+                # before its turn at this object in the recorded order.
+                key = (entry[1], entry[2])
+                due = last_sync_cycle.get(key, 0)
+                if cores[t].cycle < due:
+                    cores[t].cycle = due
+                next_gseq += 1
+                last_sync_cycle[key] = cores[t].cycle
+            pos[t] += 1
+            if not in_detail[t] and pos[t] >= detail_at[t]:
+                in_detail[t] = True
+                core_snaps[t] = self._core_snapshot(t)
+                if l3_snap is None:
+                    l3_snap = self.hierarchy.l3_misses
+                if not detail_started and all(in_detail):
+                    detail_started = True
+                    start_cycle = max(cores[i].cycle for i in range(nthreads))
+            if pos[t] >= ends[t]:
+                live.discard(t)
+
+        if not detail_started:
+            raise RegionError("pinball never reached its detail portion")
+        end_cycle = max(cores[i].cycle for i in range(nthreads))
+        metrics = SimMetrics()
+        for t in range(nthreads):
+            now = self._core_snapshot(t)
+            snap = core_snaps[t]
+            for key, value in now.items():
+                setattr(metrics, key, getattr(metrics, key) + value - snap[key])
+        metrics.l3_misses = self.hierarchy.l3_misses - (l3_snap or 0)
+        metrics.cycles = max(1, end_cycle - start_cycle)
+        return SimulationResult(
+            region_id=getattr(pinball, "region_id", -1),
+            metrics=metrics,
+            start_cycle=start_cycle,
+            end_cycle=end_cycle,
+        )

@@ -1,0 +1,42 @@
+"""The :class:`Workload` container: one runnable benchmark configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import WorkloadError
+from ..isa.image import Program
+from ..runtime.omp import OmpRuntime
+from ..runtime.thread import ThreadProgram
+
+
+@dataclass
+class Workload:
+    """A benchmark bound to a thread count and input class.
+
+    ``metadata`` carries the Table II/III attributes (language, KLOC,
+    application area, synchronization primitives used) plus model-specific
+    notes.
+    """
+
+    name: str
+    suite: str
+    input_class: str
+    nthreads: int
+    program: Program
+    thread_program: ThreadProgram
+    omp: OmpRuntime
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nthreads < 1:
+            raise WorkloadError(f"{self.name}: nthreads must be >= 1")
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.suite}/{self.name}.{self.input_class}.{self.nthreads}t"
+
+    def approximate_instructions(self) -> int:
+        """Static estimate of application (filtered) instructions."""
+        return self.thread_program.total_instructions(self.nthreads)

@@ -1,0 +1,73 @@
+"""The ``matrix-omp`` demo application from the paper's artifact.
+
+A small blocked matrix multiply: enough phases and iterations to exercise
+the whole LoopPoint pipeline end-to-end in seconds (the artifact's
+``demo-matrix-1``), with variants 2 and 3 adding a transpose pass and an
+imbalanced triangular update.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import ReproScale, get_scale
+from ..errors import WorkloadError
+from ..runtime.constructs import Barrier, Construct, ParallelFor, Serial
+from ..runtime.thread import ThreadProgram
+from .base import Workload
+from .generators import AppAssembler, Mem, make_trips
+
+
+def build_demo_matrix(
+    variant: int = 1,
+    input_class: str = "test",
+    nthreads: int = 8,
+    scale: ReproScale = None,
+) -> Workload:
+    """Build ``demo-matrix-<variant>`` (variants 1-3)."""
+    if variant not in (1, 2, 3):
+        raise WorkloadError(f"demo-matrix variant must be 1..3, got {variant}")
+    scale = scale or get_scale()
+    s = scale.input_scale.get(input_class, 0.25)
+    asm = AppAssembler(f"demo-matrix-{variant}", seed=90 + variant)
+    mul = asm.phase("matmul_kernel", ialu=3, fp=6,
+                    loads=[Mem("strided", 128), Mem("strided", 128)],
+                    stores=[Mem("strided", 128)])
+    init = asm.phase("init_matrices", ialu=5, fp=0,
+                     stores=[Mem("strided", 128)])
+    transpose = asm.phase("transpose", ialu=5, fp=0,
+                          loads=[Mem("strided", 128, stride=512)],
+                          stores=[Mem("strided", 128)])
+    triangular = asm.phase("tri_update", ialu=4, fp=4,
+                           loads=[Mem("strided", 128)],
+                           stores=[Mem("strided", 128)])
+
+    outer = nthreads * 6
+    trips = max(4, int(50 * min(2.0, s * 4)))
+    repeats = max(3, int(12 * s * 4))
+    constructs: List[Construct] = [
+        Serial(init.work(max(2, trips // 4)), iters=max(2, outer // 4)),
+    ]
+    for r in range(repeats):
+        constructs.append(ParallelFor(mul.work(trips), outer))
+        if variant >= 2:
+            constructs.append(ParallelFor(transpose.work(trips // 2), outer))
+        if variant >= 3:
+            constructs.append(ParallelFor(
+                triangular.work(
+                    make_trips(trips, "ramp", total_iters=outer,
+                               nthreads=nthreads, amplitude=2.0)
+                ),
+                outer,
+            ))
+        constructs.append(Barrier())
+    return Workload(
+        name=f"demo-matrix-{variant}",
+        suite="demo",
+        input_class=input_class,
+        nthreads=nthreads,
+        program=asm.finalize(),
+        thread_program=ThreadProgram(constructs),
+        omp=asm.omp,
+        metadata={"notes": "artifact demo application"},
+    )

@@ -1,0 +1,315 @@
+"""NAS Parallel Benchmarks-like workload models (OpenMP, class-scaled).
+
+The NPB kernels are more repetitive than SPEC CPU2017 (a single dominant
+timestep pattern), which in the paper shows up as lower prediction errors
+and larger speedups (Sec. V-B).  ``npb-dc`` is omitted, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..config import ReproScale
+from ..errors import WorkloadError
+from ..runtime.constructs import (
+    AtomicSpec,
+    Barrier,
+    Construct,
+    CriticalSpec,
+    Master,
+    ParallelFor,
+    SCHEDULE_DYNAMIC,
+)
+from ..runtime.thread import ThreadProgram
+from .base import Workload
+from .generators import AppAssembler, Mem, input_factors, make_trips
+
+
+def _factors(scale: ReproScale, input_class: str):
+    try:
+        s = scale.input_scale[input_class]
+    except KeyError:
+        raise WorkloadError(
+            f"input class {input_class!r} not defined for scale {scale.name}"
+        ) from None
+    return input_factors(s)
+
+
+# NPB class inputs are fixed problem sizes: iteration spaces are sized for
+# the 8-thread baseline and do not grow with the thread count, so 16-thread
+# runs divide the same work (fewer, larger slices -> lower speedups, as in
+# Fig. 10 of the paper).
+
+
+def _mk(asm, constructs, name, input_class, nthreads, notes) -> Workload:
+    return Workload(
+        name=name,
+        suite="npb",
+        input_class=input_class,
+        nthreads=nthreads,
+        program=asm.finalize(),
+        thread_program=ThreadProgram(constructs),
+        omp=asm.omp,
+        metadata={"notes": notes},
+    )
+
+
+def build_bt(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """BT: block-tridiagonal solver — three sweeps plus RHS per step."""
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler("npb-bt", seed=71)
+    # All sweeps update the same solution grid, as in the real kernel.
+    grid = asm.array(256)
+    rhs_arr = asm.array(128)
+    rhs = asm.phase("compute_rhs", ialu=4, fp=6,
+                    loads=[grid, rhs_arr], stores=[rhs_arr])
+    xs = asm.phase("x_solve", ialu=3, fp=7, loads=[grid], stores=[grid])
+    ys = asm.phase("y_solve", ialu=3, fp=7,
+                   loads=[asm.array(256, stride=64)], stores=[grid])
+    zs = asm.phase("z_solve", ialu=3, fp=7,
+                   loads=[asm.array(256, stride=256)], stores=[grid])
+    outer = 16 * 8
+    trips = max(4, int(75 * tr_f))
+    steps = max(4, int(16 * ts_f))
+    constructs: List[Construct] = []
+    for _ in range(steps):
+        constructs.append(ParallelFor(rhs.work(trips), outer))
+        constructs.append(ParallelFor(xs.work(trips), outer))
+        constructs.append(ParallelFor(ys.work(trips), outer))
+        constructs.append(ParallelFor(zs.work(trips), outer))
+        constructs.append(Barrier())
+    return _mk(asm, constructs, "npb-bt", input_class, nthreads,
+               "block tridiagonal sweeps")
+
+
+def build_cg(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """CG: sparse conjugate gradient — irregular matvec plus reductions."""
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler("npb-cg", seed=72)
+    spmv = asm.phase("sparse_matvec", ialu=5, fp=4,
+                     loads=[Mem("random", 768), Mem("strided", 64)],
+                     cond_prob=0.1)
+    dots = asm.phase("dot_products", ialu=3, fp=4, loads=[Mem("strided", 96)])
+    axpy = asm.phase("vector_update", ialu=2, fp=4,
+                     loads=[Mem("strided", 96)], stores=[Mem("strided", 96)])
+    outer = 16 * 6
+    trips = max(4, int(75 * tr_f))
+    steps = max(5, int(20 * ts_f))
+    constructs: List[Construct] = []
+    for _ in range(steps):
+        constructs.append(ParallelFor(spmv.work(trips), outer))
+        constructs.append(ParallelFor(dots.work(trips // 2), outer,
+                                      reduction=True))
+        constructs.append(ParallelFor(axpy.work(trips // 2), outer))
+    return _mk(asm, constructs, "npb-cg", input_class, nthreads,
+               "sparse matvec + reductions")
+
+
+def build_ep(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """EP: embarrassingly parallel — one phase, nearly no synchronization."""
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler("npb-ep", seed=73)
+    gauss = asm.phase("gaussian_pairs", ialu=4, fp=8,
+                      loads=[Mem("strided", 32)], cond_prob=0.21)
+    outer = 16 * 10
+    trips = max(12, int(350 * tr_f))
+    steps = max(3, int(7 * ts_f))
+    constructs: List[Construct] = []
+    for _ in range(steps):
+        constructs.append(ParallelFor(gauss.work(trips), outer, reduction=True))
+    return _mk(asm, constructs, "npb-ep", input_class, nthreads,
+               "embarrassingly parallel; one repeated phase")
+
+
+def build_ft(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """FT: 3-D FFT — compute butterflies plus cache-hostile transposes."""
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler("npb-ft", seed=74)
+    fft_x = asm.phase("cffts1", ialu=3, fp=8, loads=[Mem("strided", 512)],
+                      stores=[Mem("strided", 512)])
+    fft_y = asm.phase("cffts2", ialu=3, fp=8,
+                      loads=[Mem("strided", 512, stride=128)],
+                      stores=[Mem("strided", 512, stride=128)])
+    transpose = asm.phase("transpose", ialu=5, fp=1,
+                          loads=[Mem("strided", 512, stride=512)],
+                          stores=[Mem("strided", 512)])
+    evolve = asm.phase("evolve", ialu=2, fp=6, loads=[Mem("strided", 256)],
+                       stores=[Mem("strided", 256)])
+    outer = 16 * 5
+    trips = max(4, int(85 * tr_f))
+    steps = max(3, int(13 * ts_f))
+    constructs: List[Construct] = []
+    for _ in range(steps):
+        constructs.append(ParallelFor(evolve.work(trips // 2), outer))
+        constructs.append(ParallelFor(fft_x.work(trips), outer))
+        constructs.append(ParallelFor(fft_y.work(trips), outer))
+        constructs.append(ParallelFor(transpose.work(trips // 2), outer))
+        constructs.append(Barrier())
+    return _mk(asm, constructs, "npb-ft", input_class, nthreads,
+               "FFT sweeps + transposes")
+
+
+def build_is(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """IS: integer bucket sort — random keys, integer-only, atomics."""
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler("npb-is", seed=75)
+    count = asm.phase("count_keys", ialu=7, fp=0, loads=[Mem("random", 512)],
+                      cond_prob=0.15)
+    rank = asm.phase("rank_keys", ialu=6, fp=0,
+                     loads=[Mem("random", 512), Mem("strided", 64)],
+                     stores=[Mem("strided", 64)])
+    atom = asm.atomic_block("bucket")
+    outer = 16 * 6
+    trips = max(4, int(80 * tr_f))
+    steps = max(4, int(17 * ts_f))
+    constructs: List[Construct] = []
+    for _ in range(steps):
+        constructs.append(ParallelFor(count.work(trips), outer,
+                                      atomic=AtomicSpec(block=atom, every=4)))
+        constructs.append(ParallelFor(rank.work(trips), outer))
+        constructs.append(Barrier())
+    return _mk(asm, constructs, "npb-is", input_class, nthreads,
+               "bucket count/rank; integer-only")
+
+
+def build_lu(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """LU: SSOR solver — wavefront-flavoured sweeps with imbalance."""
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler("npb-lu", seed=76)
+    jacld = asm.phase("jacld", ialu=4, fp=6, loads=[Mem("strided", 192)],
+                      stores=[Mem("strided", 192)])
+    blts = asm.phase("blts", ialu=3, fp=7, loads=[Mem("strided", 192)],
+                     stores=[Mem("strided", 96)])
+    jacu = asm.phase("jacu", ialu=4, fp=6, loads=[Mem("strided", 192)],
+                     stores=[Mem("strided", 192)])
+    buts = asm.phase("buts", ialu=3, fp=7, loads=[Mem("strided", 192)],
+                     stores=[Mem("strided", 96)])
+    outer = 16 * 5
+    trips = max(4, int(65 * tr_f))
+    steps = max(4, int(16 * ts_f))
+    constructs: List[Construct] = []
+    for step in range(steps):
+        lower = make_trips(trips, "ramp", total_iters=outer,
+                           nthreads=nthreads, amplitude=1.6)
+        upper = make_trips(trips, "ramp", total_iters=outer,
+                           nthreads=nthreads, amplitude=1.6)
+        constructs.append(ParallelFor(jacld.work(trips), outer))
+        constructs.append(ParallelFor(blts.work(lower), outer))
+        constructs.append(Barrier())
+        constructs.append(ParallelFor(jacu.work(trips), outer))
+        constructs.append(ParallelFor(buts.work(upper), outer))
+        constructs.append(Barrier())
+    return _mk(asm, constructs, "npb-lu", input_class, nthreads,
+               "SSOR lower/upper sweeps")
+
+
+def build_mg(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """MG: multigrid V-cycle — per-level working sets differ widely."""
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler("npb-mg", seed=77)
+    levels = [
+        asm.phase(f"relax_l{d}", ialu=4, fp=6,
+                  loads=[Mem("strided", ws)], stores=[Mem("strided", ws)])
+        for d, ws in enumerate((1024, 256, 64, 16))
+    ]
+    restrictp = asm.phase("restrict", ialu=5, fp=3, loads=[Mem("strided", 512)],
+                          stores=[Mem("strided", 128)])
+    prolong = asm.phase("prolongate", ialu=5, fp=3, loads=[Mem("strided", 128)],
+                        stores=[Mem("strided", 512)])
+    outer = 16 * 5
+    trips = max(4, int(60 * tr_f))
+    steps = max(3, int(12 * ts_f))
+    constructs: List[Construct] = []
+    for _ in range(steps):
+        # Down the V.
+        for depth, phase in enumerate(levels):
+            constructs.append(ParallelFor(
+                phase.work(max(2, trips >> depth)), outer))
+            if depth < len(levels) - 1:
+                constructs.append(ParallelFor(
+                    restrictp.work(max(2, trips >> (depth + 1))), outer))
+        # Up the V.
+        for depth in range(len(levels) - 2, -1, -1):
+            constructs.append(ParallelFor(
+                prolong.work(max(2, trips >> (depth + 1))), outer))
+            constructs.append(ParallelFor(
+                levels[depth].work(max(2, trips >> depth)), outer))
+        constructs.append(Barrier())
+    return _mk(asm, constructs, "npb-mg", input_class, nthreads,
+               "V-cycle; per-level working sets")
+
+
+def build_sp(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """SP: scalar pentadiagonal — like BT with lighter per-line solves."""
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler("npb-sp", seed=78)
+    rhs = asm.phase("compute_rhs", ialu=5, fp=5,
+                    loads=[Mem("strided", 192)], stores=[Mem("strided", 96)])
+    tx = asm.phase("txinvr", ialu=3, fp=6, loads=[Mem("strided", 192)],
+                   stores=[Mem("strided", 192)])
+    xs = asm.phase("x_solve", ialu=3, fp=6, loads=[Mem("strided", 192)],
+                   stores=[Mem("strided", 192)])
+    ys = asm.phase("y_solve", ialu=3, fp=6,
+                   loads=[Mem("strided", 192, stride=64)],
+                   stores=[Mem("strided", 192, stride=64)])
+    zs = asm.phase("z_solve", ialu=3, fp=6,
+                   loads=[Mem("strided", 192, stride=192)],
+                   stores=[Mem("strided", 192, stride=192)])
+    outer = 16 * 6
+    trips = max(4, int(60 * tr_f))
+    steps = max(4, int(17 * ts_f))
+    constructs: List[Construct] = []
+    for _ in range(steps):
+        constructs.append(ParallelFor(rhs.work(trips), outer))
+        constructs.append(ParallelFor(tx.work(max(2, trips // 2)), outer))
+        constructs.append(ParallelFor(xs.work(trips), outer))
+        constructs.append(ParallelFor(ys.work(trips), outer))
+        constructs.append(ParallelFor(zs.work(trips), outer))
+        constructs.append(Barrier())
+    return _mk(asm, constructs, "npb-sp", input_class, nthreads,
+               "pentadiagonal sweeps")
+
+
+def build_ua(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """UA: unstructured adaptive — irregular access, dynamic scheduling."""
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler("npb-ua", seed=79)
+    gather = asm.phase("gather_scatter", ialu=6, fp=3,
+                       loads=[Mem("random", 640)], cond_prob=0.2)
+    elemwork = asm.phase("element_ops", ialu=4, fp=7,
+                         loads=[Mem("strided", 128)], stores=[Mem("strided", 128)])
+    adapt = asm.phase("mesh_adapt", ialu=8, fp=2, loads=[Mem("chase", 192)],
+                      cond_prob=0.35)
+    atom = asm.atomic_block("dof")
+    outer = 16 * 5
+    trips = max(4, int(65 * tr_f))
+    steps = max(4, int(15 * ts_f))
+    constructs: List[Construct] = []
+    for step in range(steps):
+        constructs.append(ParallelFor(
+            gather.work(trips),
+            outer, schedule=SCHEDULE_DYNAMIC, chunk=8,
+            atomic=AtomicSpec(block=atom, every=5)))
+        constructs.append(ParallelFor(elemwork.work(trips), outer))
+        constructs.append(Barrier())
+        if step % 6 == 0:
+            constructs.append(ParallelFor(
+                adapt.work(max(2, trips // 2)), outer,
+                schedule=SCHEDULE_DYNAMIC, chunk=2))
+            constructs.append(Barrier())
+    return _mk(asm, constructs, "npb-ua", input_class, nthreads,
+               "unstructured gather/scatter; adaptive every 6 steps")
+
+
+#: All NPB builders (dc omitted, as in the paper).
+NPB_BUILDERS: Dict[str, Callable] = {
+    "npb-bt": build_bt,
+    "npb-cg": build_cg,
+    "npb-ep": build_ep,
+    "npb-ft": build_ft,
+    "npb-is": build_is,
+    "npb-lu": build_lu,
+    "npb-mg": build_mg,
+    "npb-sp": build_sp,
+    "npb-ua": build_ua,
+}

@@ -1,0 +1,57 @@
+"""Workload lookup: ``get_workload(name, input_class, nthreads)``.
+
+Names follow the artifact's ``<suite>-<application>-<input>`` spirit:
+SPEC models use their ``NNN.name_s.V`` app.input names, NPB models are
+``npb-xx``, and the demo is ``demo-matrix-N``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import ReproScale, get_scale
+from ..errors import WorkloadError
+from .base import Workload
+from .demo import build_demo_matrix
+from .npb import NPB_BUILDERS
+from .spec import SPEC_BUILDERS
+
+#: The 14 SPEC CPU2017-speed app.input combinations of the evaluation.
+SPEC_TRAIN_APPS: List[str] = list(SPEC_BUILDERS)
+
+#: The NPB applications evaluated (dc omitted, as in the paper).
+NPB_APPS: List[str] = list(NPB_BUILDERS)
+
+_DEMO_APPS = ["demo-matrix-1", "demo-matrix-2", "demo-matrix-3"]
+
+
+def list_workloads() -> List[str]:
+    """All known workload names."""
+    return SPEC_TRAIN_APPS + NPB_APPS + _DEMO_APPS
+
+
+def get_workload(
+    name: str,
+    input_class: Optional[str] = None,
+    nthreads: int = 8,
+    scale: Optional[ReproScale] = None,
+) -> Workload:
+    """Build a workload model by name.
+
+    ``input_class`` defaults to ``train`` for SPEC, ``C`` for NPB, and
+    ``test`` for the demo.  Note that 657.xz_s pins its own thread counts
+    (``.1`` single-threaded, ``.2`` 4-threaded), as in the paper.
+    """
+    scale = scale or get_scale()
+    if name in SPEC_BUILDERS:
+        return SPEC_BUILDERS[name](input_class or "train", nthreads, scale)
+    if name in NPB_BUILDERS:
+        return NPB_BUILDERS[name](input_class or "C", nthreads, scale)
+    if name in _DEMO_APPS:
+        variant = int(name.rsplit("-", 1)[1])
+        return build_demo_matrix(
+            variant, input_class or "test", nthreads, scale
+        )
+    raise WorkloadError(
+        f"unknown workload {name!r}; known: {', '.join(list_workloads())}"
+    )

@@ -1,0 +1,610 @@
+"""SPEC CPU2017 speed-like workload models (Tables II and III).
+
+Each model mirrors the traits of its namesake that matter to sampled
+simulation: phase count and diversity, synchronization primitives used
+(Table III), load balance, working-set behaviour, and how the input class
+(train vs ref) scales the run.  Personalities that drive specific results in
+the paper:
+
+* ``638.imagick_s.1`` — a handful of giant parallel loops; its largest
+  inter-barrier region is comparable to the whole run (93.06B of 93.35B
+  instructions in the paper), which defeats BarrierPoint (Fig. 9).
+* ``657.xz_s.1`` — runs single-threaded; ``657.xz_s.2`` runs 4-threaded with
+  strong, time-varying per-thread imbalance (Fig. 3) and *no barriers*, the
+  workload with up to 40% spin instructions under the ACTIVE policy.
+* ``621.wrf_s.1`` / ``627.cam4_s.1`` — many diverse phases, master/serial
+  sections, dynamic scheduling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from ..config import ReproScale
+from ..errors import WorkloadError
+from ..runtime.constructs import (
+    AtomicSpec,
+    Barrier,
+    Construct,
+    CriticalSpec,
+    LoopWork,
+    Master,
+    ParallelFor,
+    Serial,
+    Single,
+    SCHEDULE_DYNAMIC,
+    SCHEDULE_STATIC,
+)
+from ..runtime.thread import ThreadProgram
+from .base import Workload
+from .generators import AppAssembler, Mem, Phase, input_factors, make_trips
+
+#: Table II rows: (language, KLOC, application area).
+TABLE_II: Dict[str, tuple] = {
+    "603.bwaves_s": ("F", 1, "Explosion modeling"),
+    "607.cactuBSSN_s": ("F, C++", 257, "Physics: relativity"),
+    "619.lbm_s": ("C", 1, "Fluid dynamics"),
+    "621.wrf_s": ("F, C", 991, "Weather forecasting"),
+    "627.cam4_s": ("F, C", 407, "Atmosphere modeling"),
+    "628.pop2_s": ("F, C", 338, "Wide-scale ocean modeling"),
+    "638.imagick_s": ("C", 259, "Image manipulation"),
+    "644.nab_s": ("C", 24, "Molecular dynamics"),
+    "649.fotonik3d_s": ("F", 14, "Comp. Electromagnetics"),
+    "654.roms_s": ("F", 210, "Regional ocean modeling"),
+    "657.xz_s": ("C", 33, "General data compression"),
+}
+
+#: Table III rows: synchronization primitives used per application.
+TABLE_III: Dict[str, Dict[str, bool]] = {
+    "603.bwaves_s": dict(sta4=True, red=True, lck=True),
+    "607.cactuBSSN_s": dict(sta4=True, dyn4=True, bar=True, red=True, lck=True),
+    "619.lbm_s": dict(sta4=True),
+    "621.wrf_s": dict(dyn4=True, ma=True),
+    "627.cam4_s": dict(sta4=True, dyn4=True, bar=True, ma=True),
+    "628.pop2_s": dict(sta4=True, bar=True, ma=True),
+    "638.imagick_s": dict(sta4=True, bar=True, ma=True, si=True, red=True),
+    "644.nab_s": dict(dyn4=True, bar=True, at=True, lck=True),
+    "649.fotonik3d_s": dict(sta4=True),
+    "654.roms_s": dict(sta4=True),
+    "657.xz_s": dict(at=True, lck=True),
+}
+
+_SYNC_KEYS = ("sta4", "dyn4", "bar", "ma", "si", "red", "at", "lck")
+
+
+def _metadata(base_name: str, notes: str = "") -> Dict[str, object]:
+    lang, kloc, area = TABLE_II[base_name]
+    sync = {k: TABLE_III[base_name].get(k, False) for k in _SYNC_KEYS}
+    return {
+        "language": lang,
+        "kloc": kloc,
+        "area": area,
+        "sync": sync,
+        "notes": notes,
+    }
+
+
+def _mk_workload(
+    asm: AppAssembler,
+    constructs: List[Construct],
+    name: str,
+    input_class: str,
+    nthreads: int,
+    metadata: Dict[str, object],
+) -> Workload:
+    program = asm.finalize()
+    return Workload(
+        name=name,
+        suite="spec2017",
+        input_class=input_class,
+        nthreads=nthreads,
+        program=program,
+        thread_program=ThreadProgram(constructs),
+        omp=asm.omp,
+        metadata=metadata,
+    )
+
+
+def _factors(scale: ReproScale, input_class: str) -> tuple:
+    try:
+        s = scale.input_scale[input_class]
+    except KeyError:
+        raise WorkloadError(
+            f"input class {input_class!r} not defined for scale {scale.name}"
+        ) from None
+    return input_factors(s)
+
+
+# ---------------------------------------------------------------------------
+# Individual application models
+# ---------------------------------------------------------------------------
+
+
+def build_bwaves(
+    input_class: str, nthreads: int, scale: ReproScale, variant: int = 1
+) -> Workload:
+    """603.bwaves_s: FP stencil sweeps + a reduced norm with a lock."""
+    name = f"603.bwaves_s.{variant}"
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler(name, seed=603 + variant)
+    ws = 192 if variant == 1 else 384  # KB per thread plane
+    sweep_x = asm.phase("mat_times_vec_x", ialu=3, fp=6,
+                        loads=[Mem("strided", ws), Mem("strided", ws // 2)],
+                        stores=[Mem("strided", ws)])
+    sweep_y = asm.phase("mat_times_vec_y", ialu=4, fp=5,
+                        loads=[Mem("strided", ws, stride=64)],
+                        stores=[Mem("strided", ws // 2)])
+    solver = asm.phase("bi_cgstab", ialu=5, fp=7,
+                       loads=[Mem("strided", ws), Mem("shared", 64)],
+                       stores=[Mem("strided", ws // 2)], split_body=True)
+    norm = asm.phase("norm", ialu=4, fp=3, loads=[Mem("shared", 128)])
+    crit = asm.critical_block("norm")
+
+    outer = nthreads * 8
+    trips = max(4, int(170 * tr_f))
+    timesteps = max(3, int((20 if variant == 1 else 26) * ts_f))
+    constructs: List[Construct] = []
+    for _step in range(timesteps):
+        constructs.append(ParallelFor(sweep_x.work(trips), outer))
+        constructs.append(ParallelFor(sweep_y.work(trips), outer))
+        constructs.append(ParallelFor(
+            solver.work(int(trips * 1.3)), outer, reduction=True))
+        constructs.append(ParallelFor(
+            norm.work(max(2, trips // 4)), outer,
+            critical=CriticalSpec(lock_id=1, block=crit, every=nthreads * 2),
+            reduction=True,
+        ))
+    return _mk_workload(
+        asm, constructs, name, input_class, nthreads,
+        _metadata("603.bwaves_s", "stencil sweeps + reduced norms"),
+    )
+
+
+def build_cactu(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """607.cactuBSSN_s: many diverse FP phases, mixed scheduling, barriers."""
+    name = "607.cactuBSSN_s.1"
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler(name, seed=607)
+    phases = [
+        asm.phase("bssn_rhs", ialu=4, fp=8,
+                  loads=[Mem("strided", 256), Mem("strided", 128)],
+                  stores=[Mem("strided", 128)], split_body=True),
+        asm.phase("ricci", ialu=5, fp=6, loads=[Mem("strided", 320)],
+                  stores=[Mem("strided", 64)]),
+        asm.phase("constraints", ialu=6, fp=4,
+                  loads=[Mem("random", 512)], cond_prob=0.2),
+        asm.phase("sommerfeld_bc", ialu=7, fp=2, loads=[Mem("strided", 32)],
+                  stores=[Mem("strided", 32)]),
+        asm.phase("dissipation", ialu=3, fp=5, loads=[Mem("strided", 256)],
+                  stores=[Mem("strided", 256)]),
+        asm.phase("mol_update", ialu=4, fp=4, loads=[Mem("strided", 192)],
+                  stores=[Mem("strided", 192)]),
+    ]
+    crit = asm.critical_block("horizon")
+    outer = nthreads * 6
+    trips = max(4, int(140 * tr_f))
+    timesteps = max(3, int(14 * ts_f))
+    constructs: List[Construct] = []
+    for step in range(timesteps):
+        constructs.append(ParallelFor(phases[0].work(trips), outer))
+        constructs.append(ParallelFor(phases[1].work(trips), outer))
+        constructs.append(ParallelFor(phases[2].work(trips), outer))
+        constructs.append(Barrier())
+        constructs.append(ParallelFor(
+            phases[3].work(trips // 2), outer,
+            schedule=SCHEDULE_DYNAMIC, chunk=8,
+        ))
+        constructs.append(ParallelFor(phases[4].work(trips), outer))
+        if step % 4 == 0:
+            constructs.append(ParallelFor(
+                phases[5].work(trips), outer,
+                critical=CriticalSpec(lock_id=2, block=crit, every=outer // 2),
+                reduction=True,
+            ))
+    return _mk_workload(
+        asm, constructs, name, input_class, nthreads,
+        _metadata("607.cactuBSSN_s", "BSSN evolution, mixed schedules"),
+    )
+
+
+def build_lbm(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """619.lbm_s: two alternating, highly regular, DRAM-heavy stencils."""
+    name = "619.lbm_s.1"
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler(name, seed=619)
+    # Two grids ping-ponged between the phases, as in the real LBM kernel:
+    # what collide writes, stream reads back, so phase transitions reuse
+    # cache state instead of thrashing disjoint footprints.
+    grid_a = asm.array(1024)
+    grid_b = asm.array(1024)
+    collide = asm.phase("collide", ialu=4, fp=7,
+                        loads=[grid_a, grid_b], stores=[grid_b])
+    stream = asm.phase("stream", ialu=6, fp=2,
+                       loads=[grid_b], stores=[grid_a])
+    outer = nthreads * 10
+    trips = max(4, int(200 * tr_f))
+    timesteps = max(5, int(30 * ts_f))
+    constructs: List[Construct] = []
+    for _step in range(timesteps):
+        constructs.append(ParallelFor(collide.work(trips), outer))
+        constructs.append(ParallelFor(stream.work(trips), outer))
+    return _mk_workload(
+        asm, constructs, name, input_class, nthreads,
+        _metadata("619.lbm_s", "collide/stream alternation, large WS"),
+    )
+
+
+def build_wrf(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """621.wrf_s: many diverse phases, dynamic for, master-only sections."""
+    name = "621.wrf_s.1"
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler(name, seed=621)
+    dyn_core = asm.phase("advance_uv", ialu=5, fp=6,
+                         loads=[Mem("strided", 160), Mem("strided", 96)],
+                         stores=[Mem("strided", 160)])
+    advection = asm.phase("advect_scalar", ialu=6, fp=4,
+                          loads=[Mem("strided", 224)], stores=[Mem("strided", 96)],
+                          cond_prob=0.15)
+    microphysics = asm.phase("microphysics", ialu=8, fp=6,
+                             loads=[Mem("random", 256)], cond_prob=0.3)
+    pbl = asm.phase("pbl_physics", ialu=7, fp=3, loads=[Mem("strided", 64)],
+                    stores=[Mem("strided", 64)])
+    radiation = asm.phase("radiation_lw", ialu=4, fp=9,
+                          loads=[Mem("strided", 512), Mem("random", 128)],
+                          split_body=True)
+    io_master = asm.phase("solve_interface", ialu=9, fp=1,
+                          loads=[Mem("chase", 96)])
+
+    outer = nthreads * 6
+    trips = max(4, int(140 * tr_f))
+    timesteps = max(3, int(16 * ts_f))
+    constructs: List[Construct] = []
+    for step in range(timesteps):
+        constructs.append(ParallelFor(
+            dyn_core.work(trips), outer, schedule=SCHEDULE_DYNAMIC, chunk=3))
+        constructs.append(ParallelFor(
+            advection.work(make_trips(trips, "ramp", total_iters=outer,
+                                      nthreads=nthreads, amplitude=1.8)),
+            outer, schedule=SCHEDULE_DYNAMIC, chunk=3))
+        constructs.append(ParallelFor(
+            microphysics.work(trips // 2), outer,
+            schedule=SCHEDULE_DYNAMIC, chunk=2))
+        constructs.append(ParallelFor(pbl.work(trips // 2), outer))
+        if step % 5 == 0:
+            constructs.append(ParallelFor(radiation.work(trips * 2), outer,
+                                          schedule=SCHEDULE_DYNAMIC, chunk=4))
+        constructs.append(Master(io_master.work(trips // 3),
+                                 iters=max(2, outer // 8)))
+        constructs.append(Barrier())
+    return _mk_workload(
+        asm, constructs, name, input_class, nthreads,
+        _metadata("621.wrf_s", "diverse physics phases; radiation every 5 steps"),
+    )
+
+
+def build_cam4(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """627.cam4_s: atmosphere physics/dynamics with master and barriers."""
+    name = "627.cam4_s.1"
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler(name, seed=627)
+    dynamics = asm.phase("dyn_advance", ialu=4, fp=7,
+                         loads=[Mem("strided", 192), Mem("strided", 192)],
+                         stores=[Mem("strided", 96)])
+    physics = asm.phase("tphysac", ialu=6, fp=5,
+                        loads=[Mem("random", 192)], cond_prob=0.25)
+    chemistry = asm.phase("chem_solver", ialu=8, fp=4,
+                          loads=[Mem("strided", 48)], stores=[Mem("strided", 48)])
+    radiation = asm.phase("radctl", ialu=4, fp=10,
+                          loads=[Mem("strided", 384)], split_body=True)
+    coupler = asm.phase("coupler", ialu=10, fp=1, loads=[Mem("strided", 64)])
+
+    outer = nthreads * 5
+    trips = max(4, int(150 * tr_f))
+    timesteps = max(3, int(15 * ts_f))
+    constructs: List[Construct] = []
+    for step in range(timesteps):
+        constructs.append(ParallelFor(dynamics.work(trips), outer))
+        constructs.append(ParallelFor(
+            physics.work(make_trips(trips, "sawtooth", total_iters=outer,
+                                    nthreads=nthreads, amplitude=1.7)),
+            outer, schedule=SCHEDULE_DYNAMIC, chunk=2))
+        constructs.append(Barrier())
+        constructs.append(ParallelFor(chemistry.work(trips), outer))
+        if step % 5 == 2:
+            constructs.append(ParallelFor(radiation.work(trips * 2), outer))
+        constructs.append(Master(coupler.work(trips // 2),
+                                 iters=max(2, outer // 3)))
+        constructs.append(Barrier())
+    return _mk_workload(
+        asm, constructs, name, input_class, nthreads,
+        _metadata("627.cam4_s", "physics/dynamics; radiation every 5 steps"),
+    )
+
+
+def build_pop2(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """628.pop2_s: barrier-dense ocean model with halo exchanges."""
+    name = "628.pop2_s.1"
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler(name, seed=628)
+    baroclinic = asm.phase("baroclinic", ialu=4, fp=6,
+                           loads=[Mem("strided", 160)], stores=[Mem("strided", 160)])
+    barotropic = asm.phase("barotropic", ialu=5, fp=5,
+                           loads=[Mem("strided", 96), Mem("shared", 64)],
+                           stores=[Mem("strided", 48)])
+    halo = asm.phase("halo_update", ialu=6, fp=1,
+                     loads=[Mem("shared", 96, stride=64)],
+                     stores=[Mem("shared", 96, stride=64)])
+    diag_master = asm.phase("diagnostics", ialu=8, fp=2,
+                            loads=[Mem("strided", 64)])
+
+    outer = nthreads * 4
+    trips = max(4, int(120 * tr_f))
+    timesteps = max(5, int(26 * ts_f))
+    constructs: List[Construct] = []
+    for step in range(timesteps):
+        constructs.append(ParallelFor(baroclinic.work(trips), outer))
+        constructs.append(Barrier())
+        constructs.append(ParallelFor(halo.work(max(2, trips // 6)), outer))
+        constructs.append(Barrier())
+        constructs.append(ParallelFor(barotropic.work(trips), outer))
+        constructs.append(Barrier())
+        if step % 6 == 0:
+            constructs.append(Master(diag_master.work(trips // 2),
+                                     iters=max(2, outer // 2)))
+            constructs.append(Barrier())
+    return _mk_workload(
+        asm, constructs, name, input_class, nthreads,
+        _metadata("628.pop2_s", "halo exchanges; barrier-dense"),
+    )
+
+
+def build_imagick(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """638.imagick_s: a few giant parallel loops; defeats BarrierPoint."""
+    name = "638.imagick_s.1"
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler(name, seed=638)
+    resize = asm.phase("resize_image", ialu=5, fp=5,
+                       loads=[Mem("strided", 768), Mem("strided", 256)],
+                       stores=[Mem("strided", 768)], split_body=True)
+    convolve = asm.phase("morphology_apply", ialu=4, fp=8,
+                         loads=[Mem("strided", 768)], stores=[Mem("strided", 768)])
+    quantize = asm.phase("quantize_colors", ialu=7, fp=2,
+                         loads=[Mem("random", 256)], cond_prob=0.35)
+    stats = asm.phase("image_statistics", ialu=5, fp=3, loads=[Mem("shared", 128)])
+    setup = asm.phase("read_image", ialu=8, fp=0, loads=[Mem("strided", 128)])
+    annotate = asm.phase("annotate_image", ialu=7, fp=1,
+                         loads=[Mem("strided", 64)])
+
+    # A handful of *very long* loops with essentially no synchronization
+    # between them: the whole pipeline of operations forms one giant
+    # inter-barrier region (93.06B of 93.35B instructions in the paper),
+    # which is what defeats BarrierPoint on this application.
+    outer = nthreads * 3
+    giant = max(30, int(1600 * tr_f))
+    ops = max(2, int(6 * ts_f))
+    constructs: List[Construct] = [
+        Single(setup.work(max(4, giant // 12)), iters=max(2, outer // 6)),
+    ]
+    for op in range(ops):
+        constructs.append(ParallelFor(resize.work(giant), outer, nowait=True))
+        constructs.append(ParallelFor(convolve.work(giant), outer, nowait=True))
+        if op % 2 == 0:
+            constructs.append(ParallelFor(
+                quantize.work(giant // 2), outer, nowait=True,
+                reduction=True))
+        constructs.append(ParallelFor(
+            stats.work(max(4, giant // 10)), outer, nowait=True,
+            reduction=True))
+        constructs.append(Master(annotate.work(max(4, giant // 20)),
+                                 iters=max(2, outer // 6)))
+        # One barrier per whole image operation: inter-barrier regions are
+        # tens of slices long, the paper's BarrierPoint-defeating shape.
+        constructs.append(Barrier())
+    return _mk_workload(
+        asm, constructs, name, input_class, nthreads,
+        _metadata("638.imagick_s",
+                  "few giant loops; largest inter-barrier region ~ whole app"),
+    )
+
+
+def build_nab(
+    input_class: str, nthreads: int, scale: ReproScale, variant: int = 1
+) -> Workload:
+    """644.nab_s: molecular dynamics — random access, atomics, dyn4."""
+    name = f"644.nab_s.{variant}"
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler(name, seed=644 + variant)
+    ws = 512 if variant == 1 else 768
+    # The coordinate/pairlist arrays are shared between force evaluation and
+    # list building, and an init phase populates them first (so the first MD
+    # step is not artificially cold).
+    coords = asm.random_array(ws)
+    bonds = asm.array(96)
+    state = asm.array(128)
+    init = asm.phase("setup_coords", ialu=6, fp=1,
+                     stores=[asm.touch(coords), asm.touch(bonds),
+                             asm.touch(state)])
+    nonbond = asm.phase("mme_nonbond", ialu=5, fp=6,
+                        loads=[coords, Mem("strided", 64)],
+                        cond_prob=0.2)
+    bonded = asm.phase("mme_bond", ialu=4, fp=5, loads=[bonds],
+                       stores=[bonds])
+    pairlist = asm.phase("nblist_build", ialu=7, fp=1,
+                         loads=[coords], cond_prob=0.4)
+    integrate = asm.phase("md_integrate", ialu=3, fp=6,
+                          loads=[state], stores=[state])
+    atom = asm.atomic_block("force")
+    crit = asm.critical_block("energy_accum")
+
+    outer = nthreads * 6
+    trips = max(4, int(130 * tr_f))
+    timesteps = max(3, int((18 if variant == 1 else 16) * ts_f))
+    constructs: List[Construct] = [
+        ParallelFor(init.work(max(4, int(ws * 1024 / 64 / outer / 4))), outer),
+    ]
+    for step in range(timesteps):
+        constructs.append(ParallelFor(
+            nonbond.work(trips), outer, schedule=SCHEDULE_DYNAMIC, chunk=8,
+            atomic=AtomicSpec(block=atom, every=3),
+        ))
+        constructs.append(ParallelFor(bonded.work(trips), outer))
+        constructs.append(Barrier())
+        constructs.append(ParallelFor(integrate.work(trips // 2), outer))
+        if step % 8 == 0:
+            constructs.append(ParallelFor(
+                pairlist.work(trips), outer,
+                schedule=SCHEDULE_DYNAMIC, chunk=2,
+                critical=CriticalSpec(lock_id=3, block=crit,
+                                      every=max(2, outer // 2))))
+            constructs.append(Barrier())
+    return _mk_workload(
+        asm, constructs, name, input_class, nthreads,
+        _metadata("644.nab_s", "random-access force field; atomics"),
+    )
+
+
+def build_fotonik(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """649.fotonik3d_s: FDTD field updates, very regular, large WS."""
+    name = "649.fotonik3d_s.1"
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler(name, seed=649)
+    update_e = asm.phase("update_efield", ialu=3, fp=7,
+                         loads=[Mem("strided", 640), Mem("strided", 640)],
+                         stores=[Mem("strided", 640)])
+    update_h = asm.phase("update_hfield", ialu=3, fp=7,
+                         loads=[Mem("strided", 640), Mem("strided", 640)],
+                         stores=[Mem("strided", 640)])
+    pml = asm.phase("update_pml", ialu=5, fp=5, loads=[Mem("strided", 128)],
+                    stores=[Mem("strided", 128)])
+    outer = nthreads * 8
+    trips = max(4, int(180 * tr_f))
+    timesteps = max(5, int(22 * ts_f))
+    constructs: List[Construct] = []
+    for _step in range(timesteps):
+        constructs.append(ParallelFor(update_e.work(trips), outer))
+        constructs.append(ParallelFor(update_h.work(trips), outer))
+        constructs.append(ParallelFor(pml.work(max(2, trips // 3)), outer))
+    return _mk_workload(
+        asm, constructs, name, input_class, nthreads,
+        _metadata("649.fotonik3d_s", "E/H field updates; regular"),
+    )
+
+
+def build_roms(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
+    """654.roms_s: regional ocean model, several regular phases."""
+    name = "654.roms_s.1"
+    ts_f, tr_f = _factors(scale, input_class)
+    asm = AppAssembler(name, seed=654)
+    step2d = asm.phase("step2d", ialu=4, fp=6,
+                       loads=[Mem("strided", 256)], stores=[Mem("strided", 128)])
+    step3d = asm.phase("step3d_uv", ialu=4, fp=7,
+                       loads=[Mem("strided", 384), Mem("strided", 128)],
+                       stores=[Mem("strided", 384)], split_body=True)
+    rho = asm.phase("rho_eos", ialu=6, fp=5, loads=[Mem("strided", 192)],
+                    stores=[Mem("strided", 96)])
+    mixing = asm.phase("gls_mixing", ialu=5, fp=4,
+                       loads=[Mem("strided", 96)], cond_prob=0.1)
+    outer = nthreads * 7
+    trips = max(4, int(150 * tr_f))
+    timesteps = max(4, int(18 * ts_f))
+    constructs: List[Construct] = []
+    for step in range(timesteps):
+        constructs.append(ParallelFor(step2d.work(trips), outer))
+        constructs.append(ParallelFor(step3d.work(trips), outer))
+        constructs.append(ParallelFor(rho.work(trips // 2), outer))
+        if step % 3 == 0:
+            constructs.append(ParallelFor(mixing.work(trips // 2), outer))
+    return _mk_workload(
+        asm, constructs, name, input_class, nthreads,
+        _metadata("654.roms_s", "baroclinic/barotropic stepping"),
+    )
+
+
+def build_xz(
+    input_class: str, nthreads: int, scale: ReproScale, variant: int = 1
+) -> Workload:
+    """657.xz_s: LZMA compression.
+
+    ``.1`` is single-threaded.  ``.2`` runs 4 threads with rotating
+    per-thread hot spots (Fig. 3's heterogeneity), lock/atomic coordination,
+    and *no barriers* until the final join — the workload where BarrierPoint
+    has nothing to work with and constrained replay errs most.
+    """
+    name = f"657.xz_s.{variant}"
+    ts_f, tr_f = _factors(scale, input_class)
+    if variant == 1:
+        nthreads = 1
+    else:
+        nthreads = 4
+    asm = AppAssembler(name, seed=657 + variant)
+    match_find = asm.phase("lzma_match_finder", ialu=8, fp=0,
+                           loads=[Mem("chase", 256), Mem("strided", 64)],
+                           cond_prob=0.45)
+    encode = asm.phase("range_encoder", ialu=9, fp=0,
+                       loads=[Mem("strided", 32)], stores=[Mem("strided", 32)],
+                       cond_prob=0.3)
+    dict_update = asm.phase("dict_update", ialu=6, fp=0,
+                            loads=[Mem("random", 512)], cond_prob=0.25)
+    merge = asm.critical_block("stream_merge", ialu=8)
+    atom = asm.atomic_block("progress")
+
+    outer = max(nthreads * 8, 8)
+    trips = max(6, int(130 * tr_f))
+    blocks = max(4, int(16 * ts_f))
+    constructs: List[Construct] = []
+    if variant == 1:
+        for _b in range(blocks):
+            constructs.append(Serial(match_find.work(trips), iters=outer))
+            constructs.append(Serial(encode.work(trips), iters=outer))
+            constructs.append(Serial(dict_update.work(trips // 2),
+                                     iters=max(2, outer // 2)))
+    else:
+        for b in range(blocks):
+            hot_trips = make_trips(
+                trips, "hot", total_iters=outer, nthreads=nthreads,
+                hot=b // 2, amplitude=2.0,
+            )
+            constructs.append(ParallelFor(
+                match_find.work(hot_trips), outer, nowait=True,
+                critical=CriticalSpec(lock_id=7, block=merge,
+                                      every=max(2, outer // 2)),
+            ))
+            constructs.append(ParallelFor(
+                encode.work(trips), outer, nowait=True,
+                atomic=AtomicSpec(block=atom, every=4),
+            ))
+            if b % 3 == 0:
+                constructs.append(ParallelFor(
+                    dict_update.work(trips // 2), outer, nowait=True,
+                    critical=CriticalSpec(lock_id=8, block=merge, every=outer),
+                ))
+        # The only join of the run.
+        constructs.append(Barrier())
+    return _mk_workload(
+        asm, constructs, name, input_class, nthreads,
+        _metadata(
+            "657.xz_s",
+            "single-threaded" if variant == 1 else
+            "4 threads; rotating imbalance; no barriers until final join",
+        ),
+    )
+
+
+#: Builders for the full evaluation set, keyed by app.input name.
+SPEC_BUILDERS: Dict[str, Callable] = {
+    "603.bwaves_s.1": lambda ic, nt, sc: build_bwaves(ic, nt, sc, 1),
+    "603.bwaves_s.2": lambda ic, nt, sc: build_bwaves(ic, nt, sc, 2),
+    "607.cactuBSSN_s.1": build_cactu,
+    "619.lbm_s.1": build_lbm,
+    "621.wrf_s.1": build_wrf,
+    "627.cam4_s.1": build_cam4,
+    "628.pop2_s.1": build_pop2,
+    "638.imagick_s.1": build_imagick,
+    "644.nab_s.1": lambda ic, nt, sc: build_nab(ic, nt, sc, 1),
+    "644.nab_s.2": lambda ic, nt, sc: build_nab(ic, nt, sc, 2),
+    "649.fotonik3d_s.1": build_fotonik,
+    "654.roms_s.1": build_roms,
+    "657.xz_s.1": lambda ic, nt, sc: build_xz(ic, nt, sc, 1),
+    "657.xz_s.2": lambda ic, nt, sc: build_xz(ic, nt, sc, 2),
+}

@@ -1,0 +1,117 @@
+"""Tests for address generators and instruction validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramStructureError
+from repro.isa.instructions import (
+    Instruction,
+    InstrKind,
+    PointerChaseAccess,
+    RandomAccess,
+    StridedAccess,
+    mix64,
+)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_spreads_adjacent_inputs(self):
+        a, b = mix64(1), mix64(2)
+        assert a != b
+        assert bin(a ^ b).count("1") > 10
+
+    def test_stays_in_64_bits(self):
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= mix64(x) < 2**64
+
+
+class TestStridedAccess:
+    def test_sequential_walk(self):
+        gen = StridedAccess(base=0x1000, stride=8, window=64)
+        addrs = gen.addresses(tid=0, start_index=0, count=10)
+        assert list(addrs[:8]) == [0x1000 + 8 * i for i in range(8)]
+        # Wraps at the window.
+        assert addrs[8] == 0x1000
+
+    def test_tid_partitioning(self):
+        gen = StridedAccess(base=0, stride=8, window=64, tid_offset=1024)
+        a0 = gen.addresses(0, 0, 4)
+        a1 = gen.addresses(1, 0, 4)
+        assert list(a1 - a0) == [1024] * 4
+
+    def test_scalar_matches_vector(self):
+        gen = StridedAccess(base=0x40, stride=24, window=4096, tid_offset=512)
+        vec = gen.addresses(3, 17, 50)
+        for i in range(50):
+            assert gen.address_at(3, 17 + i) == vec[i]
+
+    def test_invalid_params(self):
+        with pytest.raises(ProgramStructureError):
+            StridedAccess(base=0, stride=0, window=64)
+        with pytest.raises(ProgramStructureError):
+            StridedAccess(base=0, stride=8, window=0)
+
+    def test_footprint(self):
+        assert StridedAccess(0, 8, 4096).footprint() == 4096
+
+
+class TestRandomAccess:
+    def test_deterministic(self):
+        gen = RandomAccess(base=0, window=1 << 20, seed=5)
+        a = gen.addresses(0, 100, 64)
+        b = gen.addresses(0, 100, 64)
+        assert np.array_equal(a, b)
+
+    def test_within_window(self):
+        gen = RandomAccess(base=0x1000, window=1 << 16, seed=1)
+        addrs = gen.addresses(2, 0, 1000)
+        assert (addrs >= 0x1000).all()
+        assert (addrs < 0x1000 + (1 << 16)).all()
+
+    def test_granule_aligned(self):
+        gen = RandomAccess(base=0, window=1 << 16, seed=1)
+        addrs = gen.addresses(0, 0, 100)
+        assert (addrs % 64 == 0).all()
+
+    def test_spread(self):
+        gen = RandomAccess(base=0, window=1 << 20, seed=3)
+        addrs = gen.addresses(0, 0, 2000)
+        # A scattered stream touches many distinct lines.
+        assert len(set(addrs.tolist())) > 1500
+
+    def test_private_streams_differ_by_tid(self):
+        gen = RandomAccess(base=0, window=1 << 16, seed=2, shared=False)
+        assert not np.array_equal(gen.addresses(0, 0, 32), gen.addresses(1, 0, 32))
+
+    def test_window_smaller_than_granule_rejected(self):
+        with pytest.raises(ProgramStructureError):
+            RandomAccess(base=0, window=32, seed=0)
+
+
+class TestPointerChase:
+    def test_dependent_flag(self):
+        gen = PointerChaseAccess(base=0, window=1 << 16, seed=0)
+        assert gen.dependent
+
+    def test_deterministic(self):
+        gen = PointerChaseAccess(base=0, window=1 << 16, seed=9)
+        assert np.array_equal(gen.addresses(1, 5, 20), gen.addresses(1, 5, 20))
+
+
+class TestInstruction:
+    def test_memory_instruction_needs_gen(self):
+        with pytest.raises(ProgramStructureError):
+            Instruction(InstrKind.LOAD)
+
+    def test_non_memory_cannot_carry_gen(self):
+        gen = StridedAccess(0, 8, 64)
+        with pytest.raises(ProgramStructureError):
+            Instruction(InstrKind.IALU, mem=gen)
+
+    def test_valid_load(self):
+        gen = StridedAccess(0, 8, 64)
+        instr = Instruction(InstrKind.LOAD, mem=gen)
+        assert instr.mem is gen

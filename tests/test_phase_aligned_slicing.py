@@ -1,0 +1,75 @@
+"""Tests for variable-length (phase-aligned) slicing — the Sec. III-B
+option of using varying-length intervals cut at software phase markers."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.pinplay import record_execution
+from repro.policy import WaitPolicy
+from repro.profiling import LoopAlignedSlicer, profile_pinball
+
+from conftest import build_toy
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    program, tp, omp = build_toy()
+    pinball, _ = record_execution(program, tp, omp, 4,
+                                  wait_policy=WaitPolicy.PASSIVE, seed=4)
+    return program, pinball
+
+
+class TestPhaseAlignedSlicing:
+    def test_partition_preserved(self, recorded):
+        program, pinball = recorded
+        profile = profile_pinball(program, pinball, 8000, phase_aligned=True)
+        assert sum(s.filtered_instructions for s in profile.slices) == \
+            profile.filtered_instructions
+        for a, b in zip(profile.slices, profile.slices[1:]):
+            assert a.end == b.start
+
+    def test_produces_variable_lengths(self, recorded):
+        program, pinball = recorded
+        fixed = profile_pinball(program, pinball, 8000)
+        varying = profile_pinball(program, pinball, 8000, phase_aligned=True)
+        lengths = {s.filtered_instructions for s in varying.slices[:-1]}
+        # Phase alignment may cut early: at least one slice below target.
+        assert any(l < 8000 for l in lengths)
+        # And never below the minimum fraction.
+        assert all(l >= int(8000 * 0.4) for l in lengths)
+        # The toy alternates compute/serial phases, so phase alignment cuts
+        # more (or equally) often than fixed slicing.
+        assert varying.num_slices >= fixed.num_slices
+
+    def test_phase_boundaries_at_routine_changes(self, recorded):
+        program, pinball = recorded
+        profile = profile_pinball(program, pinball, 8000, phase_aligned=True)
+        # Early-cut boundaries land on a loop entry of a different routine
+        # than the slice's dominant one; at minimum every boundary is still
+        # a main-image loop header.
+        for s in profile.slices:
+            if s.end is None:
+                continue
+            block = program.block_at(s.end.pc)
+            assert block.is_loop_header and not block.image.is_library
+
+    def test_invalid_fraction_rejected(self, recorded):
+        program, _ = recorded
+        headers = program.loop_headers(main_only=True)
+        with pytest.raises(ProfilingError):
+            LoopAlignedSlicer(4, program.num_blocks, headers, 1000,
+                              phase_aligned=True, min_slice_fraction=0.0)
+
+    def test_selection_works_on_variable_slices(self, recorded):
+        from repro.clustering import select_simpoints
+
+        program, pinball = recorded
+        profile = profile_pinball(program, pinball, 8000, phase_aligned=True)
+        selection = select_simpoints(
+            profile.bbv_matrix(), profile.slice_filtered_counts()
+        )
+        reconstructed = sum(
+            c.multiplier * profile.slices[c.representative].filtered_instructions
+            for c in selection.clusters
+        )
+        assert reconstructed == pytest.approx(profile.filtered_instructions)

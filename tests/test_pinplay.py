@@ -1,0 +1,191 @@
+"""Tests for pinballs: recording, replay equivalence, region extraction."""
+
+import pytest
+
+from repro.errors import RegionError, ReplayError
+from repro.exec_engine import TraceCollector
+from repro.pinplay import (
+    ConstrainedReplayer,
+    Pinball,
+    RegionCut,
+    RegionPinball,
+    extract_region_pinballs,
+    record_execution,
+)
+from repro.pinplay.pinball import append_block
+from repro.policy import WaitPolicy
+from repro.profiling import Marker, profile_pinball
+
+from conftest import TEST_SCALE, build_toy
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    program, tp, omp = build_toy()
+    pinball, result = record_execution(
+        program, tp, omp, 4, wait_policy=WaitPolicy.ACTIVE, seed=11
+    )
+    return program, tp, omp, pinball, result
+
+
+class TestAppendBlock:
+    def test_merges_consecutive(self):
+        log = []
+        append_block(log, 5, 3)
+        append_block(log, 5, 2)
+        assert log == [("b", 5, 5)]
+
+    def test_no_merge_across_blocks(self):
+        log = []
+        append_block(log, 5, 1)
+        append_block(log, 6, 1)
+        assert len(log) == 2
+
+    def test_unmergeable(self):
+        log = []
+        append_block(log, 5, 1, mergeable=False)
+        append_block(log, 5, 1, mergeable=False)
+        assert log == [("b", 5, 1), ("b", 5, 1)]
+
+    def test_no_merge_after_sync(self):
+        log = [("b", 5, 1), ("s", "barrier", 0, None, 0)]
+        append_block(log, 5, 1)
+        assert len(log) == 3
+
+
+class TestPinballContainer:
+    def test_log_count_must_match_threads(self):
+        with pytest.raises(ReplayError):
+            Pinball("p", 4, "passive", 0, [[], []], 0, 0)
+
+    def test_save_load_roundtrip(self, recorded, tmp_path):
+        *_x, pinball, _result = recorded
+        path = tmp_path / "toy.pinball.gz"
+        pinball.save(path)
+        loaded = Pinball.load(path)
+        assert loaded.program_name == pinball.program_name
+        assert loaded.logs == pinball.logs
+        assert loaded.total_instructions == pinball.total_instructions
+
+    def test_load_rejects_garbage(self, tmp_path):
+        import gzip, pickle
+
+        path = tmp_path / "bad.gz"
+        with gzip.open(path, "wb") as fh:
+            pickle.dump(("not-a-pinball", 42), fh)
+        with pytest.raises(ReplayError):
+            Pinball.load(path)
+
+    def test_num_entries(self, recorded):
+        *_x, pinball, _result = recorded
+        assert pinball.num_entries == sum(len(l) for l in pinball.logs)
+
+
+class TestConstrainedReplay:
+    def test_replay_reproduces_totals(self, recorded):
+        program, _tp, _omp, pinball, result = recorded
+        rep = ConstrainedReplayer(program, pinball).run()
+        assert rep.total_instructions == result.total_instructions
+        assert rep.filtered_instructions == result.filtered_instructions
+        assert rep.exec_counts == result.exec_counts
+
+    def test_replay_deterministic(self, recorded):
+        program, _tp, _omp, pinball, _result = recorded
+        t1, t2 = TraceCollector(), TraceCollector()
+        ConstrainedReplayer(program, pinball, observers=(t1,)).run()
+        ConstrainedReplayer(program, pinball, observers=(t2,)).run()
+        assert t1.blocks == t2.blocks
+        assert t1.syncs == t2.syncs
+
+    def test_wrong_program_rejected(self, recorded):
+        from repro.isa import ProgramBuilder
+
+        *_x, pinball, _result = recorded
+        pb = ProgramBuilder("other")
+        pb.routine("r").block("b", ialu=1)
+        other = pb.finalize()
+        with pytest.raises(ReplayError):
+            ConstrainedReplayer(other, pinball)
+
+    def test_corrupt_gseq_detected(self, recorded):
+        program, _tp, _omp, pinball, _result = recorded
+        import copy
+
+        broken = copy.deepcopy(pinball)
+        # Remove one sync entry: the order can never be satisfied.
+        for log in broken.logs:
+            for i, entry in enumerate(log):
+                if entry[0] == "s":
+                    del log[i]
+                    break
+            else:
+                continue
+            break
+        with pytest.raises(ReplayError):
+            ConstrainedReplayer(program, broken).run()
+
+    def test_sync_order_enforced(self, recorded):
+        program, _tp, _omp, pinball, _result = recorded
+        trace = TraceCollector()
+        ConstrainedReplayer(program, pinball, observers=(trace,)).run()
+        gseqs = [g for *_r, g in trace.syncs]
+        assert gseqs == sorted(gseqs)
+        assert gseqs == list(range(len(gseqs)))
+
+
+class TestRegionExtraction:
+    @pytest.fixture(scope="class")
+    def profile_and_regions(self, recorded):
+        program, _tp, _omp, pinball, _result = recorded
+        profile = profile_pinball(program, pinball, slice_size=6000)
+        cuts = []
+        for s in profile.slices[:4]:
+            cuts.append(
+                RegionCut(
+                    region_id=s.index, start=s.start, end=s.end,
+                    warmup_filtered=max(0, s.start_filtered - 3000),
+                )
+            )
+        regions = extract_region_pinballs(program, pinball, cuts)
+        return program, pinball, profile, regions
+
+    def test_one_pinball_per_cut(self, profile_and_regions):
+        *_x, regions = profile_and_regions
+        assert len(regions) == 4
+        assert all(isinstance(r, RegionPinball) for r in regions)
+
+    def test_detail_instructions_close_to_slice(self, profile_and_regions):
+        program, pinball, profile, regions = profile_and_regions
+        for region in regions:
+            s = profile.slices[region.region_id]
+            detail = region.metadata["detail_filtered"]
+            assert abs(detail - s.filtered_instructions) <= 2000
+
+    def test_region_replayable(self, profile_and_regions):
+        program, _pinball, _profile, regions = profile_and_regions
+        for region in regions[:2]:
+            rep = ConstrainedReplayer(
+                program, region,
+                initial_exec_counts=region.start_exec_counts,
+            ).run()
+            assert rep.total_instructions == region.total_instructions
+
+    def test_gseq_renumbered_dense(self, profile_and_regions):
+        *_x, regions = profile_and_regions
+        for region in regions:
+            gseqs = sorted(
+                e[4] for log in region.logs for e in log if e[0] == "s"
+            )
+            assert gseqs == list(range(len(gseqs)))
+
+    def test_start_exec_counts_present(self, profile_and_regions):
+        *_x, regions = profile_and_regions
+        later = regions[-1]
+        assert any(any(row) for row in later.start_exec_counts)
+
+    def test_unreachable_marker_rejected(self, recorded):
+        program, _tp, _omp, pinball, _result = recorded
+        marker_pc = program.routine("compute").entry.pc
+        cuts = [RegionCut(0, Marker(marker_pc, 10**9), None, 0)]
+        with pytest.raises(RegionError):
+            extract_region_pinballs(program, pinball, cuts)

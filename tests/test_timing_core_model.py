@@ -1,0 +1,126 @@
+"""Tests for the per-core cost model and the metrics container."""
+
+import pytest
+
+from repro.config import GAINESTOWN_8CORE
+from repro.isa import ProgramBuilder, StridedAccess
+from repro.isa.blocks import BRANCH_LOOP, BranchSpec
+from repro.isa.instructions import PointerChaseAccess, RandomAccess
+from repro.timing.core import CoreModel
+from repro.timing.hierarchy import MemoryHierarchy
+from repro.timing.metrics import SimMetrics
+
+
+def _env():
+    hierarchy = MemoryHierarchy(GAINESTOWN_8CORE)
+    core = CoreModel(0, GAINESTOWN_8CORE.core, hierarchy)
+    return hierarchy, core
+
+
+def _block(loads=(), stores=(), ialu=4, fp=0, name="b"):
+    pb = ProgramBuilder(name)
+    blk = pb.routine("r").block(
+        "x", ialu=ialu, fp=fp, loads=loads, stores=stores,
+        branch=BranchSpec(BRANCH_LOOP), loop_header=True,
+    )
+    pb.finalize()
+    return blk
+
+
+class TestCoreModel:
+    def test_cycles_accumulate(self):
+        _h, core = _env()
+        blk = _block()
+        c1 = core.execute_block(blk, 0, 10)
+        assert core.cycle == c1
+        c2 = core.execute_block(blk, 10, 10)
+        assert core.cycle == c1 + c2
+
+    def test_instruction_counting(self):
+        _h, core = _env()
+        blk = _block(ialu=6)
+        core.execute_block(blk, 0, 5)
+        assert core.instructions == blk.n_instr * 5
+        assert core.filtered_instructions == blk.n_instr * 5
+
+    def test_cold_memory_costs_more(self):
+        gen = RandomAccess(base=0, window=1 << 22, seed=1)
+        _h1, cold = _env()
+        blk = _block(loads=[gen])
+        cold_cycles = cold.execute_block(blk, 0, 64)
+
+        _h2, warm = _env()
+        warm.execute_block(blk, 0, 64, warming=True)
+        warm_cycles = warm.execute_block(blk, 0, 64)  # same indices re-hit? no
+        # Not same indices, but an L1-resident strided stream is cheaper:
+        _h3, hit = _env()
+        small = _block(loads=[StridedAccess(0, 8, 4096)], name="s")
+        hit.execute_block(small, 0, 64)
+        hit_cycles = hit.execute_block(small, 64, 64)
+        assert cold_cycles > hit_cycles
+
+    def test_dependent_misses_cost_more_than_independent(self):
+        chase = PointerChaseAccess(base=0, window=1 << 22, seed=2)
+        rand = RandomAccess(base=1 << 30, window=1 << 22, seed=2)
+        _h1, a = _env()
+        dep_cycles = a.execute_block(_block(loads=[chase], name="d"), 0, 64)
+        _h2, b = _env()
+        ind_cycles = b.execute_block(_block(loads=[rand], name="i"), 0, 64)
+        # Same miss counts, but no MLP for the dependent chain.
+        assert dep_cycles > ind_cycles
+
+    def test_fp_pressure(self):
+        _h1, a = _env()
+        int_cycles = a.execute_block(_block(ialu=8, name="int"), 0, 50)
+        _h2, b = _env()
+        fp_cycles = b.execute_block(_block(ialu=0, fp=8, name="fp"), 0, 50)
+        assert fp_cycles > int_cycles
+
+    def test_inorder_slower_than_ooo(self):
+        gen = RandomAccess(base=0, window=1 << 22, seed=3)
+        blk = _block(loads=[gen], name="m")
+        _h1, ooo = _env()
+        ooo_cycles = ooo.execute_block(blk, 0, 64)
+        hierarchy = MemoryHierarchy(GAINESTOWN_8CORE.as_inorder())
+        inorder = CoreModel(
+            0, GAINESTOWN_8CORE.as_inorder().core, hierarchy
+        )
+        in_cycles = inorder.execute_block(blk, 0, 64)
+        assert in_cycles > ooo_cycles
+
+    def test_warming_updates_state_and_clock(self):
+        gen = StridedAccess(0, 64, 1 << 16)
+        blk = _block(loads=[gen], name="w")
+        _h, core = _env()
+        before = core.cycle
+        core.execute_block(blk, 0, 32, warming=True)
+        assert core.cycle > before
+        assert core.instructions == blk.n_instr * 32
+        # State warmed: a detailed re-walk of the same lines hits.
+        detailed = core.execute_block(blk, 0, 32)
+        assert _h.l1d[0].hits > 0
+
+
+class TestSimMetrics:
+    def test_derived_rates(self):
+        m = SimMetrics(cycles=1000, instructions=4000,
+                       branch_mispredicts=8, l2_misses=4)
+        assert m.ipc == pytest.approx(4.0)
+        assert m.branch_mpki == pytest.approx(2.0)
+        assert m.l2_mpki == pytest.approx(1.0)
+
+    def test_zero_division_safe(self):
+        m = SimMetrics()
+        assert m.ipc == 0.0
+        assert m.branch_mpki == 0.0
+
+    def test_minus_plus_roundtrip(self):
+        a = SimMetrics(cycles=100, instructions=500, l2_misses=7)
+        b = SimMetrics(cycles=40, instructions=200, l2_misses=3)
+        assert a.minus(b).plus(b) == a
+
+    def test_scaled(self):
+        m = SimMetrics(cycles=100, instructions=500)
+        s = m.scaled(2.5)
+        assert s.cycles == 250
+        assert s.instructions == 1250

@@ -1,0 +1,175 @@
+"""Tests for workload models, the registry, and Table II/III metadata."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.exec_engine import ExecutionEngine
+from repro.policy import WaitPolicy
+from repro.workloads import (
+    NPB_APPS,
+    SPEC_TRAIN_APPS,
+    Workload,
+    build_demo_matrix,
+    get_workload,
+    list_workloads,
+)
+from repro.workloads.generators import AppAssembler, Mem
+from repro.workloads.spec import TABLE_II, TABLE_III
+
+from conftest import TEST_SCALE
+
+
+class TestRegistry:
+    def test_lists_complete(self):
+        assert len(SPEC_TRAIN_APPS) == 14
+        assert len(NPB_APPS) == 9
+        assert "npb-dc" not in NPB_APPS  # omitted, as in the paper
+        assert len(list_workloads()) == 14 + 9 + 3
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            get_workload("900.quantum_s.1")
+
+    @pytest.mark.parametrize("name", SPEC_TRAIN_APPS)
+    def test_spec_apps_construct(self, name):
+        w = get_workload(name, scale=TEST_SCALE)
+        assert isinstance(w, Workload)
+        assert w.suite == "spec2017"
+        assert w.input_class == "train"
+        assert w.approximate_instructions() > 0
+
+    @pytest.mark.parametrize("name", NPB_APPS)
+    def test_npb_apps_construct(self, name):
+        w = get_workload(name, scale=TEST_SCALE)
+        assert w.suite == "npb"
+        assert w.input_class == "C"
+
+    def test_demo_variants(self):
+        for v in (1, 2, 3):
+            w = build_demo_matrix(v, nthreads=4, scale=TEST_SCALE)
+            assert w.name == f"demo-matrix-{v}"
+        with pytest.raises(WorkloadError):
+            build_demo_matrix(4)
+
+    def test_xz_thread_pinning(self):
+        """657.xz_s.1 is single-threaded; .2 runs 4 threads (Table III)."""
+        xz1 = get_workload("657.xz_s.1", nthreads=8, scale=TEST_SCALE)
+        xz2 = get_workload("657.xz_s.2", nthreads=8, scale=TEST_SCALE)
+        assert xz1.nthreads == 1
+        assert xz2.nthreads == 4
+
+    def test_ref_scales_instructions_up(self):
+        train = get_workload("619.lbm_s.1", "train", scale=TEST_SCALE)
+        ref = get_workload("619.lbm_s.1", "ref", scale=TEST_SCALE)
+        assert ref.approximate_instructions() > \
+            2 * train.approximate_instructions()
+
+    def test_construction_deterministic(self):
+        a = get_workload("627.cam4_s.1", scale=TEST_SCALE)
+        b = get_workload("627.cam4_s.1", scale=TEST_SCALE)
+        assert a.approximate_instructions() == b.approximate_instructions()
+        assert a.program.num_blocks == b.program.num_blocks
+        assert [c.uid for c in a.thread_program.constructs] == \
+            [c.uid for c in b.thread_program.constructs]
+
+
+class TestMetadataTables:
+    def test_table2_rows_present(self):
+        for base, (lang, kloc, area) in TABLE_II.items():
+            assert kloc > 0 and lang and area
+
+    def test_table3_flags_on_workloads(self):
+        w = get_workload("638.imagick_s.1", scale=TEST_SCALE)
+        sync = w.metadata["sync"]
+        assert sync["sta4"] and sync["bar"] and sync["si"] and sync["red"]
+        assert not sync["dyn4"]
+
+    def test_xz_no_barriers_flag(self):
+        sync = TABLE_III["657.xz_s"]
+        assert not sync.get("bar", False)
+        assert sync["lck"] and sync["at"]
+
+    def test_lbm_static_only(self):
+        sync = TABLE_III["619.lbm_s"]
+        assert sync["sta4"]
+        assert len([k for k, v in sync.items() if v]) == 1
+
+
+class TestWorkloadExecution:
+    @pytest.mark.parametrize("name", ["619.lbm_s.1", "657.xz_s.2", "npb-cg"])
+    def test_runs_under_engine(self, name):
+        w = get_workload(name, scale=TEST_SCALE)
+        engine = ExecutionEngine(
+            w.program, w.thread_program, w.omp, w.nthreads,
+            wait_policy=WaitPolicy.PASSIVE,
+        )
+        result = engine.run()
+        assert result.filtered_instructions == \
+            w.thread_program.total_instructions(w.nthreads)
+
+    def test_imagick_giant_interbarrier_region(self):
+        """638.imagick's largest inter-barrier region dominates the run
+        (93.06B of 93.35B instructions in the paper)."""
+        from repro.baselines import BarrierPointPipeline
+
+        w = get_workload("638.imagick_s.1", scale=TEST_SCALE)
+        profile = BarrierPointPipeline(w).profile()
+        assert profile.largest_region_instructions > \
+            0.1 * profile.filtered_instructions
+
+    def test_xz2_heterogeneous_thread_shares(self):
+        """Fig. 3: 657.xz_s.2 shows time-varying per-thread imbalance."""
+        import numpy as np
+        from repro.core import LoopPointOptions, LoopPointPipeline
+
+        w = get_workload("657.xz_s.2", scale=TEST_SCALE)
+        pipe = LoopPointPipeline(
+            w, options=LoopPointOptions(scale=TEST_SCALE)
+        )
+        profile = pipe.profile()
+        shares = np.array([s.per_thread_filtered for s in profile.slices],
+                          dtype=float)
+        shares /= shares.sum(axis=1, keepdims=True)
+        # The heavy thread changes across the run.
+        assert len(set(map(int, shares.argmax(axis=1)))) > 1
+        assert shares.std(axis=0).mean() > 0.02
+
+    def test_lbm_more_homogeneous_than_xz(self):
+        """Fig. 3's contrast: a regular stencil vs xz's rotating hot spots."""
+        import numpy as np
+        from repro.core import LoopPointOptions, LoopPointPipeline
+
+        def share_std(name):
+            w = get_workload(name, nthreads=4, scale=TEST_SCALE)
+            pipe = LoopPointPipeline(
+                w,
+                options=LoopPointOptions(scale=TEST_SCALE, slice_size=12000),
+            )
+            profile = pipe.profile()
+            shares = np.array(
+                [s.per_thread_filtered for s in profile.slices], dtype=float
+            )
+            shares /= shares.sum(axis=1, keepdims=True)
+            return shares.std(axis=0).mean()
+
+        assert share_std("619.lbm_s.1") < share_std("657.xz_s.2")
+
+
+class TestAssembler:
+    def test_invalid_mem_kind(self):
+        with pytest.raises(WorkloadError):
+            Mem("diagonal", 64)
+
+    def test_windows_do_not_collide(self):
+        asm = AppAssembler("t")
+        a = asm.pattern(Mem("strided", 64))
+        b = asm.pattern(Mem("strided", 64))
+        # Private replicas stride by window x 64 threads max.
+        assert abs(a.base - b.base) >= 64 * 1024
+
+    def test_touch_covers_window(self):
+        asm = AppAssembler("t")
+        arr = asm.random_array(64)
+        walk = AppAssembler.touch(arr)
+        addrs = walk.addresses(0, 0, 64 * 1024 // 64)
+        assert len(set(int(a) >> 6 for a in addrs)) == 64 * 1024 // 64
