@@ -9,6 +9,9 @@ from setuptools import setup
 
 setup(
     entry_points={
-        "console_scripts": ["run-looppoint = repro.cli:main"],
+        "console_scripts": [
+            "run-looppoint = repro.cli:main",
+            "repro-lint = repro.lint.cli:main",
+        ],
     }
 )

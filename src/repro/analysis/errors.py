@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from typing import Iterable
 
 
 def mean_absolute(values: Iterable[float]) -> float:

@@ -8,8 +8,7 @@ results so each is computed once per benchmark session.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..config import GAINESTOWN_8CORE, ReproScale, SystemConfig, get_scale
 from ..core.looppoint import (

@@ -9,9 +9,9 @@ from __future__ import annotations
 
 import csv
 import json
-from dataclasses import asdict, is_dataclass
+from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Sequence, Union
 
 from ..core.looppoint import LoopPointResult
 from ..errors import ReproError

@@ -7,7 +7,7 @@ bar rendering) so results can be eyeballed against the paper's plots.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 
 def ascii_table(

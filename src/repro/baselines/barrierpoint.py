@@ -38,7 +38,6 @@ from ..profiling.filters import FilterPolicy
 from ..timing.mcsim import (
     MultiCoreSimulator,
     RegionOfInterest,
-    SimulationResult,
 )
 from ..workloads.base import Workload
 

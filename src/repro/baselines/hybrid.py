@@ -12,7 +12,7 @@ practical at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..config import SystemConfig, get_scale
 from ..core.looppoint import LoopPointOptions, LoopPointPipeline

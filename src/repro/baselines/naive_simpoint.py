@@ -14,7 +14,7 @@ the regions simulated are simply not the regions that were selected.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -26,7 +26,7 @@ from ..clustering.simpoint import (
 )
 from ..config import GAINESTOWN_8CORE, SystemConfig, get_scale
 from ..core.extrapolation import extrapolate_metrics
-from ..errors import ProfilingError, SimulationError
+from ..errors import ProfilingError
 from ..exec_engine.observers import Observer
 from ..pinplay.pinball import Pinball
 from ..pinplay.recorder import record_execution
@@ -35,9 +35,7 @@ from ..policy import WaitPolicy
 from ..timing.mcsim import (
     MultiCoreSimulator,
     RegionOfInterest,
-    SimulationResult,
 )
-from ..timing.metrics import SimMetrics
 from ..workloads.base import Workload
 
 

@@ -11,7 +11,7 @@ scales with application *diversity*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..config import GAINESTOWN_8CORE, SystemConfig
 from ..errors import SimulationError

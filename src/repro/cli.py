@@ -71,7 +71,44 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list known workloads and exit",
     )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run the repro.lint invariant checks instead of the "
+             "end-to-end evaluation; exits non-zero on error findings",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with --lint: emit the lint report as JSON",
+    )
+    parser.add_argument(
+        "--disable", action="append", default=[], metavar="RULE",
+        help="with --lint: suppress a lint rule id (repeatable)",
+    )
     return parser
+
+
+def lint_one(
+    name: str,
+    ncores: int,
+    input_class: Optional[str],
+    wait_policy: WaitPolicy,
+    as_json: bool,
+    disable: List[str],
+) -> int:
+    """Run the lint mode on one program; returns the exit code."""
+    from .lint.runner import LintOptions, lint_workload
+
+    scale = get_scale()
+    workload = get_workload(name, input_class, ncores, scale=scale)
+    report = lint_workload(
+        workload,
+        options=LintOptions(disable=frozenset(disable)),
+        pipeline_options=LoopPointOptions(
+            wait_policy=wait_policy, scale=scale
+        ),
+    )
+    print(report.to_json() if as_json else report.render_table())
+    return report.exit_code
 
 
 def run_one(
@@ -116,6 +153,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not programs:
         parser.error("no programs given")
     policy = WaitPolicy(args.wait_policy)
+
+    if args.lint:
+        worst = 0
+        for name in programs:
+            print(f"[run-looppoint] linting {name} "
+                  f"(n={args.ncores}, policy={policy.value}) ...",
+                  flush=True)
+            try:
+                worst = max(worst, lint_one(
+                    name, args.ncores, args.input_class, policy,
+                    args.json, args.disable,
+                ))
+            except ReproError as exc:
+                print(f"[run-looppoint] {name} FAILED: {exc}",
+                      file=sys.stderr)
+                return 2
+        return worst
 
     rows = []
     for name in programs:

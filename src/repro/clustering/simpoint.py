@@ -9,7 +9,7 @@ filtered instructions — the "multiplier" numerator of Eq. (2) in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

@@ -149,6 +149,29 @@ class ReproScale:
         return self.slice_size_per_thread * nthreads
 
 
+@dataclass(frozen=True)
+class LintThresholds:
+    """Thresholds for :mod:`repro.lint`'s pipeline-config passes.
+
+    Kept here, next to :class:`ReproScale`, because they express the same
+    scaling contract: flow-control must be much finer than a slice
+    (Sec. III-B) and warmup must cover at least one per-thread slice of
+    history (Sec. III-F).
+    """
+
+    #: CONF001 fires when the flow-control window exceeds this fraction of
+    #: the global slice size.
+    max_flow_window_fraction: float = 0.5
+    #: CONF002 fires when warmup covers less than this many per-thread
+    #: slices.
+    min_warmup_slices: float = 1.0
+    #: CONF005 fires when a profile yields fewer slices than this.
+    min_slices: int = 2
+
+
+DEFAULT_LINT_THRESHOLDS = LintThresholds()
+
+
 _SCALES = {
     "tiny": ReproScale(
         name="tiny",

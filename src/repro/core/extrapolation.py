@@ -9,7 +9,7 @@ metrics are predicted.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from ..clustering.simpoint import ClusterInfo
 from ..errors import ClusteringError

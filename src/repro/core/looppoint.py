@@ -17,7 +17,10 @@ Stages, each cached on first use:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..lint.findings import LintReport
 
 from ..clustering.simpoint import (
     SimPointOptions,
@@ -25,7 +28,7 @@ from ..clustering.simpoint import (
     select_simpoints,
 )
 from ..config import GAINESTOWN_8CORE, ReproScale, SystemConfig, get_scale
-from ..errors import ClusteringError, SimulationError
+from ..errors import SimulationError
 from ..pinplay.pinball import Pinball, RegionPinball
 from ..pinplay.recorder import record_execution
 from ..pinplay.region import extract_region_pinballs
@@ -56,6 +59,9 @@ class LoopPointOptions:
     #: being representatives (program initialization is microarchitecturally
     #: atypical); their mass still counts.
     startup_fraction: float = 0.05
+    #: Run the :mod:`repro.lint` invariant checks after :meth:`run` and
+    #: attach the report to the result.
+    lint: bool = False
 
     def resolved_scale(self) -> ReproScale:
         return self.scale if self.scale is not None else get_scale()
@@ -73,6 +79,8 @@ class LoopPointResult:
     actual: Optional[SimMetrics]
     region_results: List[SimulationResult]
     speedup: SpeedupReport
+    #: Invariant-verification report, present when options.lint is set.
+    lint_report: Optional["LintReport"] = None
 
     @property
     def runtime_error_pct(self) -> Optional[float]:
@@ -278,6 +286,13 @@ class LoopPointPipeline:
             warmup_instructions=scale.warmup_instructions,
             region_results=region_results,
         )
+        lint_report = None
+        if self.options.lint:
+            # Imported lazily: lint consumes this module's pipeline, so a
+            # top-level import would be circular.
+            from ..lint.runner import lint_pipeline
+
+            lint_report = lint_pipeline(self)
         return LoopPointResult(
             workload=self.workload.full_name,
             wait_policy=self.options.wait_policy.value,
@@ -287,4 +302,5 @@ class LoopPointPipeline:
             actual=actual,
             region_results=region_results,
             speedup=speedup,
+            lint_report=lint_report,
         )

@@ -7,7 +7,6 @@ iteration is more than fast enough and easy to verify.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Iterable, List, Tuple
 
 from ..errors import ProgramStructureError
@@ -45,10 +44,10 @@ def immediate_dominators(dcfg: DCFG, entry: int = ENTRY) -> Dict[int, int]:
     succ = dcfg.successors()
     order = _reverse_postorder(succ, entry)
     index = {node: i for i, node in enumerate(order)}
-    preds: Dict[int, List[int]] = defaultdict(list)
-    for (src, dst), _count in dcfg.edge_counts.items():
-        if src in index and dst in index:
-            preds[dst].append(src)
+    preds: Dict[int, List[int]] = {}
+    for dst, srcs in dcfg.predecessors().items():
+        if dst in index:
+            preds[dst] = [p for p in srcs if p in index]
 
     idom: Dict[int, int] = {entry: entry}
 
@@ -66,7 +65,7 @@ def immediate_dominators(dcfg: DCFG, entry: int = ENTRY) -> Dict[int, int]:
         for node in order:
             if node == entry:
                 continue
-            candidates = [p for p in preds[node] if p in idom]
+            candidates = [p for p in preds.get(node, ()) if p in idom]
             if not candidates:
                 raise ProgramStructureError(
                     f"node {node} reachable but has no processed predecessor"

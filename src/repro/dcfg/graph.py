@@ -10,7 +10,7 @@ the paper's pin-tool (Sec. IV-D).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ProgramStructureError
 from ..exec_engine.observers import Observer
@@ -51,6 +51,25 @@ class DCFG:
         for (src, dst) in self.edge_counts:
             succ[src].append(dst)
         return dict(succ)
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        pred: Dict[int, List[int]] = defaultdict(list)
+        for (src, dst) in self.edge_counts:
+            pred[dst].append(src)
+        return dict(pred)
+
+    def reachable_from(self, entry: int = ENTRY) -> Set[int]:
+        """Nodes reachable from ``entry`` (``entry`` itself included)."""
+        succ = self.successors()
+        seen = {entry}
+        stack = [entry]
+        while stack:
+            node = stack.pop()
+            for child in succ.get(node, ()):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return seen
 
     def edge_trip_count(self, src: int, dst: int) -> int:
         return self.edge_counts.get((src, dst), 0)

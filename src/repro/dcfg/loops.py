@@ -34,9 +34,7 @@ class Loop:
 def find_natural_loops(dcfg: DCFG) -> List[Loop]:
     """All natural loops of the dynamic graph, merged per header."""
     idom = immediate_dominators(dcfg)
-    preds: Dict[int, List[int]] = {}
-    for (src, dst) in dcfg.edge_counts:
-        preds.setdefault(dst, []).append(src)
+    preds: Dict[int, List[int]] = dcfg.predecessors()
 
     loops: Dict[int, Loop] = {}
     for (src, dst), count in dcfg.edge_counts.items():

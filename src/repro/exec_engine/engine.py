@@ -15,7 +15,7 @@ while blocked (ACTIVE), futex paths (PASSIVE), lock handoffs, chunk fetches.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 

@@ -58,6 +58,37 @@ class InstructionCounter(Observer):
         return self.total - self.filtered
 
 
+class SyncEventLog(Observer):
+    """Records the synchronization event stream, split per thread.
+
+    The lint concurrency passes consume this: per-thread barrier sequences
+    (divergence detection) and the global ``gseq`` order (integrity check).
+    Works under both the functional engine and constrained replay, since
+    both publish :meth:`Observer.on_sync`.
+    """
+
+    def __init__(self, nthreads: int) -> None:
+        self.nthreads = nthreads
+        #: Per-thread ``(kind, obj_id, gseq)`` sequences, in observed order.
+        self.per_thread: List[List[Tuple[str, int, int]]] = [
+            [] for _ in range(nthreads)
+        ]
+        #: Every gseq value in observation order.
+        self.gseq_order: List[int] = []
+
+    def on_sync(
+        self, tid: int, kind: str, obj_id: int, response, gseq: int
+    ) -> None:
+        self.per_thread[tid].append((kind, obj_id, gseq))
+        self.gseq_order.append(gseq)
+
+    def barrier_sequence(self, tid: int, kind: str = "barrier") -> List[int]:
+        """Barrier object ids thread ``tid`` arrived at, in order."""
+        return [
+            obj_id for (k, obj_id, _g) in self.per_thread[tid] if k == kind
+        ]
+
+
 class TraceCollector(Observer):
     """Collects the raw per-thread event stream (tests and DCFG building).
 

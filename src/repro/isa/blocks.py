@@ -9,7 +9,7 @@ without per-iteration bookkeeping here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from ..errors import ProgramStructureError

@@ -9,7 +9,7 @@ pinballs replayable and region simulations comparable to the full run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 

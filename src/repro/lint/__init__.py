@@ -1,0 +1,39 @@
+"""``repro.lint``: static analysis & invariant verification for LoopPoint runs.
+
+LoopPoint's correctness rests on structural invariants the rest of the code
+assumes: region markers must be main-image natural-loop headers with
+execution-count-invariant global counts (paper Sec. III-C), spin/sync loops
+from library images must never bound a region (Sec. III-D), and constrained
+replay must reproduce the recorded shared-memory/sync order.  This package
+*checks* those invariants on demand, turning silent profile corruption into
+actionable diagnostics.
+
+Four pass families:
+
+* :mod:`~repro.lint.dcfg_passes` — DCFG structure (flow conservation,
+  reachability, irreducibility, dominator self-check).
+* :mod:`~repro.lint.marker_passes` — marker validity (main-image loop
+  headers only, monotone counts, two-replay invariance).
+* :mod:`~repro.lint.concurrency_passes` — the sync event stream (lock-order
+  cycles, barrier divergence, vector-clock happens-before races, gseq
+  integrity).
+* :mod:`~repro.lint.config_passes` — pipeline-configuration sanity versus
+  the :mod:`repro.config` defaults.
+
+Entry points: the ``repro-lint`` console script, ``run-looppoint --lint``,
+and :func:`~repro.lint.runner.lint_pipeline` /
+:func:`~repro.lint.runner.lint_workload` for programmatic use.
+"""
+
+from .findings import Finding, LintReport, RULES, Severity
+from .runner import LintOptions, lint_pipeline, lint_workload
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Severity",
+    "LintOptions",
+    "lint_pipeline",
+    "lint_workload",
+]

@@ -1,0 +1,120 @@
+"""``repro-lint``: the standalone lint entry point.
+
+Examples::
+
+    repro-lint demo-matrix-1 -n 8
+    repro-lint demo-matrix-2 --json
+    repro-lint demo-matrix-1 --disable CONF001 --no-invariance
+    repro-lint --list-rules
+
+Exit status is non-zero when any error-severity finding survives
+suppression, so CI can gate on a clean run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..analysis.tables import ascii_table
+from ..config import get_scale
+from ..errors import ReproError
+from ..policy import WaitPolicy
+from ..workloads.registry import get_workload
+from .findings import RULES
+from .runner import LintOptions, lint_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "program", nargs="?", default="demo-matrix-1",
+        help="workload to lint (default: demo-matrix-1)",
+    )
+    parser.add_argument(
+        "-n", "--ncores", type=int, default=8,
+        help="number of threads (default: 8)",
+    )
+    parser.add_argument(
+        "-i", "--input-class", default=None,
+        help="input class (test/train/ref for SPEC, A/B/C for NPB)",
+    )
+    parser.add_argument(
+        "-w", "--wait-policy", choices=["passive", "active"],
+        default="passive", help="OpenMP wait policy (default: passive)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of a table",
+    )
+    parser.add_argument(
+        "--disable", action="append", default=[], metavar="RULE",
+        help="suppress a rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--no-invariance", action="store_true",
+        help="skip the two-replay boundary-invariance check (MARK004)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every lint rule and exit",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    rows = [
+        [rule.rule_id, str(rule.severity), rule.summary]
+        for rule in RULES.values()
+    ]
+    return ascii_table(["rule", "severity", "summary"], rows,
+                       title="repro-lint rules")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    try:
+        options = LintOptions(
+            check_invariance=not args.no_invariance,
+            disable=frozenset(args.disable),
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    from ..core.looppoint import LoopPointOptions
+
+    scale = get_scale()
+    try:
+        workload = get_workload(
+            args.program, args.input_class, args.ncores, scale=scale
+        )
+        report = lint_workload(
+            workload,
+            options=options,
+            pipeline_options=LoopPointOptions(
+                wait_policy=WaitPolicy(args.wait_policy), scale=scale
+            ),
+        )
+    except ReproError as exc:
+        print(f"[repro-lint] {args.program} FAILED: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        print(report.to_json() if args.json else report.render_table())
+    except BrokenPipeError:  # e.g. `repro-lint --json | head`
+        sys.stderr.close()
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

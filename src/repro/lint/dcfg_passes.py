@@ -1,0 +1,245 @@
+"""DCFG structural passes.
+
+The dynamic graph built by :class:`~repro.dcfg.graph.DCFGBuilder` obeys
+exact conservation laws (Sec. IV-D's per-thread edge recording):
+
+* in-flow of a node — the summed trip counts of its incoming edges,
+  including the virtual ENTRY edge and batched self-edges — equals the
+  node's recorded execution count exactly;
+* out-flow equals in-flow minus the number of threads whose *final* block
+  execution run ended at that node, so ``out <= in`` always and the total
+  deficit over all nodes equals the thread count.
+
+Violations mean the graph (and everything derived from it: dominators,
+loops, markers) is corrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..dcfg.dominators import immediate_dominators
+from ..dcfg.graph import DCFG, ENTRY
+from .findings import Finding, make_finding
+
+
+def _node_name(dcfg: DCFG, node: int) -> str:
+    if node == ENTRY:
+        return "ENTRY"
+    try:
+        return dcfg.block(node).name
+    except (IndexError, AttributeError):
+        return f"node {node}"
+
+
+def check_flow_conservation(
+    dcfg: DCFG, nthreads: Optional[int] = None
+) -> List[Finding]:
+    """Rule DCFG001: per-node edge-flow conservation.
+
+    ``nthreads``, when known, bounds the aggregate in/out deficit (each
+    thread terminates exactly once).
+    """
+    findings: List[Finding] = []
+    inflow: Dict[int, int] = {}
+    outflow: Dict[int, int] = {}
+    for (src, dst), count in dcfg.edge_counts.items():
+        outflow[src] = outflow.get(src, 0) + count
+        inflow[dst] = inflow.get(dst, 0) + count
+
+    total_deficit = 0
+    for node in sorted(dcfg.nodes):
+        n_in = inflow.get(node, 0)
+        n_out = outflow.get(node, 0)
+        execs = dcfg.node_counts.get(node)
+        if execs is not None and n_in != execs:
+            findings.append(make_finding(
+                "DCFG001", _node_name(dcfg, node),
+                f"in-flow {n_in} != recorded executions {execs}",
+            ))
+        if n_out > n_in:
+            findings.append(make_finding(
+                "DCFG001", _node_name(dcfg, node),
+                f"out-flow {n_out} exceeds in-flow {n_in}",
+            ))
+        else:
+            total_deficit += n_in - n_out
+    if nthreads is not None and total_deficit != nthreads:
+        findings.append(make_finding(
+            "DCFG001", "<graph>",
+            f"aggregate in/out deficit {total_deficit} != thread count "
+            f"{nthreads} (each thread must terminate exactly once)",
+        ))
+    return findings
+
+
+def check_reachability(dcfg: DCFG) -> List[Finding]:
+    """Rule DCFG002: every node must be reachable from the virtual entry."""
+    reachable = dcfg.reachable_from(ENTRY)
+    findings = []
+    for node in sorted(dcfg.nodes - reachable):
+        findings.append(make_finding(
+            "DCFG002", _node_name(dcfg, node),
+            "node has recorded executions or edges but no path from ENTRY",
+        ))
+    return findings
+
+
+def _strongly_connected_components(dcfg: DCFG) -> List[Set[int]]:
+    """Tarjan's SCC algorithm, iterative (graphs can chain deep)."""
+    succ = dcfg.successors()
+    nodes = set(dcfg.nodes)
+    nodes.add(ENTRY)
+    index: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[Set[int]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(succ.get(root, ())))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for child in it:
+                if child not in index:
+                    index[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(succ.get(child, ()))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc: Set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.add(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+def check_irreducibility(dcfg: DCFG) -> List[Finding]:
+    """Rule DCFG003: cycles must have a single entry node.
+
+    A strongly connected component entered from outside at more than one
+    node is an irreducible region — natural-loop detection (back edges to
+    a dominating header) cannot name a header for it, so marker candidates
+    may silently go missing there.
+    """
+    preds = dcfg.predecessors()
+    findings = []
+    for scc in _strongly_connected_components(dcfg):
+        if len(scc) == 1:
+            node = next(iter(scc))
+            if dcfg.edge_trip_count(node, node) == 0:
+                continue  # trivial SCC, no cycle
+        entries = sorted(
+            node for node in scc
+            if any(p not in scc for p in preds.get(node, ()))
+        )
+        if len(entries) > 1:
+            names = ", ".join(_node_name(dcfg, n) for n in entries)
+            findings.append(make_finding(
+                "DCFG003", names,
+                f"cycle of {len(scc)} node(s) entered at {len(entries)} "
+                f"distinct nodes; natural-loop headers may be missed here",
+            ))
+    return findings
+
+
+def _reference_dominators(dcfg: DCFG, entry: int = ENTRY) -> Dict[int, Set[int]]:
+    """Textbook set-based dominance dataflow, as an independent oracle."""
+    reachable = dcfg.reachable_from(entry)
+    preds = {
+        node: [p for p in srcs if p in reachable]
+        for node, srcs in dcfg.predecessors().items()
+        if node in reachable
+    }
+    dom: Dict[int, Set[int]] = {node: set(reachable) for node in reachable}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for node in reachable:
+            if node == entry:
+                continue
+            node_preds = preds.get(node, [])
+            new = set.intersection(*(dom[p] for p in node_preds)) if node_preds \
+                else set()
+            new.add(node)
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return dom
+
+
+def check_dominators(dcfg: DCFG) -> List[Finding]:
+    """Rule DCFG004: CHK immediate dominators vs. the set-based oracle.
+
+    ``dcfg/dominators.py`` implements Cooper-Harvey-Kennedy; this pass
+    recomputes full dominance with the naive iterative dataflow and checks
+    that each node's idom is its unique closest strict dominator.
+    """
+    idom = immediate_dominators(dcfg)
+    oracle = _reference_dominators(dcfg)
+    findings = []
+    for node, dominators in sorted(oracle.items()):
+        if node == ENTRY:
+            continue
+        strict = dominators - {node}
+        # The immediate dominator is the strict dominator that every other
+        # strict dominator dominates (the closest one).
+        expected = None
+        for cand in strict:
+            if all(other in oracle[cand] for other in strict):
+                expected = cand
+                break
+        got = idom.get(node)
+        if got != expected:
+            findings.append(make_finding(
+                "DCFG004", _node_name(dcfg, node),
+                f"immediate dominator mismatch: CHK={_node_name(dcfg, got)!s} "
+                f"oracle={_node_name(dcfg, expected)!s}"
+                if got is not None else
+                f"node missing from CHK result (oracle idom "
+                f"{_node_name(dcfg, expected)!s})",
+            ))
+    # Nodes the CHK pass found that the oracle says are unreachable.
+    for node in sorted(set(idom) - set(oracle)):
+        findings.append(make_finding(
+            "DCFG004", _node_name(dcfg, node),
+            "CHK computed a dominator for a node the oracle finds "
+            "unreachable",
+        ))
+    return findings
+
+
+def run_dcfg_passes(
+    dcfg: DCFG, nthreads: Optional[int] = None
+) -> List[Finding]:
+    """All DCFG structural passes, in order."""
+    findings = []
+    findings.extend(check_flow_conservation(dcfg, nthreads))
+    findings.extend(check_reachability(dcfg))
+    findings.extend(check_irreducibility(dcfg))
+    findings.extend(check_dominators(dcfg))
+    return findings

@@ -1,0 +1,245 @@
+"""Shared diagnostics core: findings, the report, and the rule registry.
+
+Every lint pass emits :class:`Finding` objects tagged with a rule id from
+:data:`RULES`.  A :class:`LintReport` aggregates them and renders either an
+ASCII table (interactive use) or JSON (CI / tooling).
+"""
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis.tables import ascii_table
+
+
+class Severity(IntEnum):
+    """Finding severity; comparisons follow escalation order."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    rule_id: str
+    severity: Severity
+    summary: str
+    #: Paper section (or design rationale) this rule enforces.
+    paper_ref: str
+
+
+def _registry(rules: Iterable[Rule]) -> Dict[str, Rule]:
+    out: Dict[str, Rule] = {}
+    for rule in rules:
+        if rule.rule_id in out:
+            raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+        out[rule.rule_id] = rule
+    return out
+
+
+#: Every rule the lint subsystem can fire, keyed by rule id.
+RULES: Dict[str, Rule] = _registry([
+    # -- DCFG structural passes ------------------------------------------
+    Rule("DCFG001", Severity.ERROR,
+         "edge-flow conservation violated at a DCFG node",
+         "Sec. III-D/IV-D: per-thread edge recording must account for "
+         "every node execution"),
+    Rule("DCFG002", Severity.ERROR,
+         "DCFG node unreachable from the virtual entry",
+         "Sec. IV-D: every executed block hangs off a thread's first "
+         "block, which hangs off ENTRY"),
+    Rule("DCFG003", Severity.WARNING,
+         "irreducible loop (multi-entry cycle) in the dynamic graph",
+         "Sec. III-D: natural-loop detection can miss headers of "
+         "irreducible regions, losing marker candidates"),
+    Rule("DCFG004", Severity.ERROR,
+         "dominator-tree self-check mismatch",
+         "Sec. III-D: loop headers derive from dominance; a wrong "
+         "dominator tree silently corrupts marker selection"),
+    # -- marker validity passes ------------------------------------------
+    Rule("MARK001", Severity.ERROR,
+         "marker PC is not a loop-header block",
+         "Sec. III-C: region boundaries are loop entries"),
+    Rule("MARK002", Severity.ERROR,
+         "marker PC lies in a library image (spin/sync loop)",
+         "Sec. III-D: spin loops have schedule-dependent counts and must "
+         "never bound a region"),
+    Rule("MARK003", Severity.ERROR,
+         "marker counts not monotone across slice boundaries",
+         "Sec. III-C: (PC, count) markers are global execution counts, "
+         "strictly increasing along the run"),
+    Rule("MARK004", Severity.ERROR,
+         "slice boundaries differ between two profiling replays",
+         "Sec. III-C / requirement (1a): markers must be "
+         "execution-count-invariant so analysis is reproducible"),
+    Rule("MARK005", Severity.ERROR,
+         "marker PC resolves to no block in the program",
+         "Sec. III-C: a marker names an instruction of the application"),
+    # -- concurrency passes ----------------------------------------------
+    Rule("CONC001", Severity.ERROR,
+         "cycle in the lock-order graph (potential deadlock)",
+         "constrained replay (Sec. III-H) enforces a recorded total sync "
+         "order; a lock cycle means the order can deadlock on re-execution"),
+    Rule("CONC002", Severity.ERROR,
+         "threads observed divergent barrier sequences",
+         "fork-join model (Sec. II): every thread of a parallel region "
+         "passes the same barriers in the same order"),
+    Rule("CONC003", Severity.ERROR,
+         "unsynchronized conflicting accesses to a guarded block "
+         "(happens-before race)",
+         "Sec. III-H: replay preserves shared-memory order only for "
+         "accesses ordered by the recorded synchronization"),
+    Rule("CONC004", Severity.ERROR,
+         "global sync sequence (gseq) is not dense and strictly ordered",
+         "Sec. III-H: the recorded total order over sync actions is what "
+         "constrained replay enforces"),
+    # -- pipeline-config passes ------------------------------------------
+    Rule("CONF001", Severity.WARNING,
+         "flow-control window is large relative to the slice size",
+         "Sec. III-B: equal forward progress must hold at a granularity "
+         "much finer than a slice"),
+    Rule("CONF002", Severity.WARNING,
+         "warmup budget is shorter than one per-thread slice",
+         "Sec. III-F: checkpoint warmup must cover the region's "
+         "microarchitectural state"),
+    Rule("CONF003", Severity.ERROR,
+         "expected slice count exceeds the scale's max_slices guard",
+         "DESIGN.md 6: runaway slicing indicates a mis-sized slice_size"),
+    Rule("CONF004", Severity.ERROR,
+         "startup_fraction outside [0, 1)",
+         "Sec. III-E: startup exclusion is a fraction of the run"),
+    Rule("CONF005", Severity.WARNING,
+         "profile produced too few slices for clustering to matter",
+         "Sec. III-E: SimPoint needs a population of slices to pick "
+         "representatives from"),
+])
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a lint pass."""
+
+    rule_id: str
+    severity: Severity
+    #: Where the finding anchors: a block name, PC, node id, lock id …
+    location: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.rule_id not in RULES:
+            raise ValueError(f"unknown rule id {self.rule_id!r}")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+        }
+
+
+def make_finding(rule_id: str, location: str, message: str,
+                 severity: Optional[Severity] = None) -> Finding:
+    """Build a finding with the rule's default severity unless overridden."""
+    rule = RULES[rule_id]
+    return Finding(
+        rule_id=rule_id,
+        severity=rule.severity if severity is None else severity,
+        location=location,
+        message=message,
+    )
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint run, plus render helpers."""
+
+    subject: str
+    findings: List[Finding] = field(default_factory=list)
+    #: Pass names that actually ran (so "no findings" is meaningful).
+    passes_run: List[str] = field(default_factory=list)
+    #: Rule ids suppressed by configuration.
+    disabled: List[str] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def mark_pass(self, name: str) -> None:
+        self.passes_run.append(name)
+
+    # -- queries ----------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: non-zero iff error-severity findings exist."""
+        return 1 if self.has_errors else 0
+
+    def counts(self) -> Dict[str, int]:
+        out = {str(s): 0 for s in Severity}
+        for f in self.findings:
+            out[str(f.severity)] += 1
+        return out
+
+    # -- renderers ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "passes_run": list(self.passes_run),
+            "disabled": list(self.disabled),
+            "counts": self.counts(),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_table(self) -> str:
+        """Human-readable report: one table row per finding, plus summary."""
+        title = f"lint report for {self.subject}"
+        suppressed = (
+            f" (suppressed: {', '.join(self.disabled)})" if self.disabled
+            else ""
+        )
+        if not self.findings:
+            passes = ", ".join(self.passes_run) or "none"
+            return f"{title}\n  no findings (passes run: {passes}){suppressed}"
+        rows = [
+            [f.severity, f.rule_id, f.location, f.message]
+            for f in sorted(
+                self.findings, key=lambda f: (-int(f.severity), f.rule_id)
+            )
+        ]
+        counts = self.counts()
+        summary = ", ".join(
+            f"{n} {name}" for name, n in counts.items() if n
+        )
+        table = ascii_table(
+            ["severity", "rule", "location", "message"], rows, title=title
+        )
+        return f"{table}\n{summary}{suppressed}"

@@ -1,0 +1,119 @@
+"""Orchestration: run every pass family against one workload or pipeline.
+
+The runner reuses the pipeline's cached stages (recording, profile), adds
+one constrained replay with the analysis observers attached (DCFG builder,
+concurrency analyzer, sync-event log), and aggregates all findings into a
+single :class:`~repro.lint.findings.LintReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, TYPE_CHECKING
+
+from ..config import DEFAULT_LINT_THRESHOLDS, LintThresholds
+from ..dcfg.graph import DCFGBuilder
+from ..exec_engine.observers import SyncEventLog
+from ..pinplay.replayer import ConstrainedReplayer
+from .concurrency_passes import (
+    ConcurrencyAnalyzer,
+    check_barrier_divergence,
+    check_gseq_integrity,
+    check_lock_order,
+    check_races,
+)
+from .config_passes import DEFAULT_FLOW_WINDOW, run_config_passes
+from .dcfg_passes import run_dcfg_passes
+from .findings import LintReport, RULES
+from .marker_passes import run_marker_passes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.looppoint import LoopPointPipeline
+    from ..workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """What to check and how strictly."""
+
+    #: Run the two-replay boundary-invariance check (costs one extra
+    #: profiling replay).
+    check_invariance: bool = True
+    #: Rule ids to suppress (see docs/METHODOLOGY.md, "Validating a run").
+    disable: FrozenSet[str] = field(default_factory=frozenset)
+    thresholds: LintThresholds = field(
+        default_factory=lambda: DEFAULT_LINT_THRESHOLDS
+    )
+    #: Flow-control window the recording used.
+    flow_window: int = DEFAULT_FLOW_WINDOW
+
+    def __post_init__(self) -> None:
+        unknown = set(self.disable) - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule id(s) in disable: {sorted(unknown)}")
+
+
+def lint_pipeline(
+    pipeline: "LoopPointPipeline",
+    options: Optional[LintOptions] = None,
+) -> LintReport:
+    """Verify every checked invariant of one pipeline's run."""
+    options = options or LintOptions()
+    workload = pipeline.workload
+    report = LintReport(
+        subject=workload.full_name, disabled=sorted(options.disable)
+    )
+    program = workload.program
+    pinball = pipeline.record()
+
+    # One constrained replay feeds the DCFG and concurrency analyses.
+    dcfg_builder = DCFGBuilder(program, pinball.nthreads)
+    analyzer = ConcurrencyAnalyzer(pinball.nthreads)
+    sync_log = SyncEventLog(pinball.nthreads)
+    ConstrainedReplayer(
+        program, pinball, observers=(dcfg_builder, analyzer, sync_log)
+    ).run()
+
+    report.extend(run_dcfg_passes(dcfg_builder.result(), pinball.nthreads))
+    report.mark_pass("dcfg")
+
+    report.extend(check_lock_order(analyzer))
+    report.extend(check_barrier_divergence(sync_log))
+    report.extend(check_races(analyzer))
+    report.extend(check_gseq_integrity(sync_log))
+    report.mark_pass("concurrency")
+
+    profile = pipeline.profile()
+    report.extend(run_marker_passes(
+        program, profile, pinball,
+        check_invariance=options.check_invariance,
+    ))
+    report.mark_pass("markers")
+
+    report.extend(run_config_passes(
+        pipeline.options.resolved_scale(),
+        pipeline.slice_size,
+        pipeline.options.startup_fraction,
+        profile=profile,
+        flow_window=options.flow_window,
+        thresholds=options.thresholds,
+    ))
+    report.mark_pass("config")
+
+    if options.disable:
+        report.findings = [
+            f for f in report.findings if f.rule_id not in options.disable
+        ]
+    return report
+
+
+def lint_workload(
+    workload: "Workload",
+    options: Optional[LintOptions] = None,
+    pipeline_options=None,
+) -> LintReport:
+    """Build a pipeline for ``workload`` and lint its run."""
+    from ..core.looppoint import LoopPointPipeline
+
+    pipeline = LoopPointPipeline(workload, options=pipeline_options)
+    return lint_pipeline(pipeline, options)

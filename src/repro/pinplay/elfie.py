@@ -21,7 +21,7 @@ constrained-replay distortions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List
 
 from ..errors import ReplayError
 from ..exec_engine.events import (
@@ -67,7 +67,6 @@ class ELFie:
         same drivers as a regular application binary.
         """
         from ..exec_engine.events import (
-            ChunkRequest,
             LockAcquire,
             LockRelease,
             SingleRequest,

@@ -48,6 +48,15 @@ class MarkerTracker:
         self._counts: Dict[int, int] = {}
         self._by_bid: Dict[int, int] = {}
         for block in marker_blocks:
+            if block.pc in self._counts and block.bid not in self._by_bid:
+                # Two distinct blocks sharing one PC would silently merge
+                # their counts into one slot, corrupting every (PC, count)
+                # marker at that address.
+                raise RegionError(
+                    f"marker blocks {block.name!r} (bid {block.bid}) and an "
+                    f"earlier block share pc {block.pc:#x}; markers must "
+                    f"map one PC to one block"
+                )
             self._counts[block.pc] = 0
             self._by_bid[block.bid] = block.pc
 

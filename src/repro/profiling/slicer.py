@@ -9,7 +9,7 @@ a :class:`~repro.profiling.markers.Marker` — a ``(PC, count)`` pair.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

@@ -20,7 +20,7 @@ seeds (and optionally the other wait policy), profile each, and check that
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..errors import ProfilingError

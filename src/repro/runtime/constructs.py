@@ -11,8 +11,8 @@ unconstrained simulation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence, Tuple, Union
 
 from ..errors import ProgramStructureError
 from ..exec_engine.events import (

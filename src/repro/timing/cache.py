@@ -6,8 +6,6 @@ tag (moving it to the MRU end); on overflow the LRU tag is the first key.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..config import CacheConfig
 
 

@@ -15,8 +15,6 @@ Python probe counts proportional to distinct lines, not accesses.
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from ..config import CoreConfig

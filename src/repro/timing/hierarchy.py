@@ -8,10 +8,9 @@ transfers — the behaviour that couples thread placement to memory timing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set
 
 from ..config import SystemConfig
-from ..errors import SimulationError
 from .cache import Cache
 
 #: Hit levels returned by :meth:`MemoryHierarchy.access`.

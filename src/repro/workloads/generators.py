@@ -8,8 +8,8 @@ imbalance under static scheduling (the paper's heterogeneous apps, Fig. 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import WorkloadError
 from ..isa.blocks import (

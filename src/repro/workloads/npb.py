@@ -15,8 +15,6 @@ from ..runtime.constructs import (
     AtomicSpec,
     Barrier,
     Construct,
-    CriticalSpec,
-    Master,
     ParallelFor,
     SCHEDULE_DYNAMIC,
 )

@@ -18,8 +18,7 @@ the paper:
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from ..config import ReproScale
 from ..errors import WorkloadError
@@ -28,17 +27,15 @@ from ..runtime.constructs import (
     Barrier,
     Construct,
     CriticalSpec,
-    LoopWork,
     Master,
     ParallelFor,
     Serial,
     Single,
     SCHEDULE_DYNAMIC,
-    SCHEDULE_STATIC,
 )
 from ..runtime.thread import ThreadProgram
 from .base import Workload
-from .generators import AppAssembler, Mem, Phase, input_factors, make_trips
+from .generators import AppAssembler, Mem, input_factors, make_trips
 
 #: Table II rows: (language, KLOC, application area).
 TABLE_II: Dict[str, tuple] = {

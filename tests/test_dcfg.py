@@ -59,6 +59,21 @@ class TestDominators:
         idom = immediate_dominators(g)
         assert 6 not in idom
 
+    def test_irreducible_region(self):
+        # E -> 0, 0 -> {1, 2}, 1 <-> 2: the cycle {1, 2} has two entries,
+        # so neither member dominates the other; both idoms collapse to 0.
+        g = _graph([(ENTRY, 0, 1), (0, 1, 1), (0, 2, 1),
+                    (1, 2, 3), (2, 1, 3)])
+        idom = immediate_dominators(g)
+        assert idom[1] == 0 and idom[2] == 0
+        assert not dominates(idom, 1, 2)
+        assert not dominates(idom, 2, 1)
+
+    def test_self_loop_edge_does_not_change_idom(self):
+        g = _graph([(ENTRY, 0, 1), (0, 1, 1), (1, 1, 7), (1, 2, 1)])
+        idom = immediate_dominators(g)
+        assert idom[1] == 0 and idom[2] == 1
+
 
 class TestNaturalLoops:
     def test_self_loop(self):
@@ -86,6 +101,22 @@ class TestNaturalLoops:
         g = _graph([])
         with pytest.raises(ProgramStructureError):
             g.add_edge(0, 1, 0)
+
+    def test_irreducible_cycle_has_no_natural_loop(self):
+        # The {1, 2} cycle is entered at both 1 and 2; neither back edge
+        # targets a dominating header, so no natural loop may be reported.
+        g = _graph([(ENTRY, 0, 1), (0, 1, 1), (0, 2, 1),
+                    (1, 2, 3), (2, 1, 3)])
+        assert find_natural_loops(g) == []
+
+    def test_self_loop_inside_irreducible_cycle(self):
+        # A self edge is always a back edge (every node dominates itself),
+        # so 1's self-loop is found even though the outer cycle is not.
+        g = _graph([(ENTRY, 0, 1), (0, 1, 1), (0, 2, 1),
+                    (1, 2, 3), (2, 1, 3), (1, 1, 8)])
+        loops = find_natural_loops(g)
+        assert [(l.header, l.trip_count) for l in loops] == [(1, 8)]
+        assert loops[0].body == {1}
 
 
 class TestDCFGFromExecution:

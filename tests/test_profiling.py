@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ProfilingError, RegionError
+from repro.isa.blocks import BasicBlock
 from repro.pinplay import ConstrainedReplayer, record_execution
 from repro.policy import WaitPolicy
 from repro.profiling import (
@@ -55,6 +56,26 @@ class TestMarkerTracker:
         tracker = MarkerTracker([])
         with pytest.raises(RegionError):
             tracker.count(0x1234)
+
+    def test_duplicate_pc_rejected(self):
+        # Two distinct blocks (different bids) sharing a PC must not merge
+        # their counts into one slot.
+        from repro.isa.instructions import Instruction, InstrKind
+
+        def block(name, bid, pc):
+            b = BasicBlock(name, [Instruction(InstrKind.IALU)],
+                           is_loop_header=True)
+            b.bid = bid
+            b.pc = pc
+            return b
+
+        first = block("loop_a", 7, 0x400100)
+        clone = block("loop_b", 8, 0x400100)
+        with pytest.raises(RegionError, match="share pc"):
+            MarkerTracker([first, clone])
+        # Passing the same block twice stays harmless.
+        tracker = MarkerTracker([first, first])
+        assert tracker.count(0x400100) == 0
 
 
 class TestFilterPolicy:
