@@ -23,6 +23,8 @@ Package map (see DESIGN.md for the full inventory):
   SimPoint clustering.
 * :mod:`repro.timing` — the multicore timing simulator (Sniper's role).
 * :mod:`repro.core` — the LoopPoint pipeline itself.
+* :mod:`repro.parallel` — process-pool region fan-out + on-disk artifact
+  cache (``--jobs`` / ``--cache-dir``).
 * :mod:`repro.baselines` — naive SimPoint, BarrierPoint, time-based sampling.
 * :mod:`repro.workloads` — SPEC CPU2017-like / NPB-like workload models.
 """
@@ -37,6 +39,7 @@ from .config import (
 from .core.looppoint import LoopPointOptions, LoopPointPipeline, LoopPointResult
 from .core.speedup import SpeedupReport, compute_speedups
 from .errors import ReproError
+from .parallel import ArtifactCache, ExecutionStats
 from .policy import WaitPolicy
 from .timing.mcsim import MultiCoreSimulator, RegionOfInterest
 from .timing.metrics import SimMetrics
@@ -56,6 +59,8 @@ __all__ = [
     "SpeedupReport",
     "compute_speedups",
     "ReproError",
+    "ArtifactCache",
+    "ExecutionStats",
     "WaitPolicy",
     "MultiCoreSimulator",
     "RegionOfInterest",

@@ -50,6 +50,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="passive", help="OpenMP wait policy (default: passive)",
     )
     parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for region simulation (default: REPRO_JOBS "
+             "or 1; 0 = one per CPU); results are bit-identical to serial",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent artifact cache: record/profile/select outputs are "
+             "stored here and reused by later runs (stage counters are "
+             "printed per workload)",
+    )
+    parser.add_argument(
         "--force", action="store_true",
         help="start a new end-to-end run (accepted for artifact "
              "compatibility; runs are always fresh in this reproduction)",
@@ -117,6 +128,8 @@ def run_one(
     input_class: Optional[str],
     wait_policy: WaitPolicy,
     simulate_full: bool,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[object]:
     """Run the methodology end to end on one program; returns a table row."""
     scale = get_scale()
@@ -124,12 +137,21 @@ def run_one(
     workload = get_workload(name, input_class, ncores, scale=scale)
     pipeline = LoopPointPipeline(
         workload,
-        options=LoopPointOptions(wait_policy=wait_policy, scale=scale),
+        options=LoopPointOptions(
+            wait_policy=wait_policy, scale=scale, jobs=jobs,
+            cache_dir=cache_dir,
+        ),
     )
     result = pipeline.run(simulate_full=simulate_full)
+    if pipeline.artifacts is not None:
+        print(f"[cache] {pipeline.artifacts.stats_line()}", flush=True)
     err = (
         f"{result.runtime_error_pct:.2f}%"
         if result.runtime_error_pct is not None else "--"
+    )
+    measured = (
+        f"{result.speedup.measured_speedup:.1f}x"
+        if result.speedup.measured_speedup is not None else "--"
     )
     return [
         workload.full_name,
@@ -138,6 +160,7 @@ def run_one(
         err,
         f"{result.speedup.theoretical_serial:.1f}x",
         f"{result.speedup.theoretical_parallel:.1f}x",
+        measured,
         f"{time.time() - t0:.1f}s",
     ]
 
@@ -179,7 +202,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             rows.append(
                 run_one(name, args.ncores, args.input_class, policy,
-                        simulate_full=not args.no_fullsim)
+                        simulate_full=not args.no_fullsim,
+                        jobs=args.jobs, cache_dir=args.cache_dir)
             )
         except ReproError as exc:
             print(f"[run-looppoint] {name} FAILED: {exc}", file=sys.stderr)
@@ -188,7 +212,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     print()
     print(ascii_table(
         ["workload", "slices", "looppoints", "runtime err",
-         "serial speedup", "parallel speedup", "wall"],
+         "serial speedup", "parallel speedup", "measured speedup", "wall"],
         rows,
         title="LoopPoint end-to-end results",
     ))

@@ -197,6 +197,27 @@ _SCALES = {
 }
 
 
+def default_jobs() -> int:
+    """Default simulation parallelism.
+
+    Honours the ``REPRO_JOBS`` environment variable (like ``REPRO_SCALE``
+    for sizing): ``0`` means "one worker per CPU".  Falls back to ``1``
+    (serial) — parallel dispatch is strictly opt-in.
+    """
+    raw = os.environ.get("REPRO_JOBS", "1")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise WorkloadError(
+            f"REPRO_JOBS must be an integer, got {raw!r}"
+        ) from None
+    if jobs < 0:
+        raise WorkloadError(f"REPRO_JOBS must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
 def get_scale(name: str = "") -> ReproScale:
     """Look up a :class:`ReproScale` by name.
 

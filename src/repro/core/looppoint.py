@@ -16,8 +16,8 @@ Stages, each cached on first use:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..lint.findings import LintReport
@@ -27,8 +27,21 @@ from ..clustering.simpoint import (
     SimPointSelection,
     select_simpoints,
 )
-from ..config import GAINESTOWN_8CORE, ReproScale, SystemConfig, get_scale
-from ..errors import SimulationError
+from ..config import (
+    GAINESTOWN_8CORE,
+    ReproScale,
+    SystemConfig,
+    default_jobs,
+    get_scale,
+)
+from ..errors import ClusteringError, SimulationError, WorkloadError
+from ..parallel.artifacts import ArtifactCache
+from ..parallel.executor import (
+    DEFAULT_JOB_TIMEOUT_S,
+    ExecutionStats,
+    run_region_jobs,
+)
+from ..parallel.jobs import RegionJob, WorkloadSpec
 from ..pinplay.pinball import Pinball, RegionPinball
 from ..pinplay.recorder import record_execution
 from ..pinplay.region import extract_region_pinballs
@@ -62,9 +75,24 @@ class LoopPointOptions:
     #: Run the :mod:`repro.lint` invariant checks after :meth:`run` and
     #: attach the report to the result.
     lint: bool = False
+    #: Worker processes for region simulation; ``None`` honours the
+    #: ``REPRO_JOBS`` environment variable (default 1 = serial).  Parallel
+    #: dispatch requires a registry-buildable workload and falls back to
+    #: serial otherwise — results are bit-identical either way.
+    jobs: Optional[int] = None
+    #: Persistent artifact cache directory for the record/profile/select
+    #: stage outputs; ``None`` disables on-disk caching.
+    cache_dir: Optional[str] = None
+    #: Per-region wall-clock budget in a worker before the job is retried
+    #: and, past the retry budget, re-run serially in the parent.
+    job_timeout_s: float = DEFAULT_JOB_TIMEOUT_S
+    job_retries: int = 1
 
     def resolved_scale(self) -> ReproScale:
         return self.scale if self.scale is not None else get_scale()
+
+    def resolved_jobs(self) -> int:
+        return self.jobs if self.jobs is not None else default_jobs()
 
 
 @dataclass
@@ -81,21 +109,49 @@ class LoopPointResult:
     speedup: SpeedupReport
     #: Invariant-verification report, present when options.lint is set.
     lint_report: Optional["LintReport"] = None
+    #: Core frequency (GHz) of the system the looppoints ran on, and of the
+    #: system the reference run came from.  When both are known, runtime is
+    #: compared in *seconds* (cycles / frequency), so predictions against a
+    #: reference measured on a differently-clocked configuration report a
+    #: runtime error distinct from the cycles error.  When either is
+    #: missing, runtime error degrades to the cycles comparison.
+    frequency_ghz: Optional[float] = None
+    reference_frequency_ghz: Optional[float] = None
+
+    def _runtime_values(self) -> "tuple[float, float]":
+        """(predicted, actual) runtimes: seconds when frequencies are known,
+        cycles otherwise."""
+        assert self.actual is not None
+        freq = self.frequency_ghz
+        ref_freq = (
+            self.reference_frequency_ghz
+            if self.reference_frequency_ghz
+            else self.frequency_ghz
+        )
+        if not freq or freq <= 0 or not ref_freq or ref_freq <= 0:
+            return float(self.predicted.cycles), float(self.actual.cycles)
+        return (
+            self.predicted.cycles / (freq * 1e9),
+            self.actual.cycles / (ref_freq * 1e9),
+        )
 
     @property
     def runtime_error_pct(self) -> Optional[float]:
         if self.actual is None:
             return None
-        return prediction_error(self.predicted.cycles, self.actual.cycles)
+        return prediction_error(*self._runtime_values())
 
     def metric_errors(self) -> Dict[str, float]:
-        """Prediction quality for the Fig. 7 metrics."""
+        """Prediction quality for the Fig. 7 metrics.
+
+        ``runtime_error_pct`` compares wall time (cycles over core
+        frequency); ``cycles_error_pct`` compares raw cycle counts.  They
+        coincide only when prediction and reference share one clock.
+        """
         if self.actual is None:
             raise SimulationError("no full-run reference simulation")
         return {
-            "runtime_error_pct": prediction_error(
-                self.predicted.cycles, self.actual.cycles
-            ),
+            "runtime_error_pct": prediction_error(*self._runtime_values()),
             "cycles_error_pct": prediction_error(
                 self.predicted.cycles, self.actual.cycles
             ),
@@ -138,6 +194,64 @@ class LoopPointPipeline:
         self._pinball: Optional[Pinball] = None
         self._profile: Optional[ProfileData] = None
         self._selection: Optional[SimPointSelection] = None
+        #: Persistent stage-artifact cache (None when no cache_dir is set).
+        self.artifacts: Optional[ArtifactCache] = (
+            ArtifactCache(self.options.cache_dir)
+            if self.options.cache_dir
+            else None
+        )
+        #: Wall-clock accounting of the most recent parallel region fan-out
+        #: (None after a serial sweep).
+        self.last_execution: Optional[ExecutionStats] = None
+        self._workload_spec_result: "tuple[bool, Optional[WorkloadSpec]]" = (
+            False,
+            None,
+        )
+
+    # -- cache key material -------------------------------------------------
+    #
+    # Each stage's artifact is addressed by everything that determines its
+    # output.  Stages chain: profile material embeds record material, select
+    # material embeds profile material — changing an upstream option
+    # invalidates every downstream artifact automatically.
+
+    def _workload_material(self) -> Dict[str, Any]:
+        w = self.workload
+        scale = self.options.resolved_scale()
+        return {
+            "suite": w.suite,
+            "name": w.name,
+            "input_class": w.input_class,
+            "nthreads": w.nthreads,
+            "scale": {
+                "name": scale.name,
+                "slice_size_per_thread": scale.slice_size_per_thread,
+                "warmup_instructions": scale.warmup_instructions,
+                "input_scale": scale.input_scale,
+                "max_slices": scale.max_slices,
+            },
+        }
+
+    def _record_material(self) -> Dict[str, Any]:
+        return {
+            "stage": "record",
+            "workload": self._workload_material(),
+            "wait_policy": self.options.wait_policy.value,
+            "record_seed": self.options.record_seed,
+        }
+
+    def _profile_material(self) -> Dict[str, Any]:
+        material = self._record_material()
+        material["stage"] = "profile"
+        material["slice_size"] = self.slice_size
+        return material
+
+    def _select_material(self) -> Dict[str, Any]:
+        material = self._profile_material()
+        material["stage"] = "select"
+        material["simpoint"] = asdict(self.options.simpoint)
+        material["startup_fraction"] = self.options.startup_fraction
+        return material
 
     # -- cached stages ------------------------------------------------------
 
@@ -156,6 +270,10 @@ class LoopPointPipeline:
 
     def record(self) -> Pinball:
         """Stage 1: record the reproducible whole-program pinball."""
+        if self._pinball is None and self.artifacts is not None:
+            cached = self.artifacts.load("record", self._record_material())
+            if isinstance(cached, Pinball):
+                self._pinball = cached
         if self._pinball is None:
             w = self.workload
             self._pinball, _ = record_execution(
@@ -166,30 +284,62 @@ class LoopPointPipeline:
                 wait_policy=self.options.wait_policy,
                 seed=self.options.record_seed,
             )
+            if self.artifacts is not None:
+                self.artifacts.store(
+                    "record", self._record_material(), self._pinball
+                )
         return self._pinball
 
     def profile(self) -> ProfileData:
         """Stage 2: DCFG + loop-aligned slicing + filtered BBVs."""
+        if self._profile is None and self.artifacts is not None:
+            cached = self.artifacts.load("profile", self._profile_material())
+            if isinstance(cached, ProfileData):
+                self._profile = cached
         if self._profile is None:
             self._profile = profile_pinball(
                 self.workload.program, self.record(), self.slice_size
             )
+            if self.artifacts is not None:
+                self.artifacts.store(
+                    "profile", self._profile_material(), self._profile
+                )
         return self._profile
 
     def select(self) -> SimPointSelection:
         """Stage 3: SimPoint clustering of slice BBVs."""
+        if self._selection is None and self.artifacts is not None:
+            cached = self.artifacts.load("select", self._select_material())
+            if isinstance(cached, SimPointSelection):
+                self._selection = cached
         if self._selection is None:
             profile = self.profile()
             startup = self.options.startup_fraction * profile.filtered_instructions
             ineligible = [
                 s.index for s in profile.slices if s.start_filtered < startup
             ]
+            if len(ineligible) >= profile.num_slices:
+                # Every slice starts inside the startup exclusion window —
+                # typical of very short runs.  Failing here, by name, beats
+                # the bare "no eligible representatives" the clustering core
+                # would otherwise die with.
+                raise ClusteringError(
+                    f"startup_fraction={self.options.startup_fraction} bars "
+                    f"all {profile.num_slices} slices from representative "
+                    f"selection; the run is too short for the configured "
+                    f"startup exclusion — lower startup_fraction or use a "
+                    f"longer input"
+                )
             self._selection = select_simpoints(
                 profile.bbv_matrix(),
                 profile.slice_filtered_counts(),
                 self.options.simpoint,
                 ineligible=ineligible,
             )
+            if self.artifacts is not None:
+                self.artifacts.store(
+                    "select", self._select_material(), self._selection
+                )
         return self._selection
 
     def regions(self) -> List[RegionOfInterest]:
@@ -214,14 +364,74 @@ class LoopPointPipeline:
             self.workload.program, self.system, self.workload.omp
         )
 
-    def simulate_regions(self) -> List[SimulationResult]:
-        """Stage 4 (binary-driven): detailed sweep over all looppoints."""
-        return self._fresh_simulator().run_binary(
-            self.workload.thread_program,
-            self.workload.nthreads,
-            self.options.wait_policy,
-            regions=self.regions(),
+    def _workload_spec(self) -> Optional[WorkloadSpec]:
+        """A validated rebuild spec for worker processes, or ``None``.
+
+        ``None`` means the workload cannot be faithfully rebuilt from the
+        registry (ad-hoc program, or built under different coordinates than
+        this pipeline's options) — region simulation then runs serially.
+        The validation rebuild is performed once, in the parent, so a
+        mismatch downgrades to serial instead of failing every worker.
+        """
+        checked, spec = self._workload_spec_result
+        if checked:
+            return spec
+        try:
+            spec = WorkloadSpec.from_workload(
+                self.workload, self.options.resolved_scale()
+            )
+            spec.build()
+        except (WorkloadError, SimulationError):
+            spec = None
+        self._workload_spec_result = (True, spec)
+        return spec
+
+    def _run_jobs(self, jobs: List[RegionJob], workers: int) -> List[SimulationResult]:
+        outcome = run_region_jobs(
+            jobs,
+            workers=min(workers, len(jobs)),
+            timeout_s=self.options.job_timeout_s,
+            retries=self.options.job_retries,
         )
+        self.last_execution = outcome.stats
+        return outcome.results
+
+    def simulate_regions(self) -> List[SimulationResult]:
+        """Stage 4 (binary-driven): detailed simulation of all looppoints.
+
+        Serial (``jobs=1``): one sweep with functional warming between
+        regions.  Parallel (``jobs>1``): each looppoint is dispatched to a
+        worker that sweeps from program start to just its region — warming
+        every region from program start is equivalent to the shared sweep
+        (see :meth:`MultiCoreSimulator.run_binary`), so the per-region
+        metrics, and therefore the extrapolation, are bit-identical.
+        """
+        rois = self.regions()
+        workers = self.options.resolved_jobs()
+        spec = (
+            self._workload_spec()
+            if workers > 1 and len(rois) > 1
+            else None
+        )
+        if spec is None:
+            self.last_execution = None
+            return self._fresh_simulator().run_binary(
+                self.workload.thread_program,
+                self.workload.nthreads,
+                self.options.wait_policy,
+                regions=rois,
+            )
+        jobs = [
+            RegionJob(
+                job_id=roi.region_id,
+                workload=spec,
+                system=self.system,
+                wait_policy=self.options.wait_policy.value,
+                roi=roi,
+            )
+            for roi in rois
+        ]
+        return self._run_jobs(jobs, workers)
 
     def simulate_full(self) -> SimulationResult:
         """Reference: the whole application in detail (the paper's
@@ -251,12 +461,38 @@ class LoopPointPipeline:
     def simulate_regions_constrained(
         self, strategy: WarmupStrategy = WarmupStrategy.CHECKPOINT_PREFIX
     ) -> List[SimulationResult]:
-        """Constrained simulation of every region pinball (Sec. V-A.1)."""
-        results = []
-        for pinball in self.region_pinballs(strategy):
-            sim = self._fresh_simulator()
-            results.append(sim.run_pinball(pinball))
-        return results
+        """Constrained simulation of every region pinball (Sec. V-A.1).
+
+        Region pinballs are self-contained (logs + counters + recorded sync
+        order), so ``jobs>1`` ships each one to a worker; every pinball gets
+        a fresh simulator in either mode, making parallel and serial runs
+        trivially bit-identical.
+        """
+        pinballs = self.region_pinballs(strategy)
+        workers = self.options.resolved_jobs()
+        spec = (
+            self._workload_spec()
+            if workers > 1 and len(pinballs) > 1
+            else None
+        )
+        if spec is None:
+            self.last_execution = None
+            results = []
+            for pinball in pinballs:
+                sim = self._fresh_simulator()
+                results.append(sim.run_pinball(pinball))
+            return results
+        jobs = [
+            RegionJob(
+                job_id=pinball.region_id,
+                workload=spec,
+                system=self.system,
+                wait_policy=self.options.wait_policy.value,
+                pinball=pinball,
+            )
+            for pinball in pinballs
+        ]
+        return self._run_jobs(jobs, workers)
 
     # -- the headline entry point -------------------------------------------
 
@@ -285,6 +521,7 @@ class LoopPointPipeline:
             selection.clusters,
             warmup_instructions=scale.warmup_instructions,
             region_results=region_results,
+            execution=self.last_execution,
         )
         lint_report = None
         if self.options.lint:
@@ -303,4 +540,6 @@ class LoopPointPipeline:
             region_results=region_results,
             speedup=speedup,
             lint_report=lint_report,
+            frequency_ghz=self.system.core.frequency_ghz,
+            reference_frequency_ghz=self.system.core.frequency_ghz,
         )

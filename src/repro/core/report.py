@@ -11,7 +11,8 @@ def format_result_table(results: Sequence[LoopPointResult]) -> str:
     """One row per workload: slices, looppoints, error, speedups."""
     header = (
         f"{'workload':<38} {'slices':>6} {'lpts':>5} {'err%':>7} "
-        f"{'ser(th)':>9} {'par(th)':>9} {'ser(act)':>9} {'par(act)':>9}"
+        f"{'ser(th)':>9} {'par(th)':>9} {'ser(act)':>9} {'par(act)':>9} "
+        f"{'measured':>9}"
     )
     lines = [header, "-" * len(header)]
     for r in results:
@@ -24,7 +25,8 @@ def format_result_table(results: Sequence[LoopPointResult]) -> str:
         lines.append(
             f"{r.workload:<38} {r.num_slices:>6} {r.num_looppoints:>5} {err} "
             f"{fmt(sp.theoretical_serial)} {fmt(sp.theoretical_parallel)} "
-            f"{fmt(sp.actual_serial)} {fmt(sp.actual_parallel)}"
+            f"{fmt(sp.actual_serial)} {fmt(sp.actual_parallel)} "
+            f"{fmt(sp.measured_speedup)}"
         )
     return "\n".join(lines)
 

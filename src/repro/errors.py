@@ -49,3 +49,10 @@ class RegionError(ReproError):
 
 class WorkloadError(ReproError):
     """An unknown workload, input class, or configuration was requested."""
+
+
+class CacheError(ReproError):
+    """The artifact cache directory is unusable or a key is malformed.
+
+    Cache *misses* are never errors — a miss just recomputes the stage.
+    """

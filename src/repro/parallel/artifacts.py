@@ -1,0 +1,171 @@
+"""Content-addressed on-disk cache for pipeline stage artifacts.
+
+The expensive early pipeline stages — recording a whole-program pinball,
+profiling it, selecting looppoints — are pure functions of the workload and
+the pipeline options.  This cache persists their outputs across *processes*
+and *sessions* (the in-pipeline memoization only lives as long as one
+``LoopPointPipeline``), so a second ``run-looppoint`` over the same
+workload skips stages 1-3 entirely and goes straight to simulation.
+
+Addressing is by content of the *inputs*: each stage's key material is a
+JSON-canonicalized description of everything that determines its output
+(workload coordinates, scale, wait policy, seed, slice size, clustering
+options, ...).  The SHA-256 of that material names the artifact file; the
+material itself is stored alongside the payload and re-verified on load,
+so a hash collision or a stale layout degrades to a cache miss, never a
+wrong artifact.
+
+Versioning and invalidation: artifacts live under ``<dir>/v<N>/<stage>/``.
+Bump :data:`CACHE_VERSION` whenever recording, profiling, or selection
+semantics change — old artifacts are simply never looked at again.
+:meth:`ArtifactCache.invalidate` wipes a stage (or everything) explicitly;
+wiping the directory by hand is always safe.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..errors import CacheError
+
+#: Bump when any cached stage's semantics change.
+CACHE_VERSION = 1
+
+_MAGIC = "repro-artifact-v1"
+
+#: The cacheable pipeline stages, in pipeline order.
+STAGES = ("record", "profile", "select")
+
+
+def canonical_key(material: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON form of the key material."""
+    try:
+        blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise CacheError(f"cache key material is not JSON-able: {exc}")
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """Load/store stage artifacts under a cache directory.
+
+    Counters (``hits``/``misses``/``stores`` per stage) make cache
+    effectiveness observable: the CI reuse check asserts on the
+    ``stats_line()`` a CLI run prints.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.root = Path(cache_dir) / f"v{CACHE_VERSION}"
+        self.hits: Counter = Counter()
+        self.misses: Counter = Counter()
+        self.stores: Counter = Counter()
+        #: Last load outcome per stage ("hit"/"miss"), for the stats line.
+        self.last_outcome: Dict[str, str] = {}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CacheError(f"cannot create cache dir {self.root}: {exc}")
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, stage: str, key: str) -> Path:
+        # Two-level fan-out keeps directories small for big caches.
+        return self.root / stage / key[:2] / f"{key}.pkl.gz"
+
+    # -- load/store ----------------------------------------------------------
+
+    def load(self, stage: str, material: Dict[str, Any]) -> Optional[Any]:
+        """Return the cached artifact, or ``None`` on a miss.
+
+        Corrupt or mismatched files are treated as misses (and removed) —
+        the pipeline then recomputes and overwrites them.
+        """
+        key = canonical_key(material)
+        path = self._path(stage, key)
+        if not path.exists():
+            self._miss(stage)
+            return None
+        try:
+            with gzip.open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except Exception:
+            self._evict_corrupt(path)
+            self._miss(stage)
+            return None
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 4
+            or payload[0] != _MAGIC
+            or payload[1] != CACHE_VERSION
+            or payload[2] != material
+        ):
+            self._evict_corrupt(path)
+            self._miss(stage)
+            return None
+        self.hits[stage] += 1
+        self.last_outcome[stage] = "hit"
+        return payload[3]
+
+    def store(self, stage: str, material: Dict[str, Any], artifact: Any) -> None:
+        """Persist an artifact atomically (write-to-temp + rename)."""
+        key = canonical_key(material)
+        path = self._path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = (_MAGIC, CACHE_VERSION, material, artifact)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".pkl.gz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                with gzip.open(raw, "wb") as fh:
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores[stage] += 1
+
+    def invalidate(self, stage: Optional[str] = None) -> None:
+        """Drop one stage's artifacts, or the whole versioned cache."""
+        target = self.root / stage if stage else self.root
+        if target.exists():
+            shutil.rmtree(target)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- accounting ----------------------------------------------------------
+
+    def _miss(self, stage: str) -> None:
+        self.misses[stage] += 1
+        self.last_outcome[stage] = "miss"
+
+    def _evict_corrupt(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def stats_line(self) -> str:
+        """One grep-able line: per-stage outcome plus aggregate counters."""
+        outcomes = " ".join(
+            f"{stage}={self.last_outcome[stage]}"
+            for stage in STAGES
+            if stage in self.last_outcome
+        )
+        totals = (
+            f"hits={sum(self.hits.values())} "
+            f"misses={sum(self.misses.values())} "
+            f"stores={sum(self.stores.values())}"
+        )
+        return f"{outcomes} | {totals}".strip(" |")

@@ -1,0 +1,204 @@
+"""Process-pool execution of region-simulation jobs.
+
+The paper's headline speedups assume looppoints are simulated *in
+parallel*: each selected region is independent once recorded, so throwing
+``N`` workers at ``N`` regions bounds time-to-results by the largest region
+rather than the sum.  This module realizes that with a
+``concurrent.futures.ProcessPoolExecutor`` over the picklable
+:class:`~repro.parallel.jobs.RegionJob` specs.
+
+Robustness contract (ISSUE 2):
+
+* ``workers <= 1`` runs every job in-process through the *same* job
+  function — the serial reference the equivalence tests compare against;
+* every job gets a wall-clock ``timeout_s`` and up to ``retries``
+  re-submissions;
+* a dead worker (``BrokenProcessPool``), a timeout, or an exhausted retry
+  budget degrades gracefully: the affected jobs re-run serially in the
+  parent, so a flaky pool can slow a run down but never fail or skew it.
+
+The executor also measures what the paper can only estimate: per-job wall
+times (their sum is the measured *serial* cost) against the fan-out's
+elapsed wall time (the measured *parallel* cost).  The ratio is the
+observed speedup that :func:`repro.core.speedup.compute_speedups` reports
+next to the theoretical Eq. numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ..timing.mcsim import SimulationResult
+from .jobs import RegionJob, execute_region_job
+
+#: Default per-job wall-clock budget.  Generous: a region at reproduction
+#: scale simulates in milliseconds-to-seconds; the timeout only exists to
+#: convert a hung worker into a serial fallback instead of a hung run.
+DEFAULT_JOB_TIMEOUT_S = 900.0
+
+
+@dataclass
+class ExecutionStats:
+    """Wall-clock accounting of one fan-out."""
+
+    num_jobs: int
+    workers: int
+    #: Sum of per-job wall times — what a serial sweep over independently
+    #: simulated regions would cost.
+    serial_seconds: float
+    #: Elapsed wall time of the whole fan-out.
+    elapsed_seconds: float
+    retries: int = 0
+    serial_fallbacks: int = 0
+    per_job_seconds: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def measured_speedup(self) -> Optional[float]:
+        """Observed serial-over-parallel wall-clock ratio."""
+        if self.workers <= 1 or self.elapsed_seconds <= 0:
+            return None
+        return self.serial_seconds / self.elapsed_seconds
+
+
+@dataclass
+class ExecutionOutcome:
+    """Results (in job submission order) plus the wall-clock accounting."""
+
+    results: List[SimulationResult]
+    stats: ExecutionStats
+
+
+def _timed_job(job: RegionJob) -> "tuple[int, SimulationResult, float]":
+    """Run one job and measure its wall time (executes in the worker)."""
+    t0 = time.perf_counter()
+    result = execute_region_job(job)
+    return job.job_id, result, time.perf_counter() - t0
+
+
+def _run_serial(jobs: List[RegionJob]) -> ExecutionOutcome:
+    t0 = time.perf_counter()
+    results = []
+    per_job: Dict[int, float] = {}
+    for job in jobs:
+        job_id, result, seconds = _timed_job(job)
+        results.append(result)
+        per_job[job_id] = seconds
+    elapsed = time.perf_counter() - t0
+    return ExecutionOutcome(
+        results=results,
+        stats=ExecutionStats(
+            num_jobs=len(jobs),
+            workers=1,
+            serial_seconds=sum(per_job.values()),
+            elapsed_seconds=elapsed,
+            per_job_seconds=per_job,
+        ),
+    )
+
+
+def run_region_jobs(
+    jobs: List[RegionJob],
+    workers: int,
+    timeout_s: float = DEFAULT_JOB_TIMEOUT_S,
+    retries: int = 1,
+) -> ExecutionOutcome:
+    """Execute ``jobs`` across ``workers`` processes.
+
+    Results come back in submission order regardless of completion order.
+    Raises :class:`~repro.errors.SimulationError` only if a job fails even
+    in the final in-parent serial fallback (i.e. the job itself is broken,
+    not the pool).
+    """
+    if not jobs:
+        return ExecutionOutcome(
+            results=[],
+            stats=ExecutionStats(
+                num_jobs=0, workers=max(1, workers),
+                serial_seconds=0.0, elapsed_seconds=0.0,
+            ),
+        )
+    if workers <= 1 or len(jobs) == 1:
+        return _run_serial(jobs)
+
+    t0 = time.perf_counter()
+    by_id = {job.job_id: job for job in jobs}
+    if len(by_id) != len(jobs):
+        raise SimulationError("region jobs have duplicate job ids")
+    done: Dict[int, SimulationResult] = {}
+    per_job: Dict[int, float] = {}
+    pending = list(jobs)
+    attempts: Dict[int, int] = {job.job_id: 0 for job in jobs}
+    total_retries = 0
+    fallbacks: List[RegionJob] = []
+
+    while pending:
+        workers_now = min(workers, len(pending))
+        pool = ProcessPoolExecutor(max_workers=workers_now)
+        failed: List[RegionJob] = []
+        timed_out = False
+        futures: Dict[int, Future] = {}
+        try:
+            futures = {
+                job.job_id: pool.submit(_timed_job, job) for job in pending
+            }
+            for job_id, future in futures.items():
+                try:
+                    rid, result, seconds = future.result(timeout=timeout_s)
+                    done[rid] = result
+                    per_job[rid] = seconds
+                except FuturesTimeout:
+                    timed_out = True
+                    failed.append(by_id[job_id])
+                except Exception:
+                    # Includes BrokenProcessPool surfaced through a future:
+                    # the job re-runs (retry budget) or falls back serially.
+                    failed.append(by_id[job_id])
+        except BrokenProcessPool:
+            # The pool itself died at submit time (e.g. a worker was
+            # OOM-killed); everything unfinished falls back.
+            failed = [j for j in pending if j.job_id not in done]
+        finally:
+            if timed_out:
+                # A hung worker would block a normal shutdown forever; cut
+                # it loose instead of inheriting its fate.
+                for future in futures.values():
+                    future.cancel()
+                pool.shutdown(wait=False)
+                for proc in getattr(pool, "_processes", {}).values():
+                    proc.terminate()
+            else:
+                pool.shutdown(wait=True)
+        pending = []
+        for job in failed:
+            attempts[job.job_id] += 1
+            if attempts[job.job_id] <= retries:
+                total_retries += 1
+                pending.append(job)
+            else:
+                fallbacks.append(job)
+
+    for job in fallbacks:
+        job_id, result, seconds = _timed_job(job)
+        done[job_id] = result
+        per_job[job_id] = seconds
+
+    elapsed = time.perf_counter() - t0
+    results = [done[job.job_id] for job in jobs]
+    return ExecutionOutcome(
+        results=results,
+        stats=ExecutionStats(
+            num_jobs=len(jobs),
+            workers=workers,
+            serial_seconds=sum(per_job.values()),
+            elapsed_seconds=elapsed,
+            retries=total_retries,
+            serial_fallbacks=len(fallbacks),
+            per_job_seconds=per_job,
+        ),
+    )
