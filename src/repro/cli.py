@@ -14,15 +14,17 @@ output, exactly the artifact's workflow (Appendix E).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
 from .analysis.tables import ascii_table
-from .config import get_scale
+from .config import default_fault_plan_path, get_scale
 from .core.looppoint import LoopPointOptions, LoopPointPipeline
 from .errors import ReproError
 from .policy import WaitPolicy
+from .resilience import DegradePolicy, FaultPlan
 from .workloads.registry import get_workload, list_workloads
 
 
@@ -59,6 +61,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent artifact cache: record/profile/select outputs are "
              "stored here and reused by later runs (stage counters are "
              "printed per workload)",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="append-only run journal enabling --resume; with multiple "
+             "programs the program name is appended to the stem "
+             "(default with --cache-dir: <cache-dir>/<program>.manifest"
+             ".jsonl)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed run from its manifest: stages recorded as "
+             "done are restored from the artifact cache, the rest "
+             "recompute (requires --cache-dir)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SEC",
+        help="per-region wall-clock budget in a worker before the job is "
+             "retried and, past the retry budget, re-run in the parent",
+    )
+    parser.add_argument(
+        "--job-retries", type=int, default=None, metavar="N",
+        help="pool re-submissions per failed region job (default: 1), "
+             "paced by exponential backoff with seeded jitter",
+    )
+    parser.add_argument(
+        "--degrade", choices=[p.value for p in DegradePolicy], default=None,
+        help="policy for a region that fails retries AND serial fallback: "
+             "fail (default), fallback (re-simulate binary-driven; "
+             "constrained mode), or drop (renormalize cluster weights)",
+    )
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="JSON fault-injection plan for resilience testing (default: "
+             "the REPRO_FAULT_PLAN environment variable); see "
+             "repro.resilience.faults for the site catalogue",
     )
     parser.add_argument(
         "--force", action="store_true",
@@ -122,6 +159,31 @@ def lint_one(
     return report.exit_code
 
 
+def _manifest_path_for(
+    name: str,
+    manifest: Optional[str],
+    cache_dir: Optional[str],
+    multi: bool,
+    resume: bool,
+) -> Optional[str]:
+    """Per-program manifest path derivation.
+
+    An explicit ``--manifest`` is used as-is for a single program and gets
+    ``.<program>`` appended to its stem for multiple programs (each
+    program's run journals independently).  Without ``--manifest``,
+    journaling switches on alongside ``--cache-dir`` (resume needs both
+    anyway) under ``<cache-dir>/<program>.manifest.jsonl``.
+    """
+    if manifest:
+        if not multi:
+            return manifest
+        root, ext = os.path.splitext(manifest)
+        return f"{root}.{name}{ext or '.jsonl'}"
+    if cache_dir:
+        return os.path.join(cache_dir, f"{name}.manifest.jsonl")
+    return None
+
+
 def run_one(
     name: str,
     ncores: int,
@@ -130,21 +192,46 @@ def run_one(
     simulate_full: bool,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    manifest_path: Optional[str] = None,
+    resume: bool = False,
+    job_timeout_s: Optional[float] = None,
+    job_retries: Optional[int] = None,
+    degrade: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> List[object]:
     """Run the methodology end to end on one program; returns a table row."""
     scale = get_scale()
     t0 = time.time()
     workload = get_workload(name, input_class, ncores, scale=scale)
+    overrides = {}
+    if job_timeout_s is not None:
+        overrides["job_timeout_s"] = job_timeout_s
+    if job_retries is not None:
+        overrides["job_retries"] = job_retries
+    if degrade is not None:
+        overrides["degrade"] = DegradePolicy(degrade)
     pipeline = LoopPointPipeline(
         workload,
         options=LoopPointOptions(
             wait_policy=wait_policy, scale=scale, jobs=jobs,
-            cache_dir=cache_dir,
+            cache_dir=cache_dir, manifest_path=manifest_path,
+            fault_plan=fault_plan, **overrides,
         ),
     )
-    result = pipeline.run(simulate_full=simulate_full)
+    result = pipeline.run(simulate_full=simulate_full, resume=resume)
     if pipeline.artifacts is not None:
         print(f"[cache] {pipeline.artifacts.stats_line()}", flush=True)
+    # Grep-able metric line: the CI fault-injection matrix diffs these
+    # between clean, faulted, and resumed runs to assert bit-identity.
+    p = result.predicted
+    print(
+        f"[predicted] cycles={p.cycles} instructions={p.instructions} "
+        f"ipc={p.ipc:.6f}",
+        flush=True,
+    )
+    health = result.health
+    if not health.ok:
+        print(f"[health] {health.summary()}", flush=True)
     err = (
         f"{result.runtime_error_pct:.2f}%"
         if result.runtime_error_pct is not None else "--"
@@ -153,6 +240,7 @@ def run_one(
         f"{result.speedup.measured_speedup:.1f}x"
         if result.speedup.measured_speedup is not None else "--"
     )
+    fallbacks = health.serial_fallbacks + len(health.fallback_regions)
     return [
         workload.full_name,
         result.num_slices,
@@ -161,6 +249,9 @@ def run_one(
         f"{result.speedup.theoretical_serial:.1f}x",
         f"{result.speedup.theoretical_parallel:.1f}x",
         measured,
+        health.retries,
+        fallbacks,
+        f"{health.retained_coverage * 100:.0f}%",
         f"{time.time() - t0:.1f}s",
     ]
 
@@ -194,16 +285,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 2
         return worst
 
+    plan_path = args.fault_plan or default_fault_plan_path()
+    try:
+        fault_plan = (
+            FaultPlan.from_json_file(plan_path) if plan_path else None
+        )
+        if fault_plan is not None:
+            fault_plan.validate()
+            print(f"[run-looppoint] fault plan {plan_path} "
+                  f"(seed={fault_plan.seed}, "
+                  f"{len(fault_plan.faults)} spec(s))", flush=True)
+    except ReproError as exc:
+        print(f"[run-looppoint] bad fault plan: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and not args.cache_dir:
+        parser.error("--resume requires --cache-dir (resume restores "
+                     "completed stages from the artifact cache)")
+
     rows = []
     for name in programs:
         print(f"[run-looppoint] {name} "
               f"(n={args.ncores}, policy={policy.value}, "
               f"input={args.input_class or 'default'}) ...", flush=True)
+        manifest_path = _manifest_path_for(
+            name, args.manifest, args.cache_dir,
+            multi=len(programs) > 1, resume=args.resume,
+        )
         try:
             rows.append(
                 run_one(name, args.ncores, args.input_class, policy,
                         simulate_full=not args.no_fullsim,
-                        jobs=args.jobs, cache_dir=args.cache_dir)
+                        jobs=args.jobs, cache_dir=args.cache_dir,
+                        manifest_path=manifest_path, resume=args.resume,
+                        job_timeout_s=args.job_timeout,
+                        job_retries=args.job_retries,
+                        degrade=args.degrade, fault_plan=fault_plan)
             )
         except ReproError as exc:
             print(f"[run-looppoint] {name} FAILED: {exc}", file=sys.stderr)
@@ -212,7 +328,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print()
     print(ascii_table(
         ["workload", "slices", "looppoints", "runtime err",
-         "serial speedup", "parallel speedup", "measured speedup", "wall"],
+         "serial speedup", "parallel speedup", "measured speedup",
+         "retries", "fallbacks", "coverage", "wall"],
         rows,
         title="LoopPoint end-to-end results",
     ))

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ClusteringError
+from ..resilience import KMEANS_DIVERGE, maybe_inject
 
 
 @dataclass
@@ -67,6 +68,7 @@ def kmeans(
         if weights.shape != (n,) or np.any(weights < 0):
             raise ClusteringError("weights must be non-negative, one per point")
 
+    maybe_inject(KMEANS_DIVERGE, f"kmeans:k={k}")
     rng = np.random.default_rng(seed)
     centroids = _kmeanspp_init(points, k, rng)
     labels = np.zeros(n, dtype=np.int64)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from .errors import WorkloadError
 
@@ -231,3 +231,16 @@ def get_scale(name: str = "") -> ReproScale:
         raise WorkloadError(
             f"unknown scale {key!r}; choose from {sorted(_SCALES)}"
         ) from None
+
+
+def default_fault_plan_path() -> Optional[str]:
+    """Path to a fault-plan JSON file from ``REPRO_FAULT_PLAN``, or None.
+
+    Like ``REPRO_SCALE``/``REPRO_JOBS``, this is an environment-level
+    default the CLI picks up (``--fault-plan`` overrides it); the library
+    itself never reads it — a pipeline only injects faults when its options
+    carry a plan explicitly, so programmatic runs can never be surprised by
+    a stray environment variable.
+    """
+    raw = os.environ.get("REPRO_FAULT_PLAN", "").strip()
+    return raw or None

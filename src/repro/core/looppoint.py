@@ -16,8 +16,9 @@ Stages, each cached on first use:
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..lint.findings import LintReport
@@ -34,14 +35,33 @@ from ..config import (
     default_jobs,
     get_scale,
 )
-from ..errors import ClusteringError, SimulationError, WorkloadError
-from ..parallel.artifacts import ArtifactCache
+from ..errors import (
+    ClusteringError,
+    ReproError,
+    ResumeError,
+    SimulationError,
+    WorkloadError,
+)
+from ..parallel.artifacts import ArtifactCache, canonical_key
 from ..parallel.executor import (
     DEFAULT_JOB_TIMEOUT_S,
+    ExecutionOutcome,
     ExecutionStats,
     run_region_jobs,
 )
 from ..parallel.jobs import RegionJob, WorkloadSpec
+from ..resilience import (
+    PIPELINE_ABORT,
+    DegradePolicy,
+    FailureRecord,
+    FaultPlan,
+    RetryPolicy,
+    RunHealth,
+    RunManifest,
+    fault_scope,
+    maybe_inject,
+    renormalize_clusters,
+)
 from ..pinplay.pinball import Pinball, RegionPinball
 from ..pinplay.recorder import record_execution
 from ..pinplay.region import extract_region_pinballs
@@ -87,12 +107,37 @@ class LoopPointOptions:
     #: and, past the retry budget, re-run serially in the parent.
     job_timeout_s: float = DEFAULT_JOB_TIMEOUT_S
     job_retries: int = 1
+    #: Deterministic fault-injection plan (CI/testing); installed for the
+    #: duration of every pipeline entry point.  ``None`` in production.
+    fault_plan: Optional[FaultPlan] = None
+    #: Append-only run-journal path enabling ``run(resume=True)``; ``None``
+    #: disables journaling.
+    manifest_path: Optional[str] = None
+    #: What to do with a region that fails its retries *and* the in-parent
+    #: serial fallback: raise (``FAIL``, the default), re-simulate it
+    #: binary-driven (``FALLBACK``, constrained mode only), or drop it and
+    #: renormalize the remaining cluster weights (``DROP``).
+    degrade: DegradePolicy = DegradePolicy.FAIL
+    #: Retry budget for the analysis stages (record/profile/select/extract).
+    stage_retries: int = 1
+    #: Exponential-backoff pacing between retries (stages and region jobs).
+    retry_backoff_s: float = 0.05
+    retry_backoff_max_s: float = 2.0
+    retry_jitter: float = 0.25
 
     def resolved_scale(self) -> ReproScale:
         return self.scale if self.scale is not None else get_scale()
 
     def resolved_jobs(self) -> int:
         return self.jobs if self.jobs is not None else default_jobs()
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            base_delay_s=self.retry_backoff_s,
+            max_delay_s=self.retry_backoff_max_s,
+            jitter=self.retry_jitter,
+            seed=self.record_seed,
+        )
 
 
 @dataclass
@@ -109,6 +154,10 @@ class LoopPointResult:
     speedup: SpeedupReport
     #: Invariant-verification report, present when options.lint is set.
     lint_report: Optional["LintReport"] = None
+    #: Failure/retry/degradation accounting for this run; ``health.ok`` is
+    #: True for a clean run, ``health.degraded`` flags results that a clean
+    #: run would not have produced (fallback or dropped regions).
+    health: RunHealth = field(default_factory=RunHealth)
     #: Core frequency (GHz) of the system the looppoints ran on, and of the
     #: system the reference run came from.  When both are known, runtime is
     #: compared in *seconds* (cycles / frequency), so predictions against a
@@ -207,6 +256,18 @@ class LoopPointPipeline:
             False,
             None,
         )
+        # The fault plan is validated when installed (fault_scope), not
+        # here: lint must be able to construct a pipeline around a
+        # malformed plan to report its problems as findings.
+        #: Failure/retry/degradation accounting; reset by every :meth:`run`.
+        self.health = RunHealth()
+        self._manifest: Optional[RunManifest] = (
+            RunManifest(self.options.manifest_path)
+            if self.options.manifest_path
+            else None
+        )
+        #: Stages the manifest says completed in the run being resumed.
+        self._resume_stages: Set[str] = set()
 
     # -- cache key material -------------------------------------------------
     #
@@ -268,77 +329,152 @@ class LoopPointPipeline:
             scale.slice_size(self.workload.nthreads), scale.slice_size(4)
         )
 
+    def _with_stage_retry(
+        self, stage: str, key: str, compute: Callable[[], Any]
+    ) -> Any:
+        """Run ``compute`` with the stage retry budget and backoff pacing.
+
+        Every failed attempt is journaled (``fail`` event) and recorded in
+        :attr:`health`; a transient :class:`~repro.errors.ReproError` —
+        which is exactly what the fault seams raise — costs a retry, a
+        persistent one exhausts the budget and re-raises.
+        """
+        policy = self.options.retry_policy()
+        attempt = 0
+        while True:
+            try:
+                return compute()
+            except ReproError as exc:
+                attempt += 1
+                error = f"{type(exc).__name__}: {exc}"
+                if self._manifest is not None:
+                    self._manifest.fail(stage, key, error)
+                if attempt <= self.options.stage_retries:
+                    self.health.retries += 1
+                    self.health.record(FailureRecord(
+                        stage=stage, error=error, action="retried",
+                        attempts=attempt,
+                    ))
+                    delay = policy.delay(attempt, key=stage)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                self.health.record(FailureRecord(
+                    stage=stage, error=error, action="raised",
+                    attempts=attempt,
+                ))
+                raise
+
+    def _stage_artifact(
+        self,
+        stage: str,
+        material: Dict[str, Any],
+        kind: type,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Cache-load → (retrying) compute → cache-store one stage artifact,
+        journaling every transition in the run manifest."""
+        key = canonical_key(material)
+        cached: Any = None
+        if self.artifacts is not None:
+            cached = self.artifacts.load(stage, material)
+            if not isinstance(cached, kind):
+                cached = None
+        if cached is not None:
+            if stage in self._resume_stages:
+                self.health.resumed_stages.append(stage)
+            if self._manifest is not None:
+                self._manifest.done(stage, key, source="cache")
+            maybe_inject(PIPELINE_ABORT, f"after:{stage}")
+            return cached
+        if stage in self._resume_stages:
+            # The journal says this stage completed, but its artifact is
+            # gone (wiped cache, corrupt file evicted on load).  Recompute
+            # loudly rather than fail the resume.
+            self.health.record(FailureRecord(
+                stage=stage,
+                error="resume: cached artifact missing or corrupt",
+                action="recomputed",
+            ))
+        if self._manifest is not None:
+            self._manifest.begin(stage, key)
+        artifact = self._with_stage_retry(stage, key, compute)
+        if self.artifacts is not None:
+            self.artifacts.store(stage, material, artifact)
+        if self._manifest is not None:
+            self._manifest.done(stage, key, source="computed")
+        maybe_inject(PIPELINE_ABORT, f"after:{stage}")
+        return artifact
+
+    def _compute_record(self) -> Pinball:
+        w = self.workload
+        pinball, _ = record_execution(
+            w.program,
+            w.thread_program,
+            w.omp,
+            w.nthreads,
+            wait_policy=self.options.wait_policy,
+            seed=self.options.record_seed,
+        )
+        return pinball
+
     def record(self) -> Pinball:
         """Stage 1: record the reproducible whole-program pinball."""
-        if self._pinball is None and self.artifacts is not None:
-            cached = self.artifacts.load("record", self._record_material())
-            if isinstance(cached, Pinball):
-                self._pinball = cached
         if self._pinball is None:
-            w = self.workload
-            self._pinball, _ = record_execution(
-                w.program,
-                w.thread_program,
-                w.omp,
-                w.nthreads,
-                wait_policy=self.options.wait_policy,
-                seed=self.options.record_seed,
-            )
-            if self.artifacts is not None:
-                self.artifacts.store(
-                    "record", self._record_material(), self._pinball
+            with fault_scope(self.options.fault_plan):
+                self._pinball = self._stage_artifact(
+                    "record", self._record_material(), Pinball,
+                    self._compute_record,
                 )
         return self._pinball
 
+    def _compute_profile(self) -> ProfileData:
+        return profile_pinball(
+            self.workload.program, self.record(), self.slice_size
+        )
+
     def profile(self) -> ProfileData:
         """Stage 2: DCFG + loop-aligned slicing + filtered BBVs."""
-        if self._profile is None and self.artifacts is not None:
-            cached = self.artifacts.load("profile", self._profile_material())
-            if isinstance(cached, ProfileData):
-                self._profile = cached
         if self._profile is None:
-            self._profile = profile_pinball(
-                self.workload.program, self.record(), self.slice_size
-            )
-            if self.artifacts is not None:
-                self.artifacts.store(
-                    "profile", self._profile_material(), self._profile
+            with fault_scope(self.options.fault_plan):
+                self._profile = self._stage_artifact(
+                    "profile", self._profile_material(), ProfileData,
+                    self._compute_profile,
                 )
         return self._profile
 
+    def _compute_select(self) -> SimPointSelection:
+        profile = self.profile()
+        startup = self.options.startup_fraction * profile.filtered_instructions
+        ineligible = [
+            s.index for s in profile.slices if s.start_filtered < startup
+        ]
+        if len(ineligible) >= profile.num_slices:
+            # Every slice starts inside the startup exclusion window —
+            # typical of very short runs.  Failing here, by name, beats
+            # the bare "no eligible representatives" the clustering core
+            # would otherwise die with.
+            raise ClusteringError(
+                f"startup_fraction={self.options.startup_fraction} bars "
+                f"all {profile.num_slices} slices from representative "
+                f"selection; the run is too short for the configured "
+                f"startup exclusion — lower startup_fraction or use a "
+                f"longer input"
+            )
+        return select_simpoints(
+            profile.bbv_matrix(),
+            profile.slice_filtered_counts(),
+            self.options.simpoint,
+            ineligible=ineligible,
+        )
+
     def select(self) -> SimPointSelection:
         """Stage 3: SimPoint clustering of slice BBVs."""
-        if self._selection is None and self.artifacts is not None:
-            cached = self.artifacts.load("select", self._select_material())
-            if isinstance(cached, SimPointSelection):
-                self._selection = cached
         if self._selection is None:
-            profile = self.profile()
-            startup = self.options.startup_fraction * profile.filtered_instructions
-            ineligible = [
-                s.index for s in profile.slices if s.start_filtered < startup
-            ]
-            if len(ineligible) >= profile.num_slices:
-                # Every slice starts inside the startup exclusion window —
-                # typical of very short runs.  Failing here, by name, beats
-                # the bare "no eligible representatives" the clustering core
-                # would otherwise die with.
-                raise ClusteringError(
-                    f"startup_fraction={self.options.startup_fraction} bars "
-                    f"all {profile.num_slices} slices from representative "
-                    f"selection; the run is too short for the configured "
-                    f"startup exclusion — lower startup_fraction or use a "
-                    f"longer input"
-                )
-            self._selection = select_simpoints(
-                profile.bbv_matrix(),
-                profile.slice_filtered_counts(),
-                self.options.simpoint,
-                ineligible=ineligible,
-            )
-            if self.artifacts is not None:
-                self.artifacts.store(
-                    "select", self._select_material(), self._selection
+            with fault_scope(self.options.fault_plan):
+                self._selection = self._stage_artifact(
+                    "select", self._select_material(), SimPointSelection,
+                    self._compute_select,
                 )
         return self._selection
 
@@ -386,15 +522,95 @@ class LoopPointPipeline:
         self._workload_spec_result = (True, spec)
         return spec
 
-    def _run_jobs(self, jobs: List[RegionJob], workers: int) -> List[SimulationResult]:
+    def _run_jobs(
+        self, jobs: List[RegionJob], workers: int, mode: str
+    ) -> List[SimulationResult]:
+        opts = self.options
         outcome = run_region_jobs(
             jobs,
             workers=min(workers, len(jobs)),
-            timeout_s=self.options.job_timeout_s,
-            retries=self.options.job_retries,
+            timeout_s=opts.job_timeout_s,
+            retries=opts.job_retries,
+            backoff=opts.retry_policy(),
+            fault_plan=opts.fault_plan,
+            raise_on_failure=False,
         )
         self.last_execution = outcome.stats
+        self.health.retries += outcome.stats.retries
+        self.health.serial_fallbacks += outcome.stats.serial_fallbacks
+        if outcome.failures:
+            return self._handle_failed_regions(jobs, outcome, mode)
         return outcome.results
+
+    def _handle_failed_regions(
+        self, jobs: List[RegionJob], outcome: ExecutionOutcome, mode: str
+    ) -> List[SimulationResult]:
+        """Apply the degrade policy to regions that failed terminally.
+
+        The executor has already spent the retry budget and the in-parent
+        serial fallback on each of these, so whatever is wrong with them is
+        persistent; what remains is deciding what a lost region means for
+        the run.
+        """
+        opts = self.options
+        attempts = opts.job_retries + 2  # pool tries + serial fallback
+        results_by_id: Dict[int, SimulationResult] = {}
+        ok_ids = [j.job_id for j in jobs if j.job_id not in outcome.failures]
+        for job_id, result in zip(ok_ids, outcome.results):
+            results_by_id[job_id] = result
+        if opts.degrade is DegradePolicy.FAIL:
+            for job_id, error in sorted(outcome.failures.items()):
+                self.health.record(FailureRecord(
+                    stage="simulate", error=error, action="raised",
+                    region_id=job_id, attempts=attempts,
+                ))
+            raise SimulationError(
+                f"{len(outcome.failures)} region job(s) failed after "
+                f"retries and serial fallback "
+                f"(regions {sorted(outcome.failures)}); degrade policy is "
+                f"'fail' — pass degrade='fallback' or 'drop' to finish "
+                f"a run despite lost regions"
+            )
+        if opts.degrade is DegradePolicy.FALLBACK and mode == "constrained":
+            rois = {r.region_id: r for r in self.regions()}
+            for job_id, error in sorted(outcome.failures.items()):
+                try:
+                    roi = rois[job_id]
+                    result = self._fresh_simulator().run_binary(
+                        self.workload.thread_program,
+                        self.workload.nthreads,
+                        opts.wait_policy,
+                        regions=[roi],
+                    )[0]
+                except (KeyError, ReproError) as exc:
+                    self.health.dropped_regions.append(job_id)
+                    self.health.record(FailureRecord(
+                        stage="simulate",
+                        error=f"{error}; binary-driven fallback also "
+                              f"failed: {type(exc).__name__}: {exc}",
+                        action="dropped", region_id=job_id,
+                        attempts=attempts + 1,
+                    ))
+                    continue
+                results_by_id[job_id] = result
+                self.health.fallback_regions.append(job_id)
+                self.health.record(FailureRecord(
+                    stage="simulate", error=error, action="fallback",
+                    region_id=job_id, attempts=attempts,
+                ))
+        else:
+            # DROP — or FALLBACK in binary-driven mode, where there is no
+            # other simulation mode left to fall back to.
+            for job_id, error in sorted(outcome.failures.items()):
+                self.health.dropped_regions.append(job_id)
+                self.health.record(FailureRecord(
+                    stage="simulate", error=error, action="dropped",
+                    region_id=job_id, attempts=attempts,
+                ))
+        return [
+            results_by_id[j.job_id] for j in jobs
+            if j.job_id in results_by_id
+        ]
 
     def simulate_regions(self) -> List[SimulationResult]:
         """Stage 4 (binary-driven): detailed simulation of all looppoints.
@@ -431,7 +647,7 @@ class LoopPointPipeline:
             )
             for roi in rois
         ]
-        return self._run_jobs(jobs, workers)
+        return self._run_jobs(jobs, workers, mode="binary")
 
     def simulate_full(self) -> SimulationResult:
         """Reference: the whole application in detail (the paper's
@@ -454,9 +670,14 @@ class LoopPointPipeline:
             scale.warmup_instructions,
             strategy,
         )
-        return extract_region_pinballs(
-            self.workload.program, self.record(), cuts
-        )
+        with fault_scope(self.options.fault_plan):
+            return self._with_stage_retry(
+                "extract",
+                canonical_key(self._select_material()),
+                lambda: extract_region_pinballs(
+                    self.workload.program, self.record(), cuts
+                ),
+            )
 
     def simulate_regions_constrained(
         self, strategy: WarmupStrategy = WarmupStrategy.CHECKPOINT_PREFIX
@@ -492,7 +713,60 @@ class LoopPointPipeline:
             )
             for pinball in pinballs
         ]
-        return self._run_jobs(jobs, workers)
+        return self._run_jobs(jobs, workers, mode="constrained")
+
+    # -- resume ---------------------------------------------------------------
+
+    def _stage_keys(self) -> Dict[str, str]:
+        return {
+            "record": canonical_key(self._record_material()),
+            "profile": canonical_key(self._profile_material()),
+            "select": canonical_key(self._select_material()),
+        }
+
+    def _prepare_resume(self, stage_keys: Dict[str, str]) -> None:
+        """Validate the manifest against current options and mark stages.
+
+        Resume does not *trust* the journal for artifacts — completed
+        stages still load through the content-addressed cache, so a wiped
+        or corrupt cache degrades to recomputation, never to a wrong
+        artifact.  What the journal adds is the cross-check that the keys
+        it recorded are the keys the *current* options produce; a mismatch
+        means the caller changed configuration between runs, and silently
+        mixing artifacts would be worse than refusing.
+        """
+        if self._manifest is None:
+            raise ResumeError(
+                "cannot resume: options.manifest_path is not set"
+            )
+        if self.artifacts is None:
+            raise ResumeError(
+                "cannot resume: options.cache_dir is not set — resume "
+                "replays completed stages from the artifact cache"
+            )
+        completed, corrupt = self._manifest.read_completed()
+        if corrupt:
+            self.health.record(FailureRecord(
+                stage="manifest",
+                error=f"{corrupt} corrupt journal line(s) skipped "
+                      f"(write cut mid-line)",
+                action="recomputed",
+            ))
+        resumable: List[str] = []
+        for stage, key in completed.items():
+            expected = stage_keys.get(stage)
+            if expected is None:
+                continue  # e.g. "simulate" — not a cache-backed stage
+            if key != expected:
+                raise ResumeError(
+                    f"manifest records stage {stage!r} under key "
+                    f"{key[:12]}..., but the current options produce "
+                    f"{expected[:12]}...; resuming would mix artifacts "
+                    f"from different configurations"
+                )
+            resumable.append(stage)
+        self._resume_stages = set(resumable)
+        self._manifest.mark_resume(resumable)
 
     # -- the headline entry point -------------------------------------------
 
@@ -500,25 +774,56 @@ class LoopPointPipeline:
         self,
         simulate_full: bool = True,
         constrained: bool = False,
+        resume: bool = False,
     ) -> LoopPointResult:
         """Execute the whole methodology and evaluate it.
 
         ``simulate_full=False`` skips the reference run (ref-input scale,
         where the paper also only reports speedups).  ``constrained=True``
         simulates checkpoint-driven instead of binary-driven.
+        ``resume=True`` restarts a killed run: stages the manifest records
+        as done come back from the artifact cache, everything after the
+        kill point recomputes — requires ``manifest_path`` and
+        ``cache_dir``.
         """
+        self.health = RunHealth()
+        with fault_scope(self.options.fault_plan):
+            return self._run(simulate_full, constrained, resume)
+
+    def _run(
+        self, simulate_full: bool, constrained: bool, resume: bool
+    ) -> LoopPointResult:
+        stage_keys = self._stage_keys()
+        if resume:
+            self._prepare_resume(stage_keys)
+        elif self._manifest is not None:
+            self._manifest.start_run(stage_keys)
         profile = self.profile()
         selection = self.select()
+        sim_key = f"{stage_keys['select']}:" + (
+            "constrained" if constrained else "binary"
+        )
+        if self._manifest is not None:
+            self._manifest.begin("simulate", sim_key)
         if constrained:
             region_results = self.simulate_regions_constrained()
         else:
             region_results = self.simulate_regions()
-        predicted = extrapolate_metrics(region_results, selection.clusters)
+        if self._manifest is not None:
+            self._manifest.done("simulate", sim_key)
+        maybe_inject(PIPELINE_ABORT, "after:simulate")
+        clusters = list(selection.clusters)
+        if self.health.dropped_regions:
+            clusters, coverage = renormalize_clusters(
+                clusters, set(self.health.dropped_regions)
+            )
+            self.health.retained_coverage = coverage
+        predicted = extrapolate_metrics(region_results, clusters)
         actual = self.simulate_full().metrics if simulate_full else None
         scale = self.options.resolved_scale()
         speedup = compute_speedups(
             profile,
-            selection.clusters,
+            clusters,
             warmup_instructions=scale.warmup_instructions,
             region_results=region_results,
             execution=self.last_execution,
@@ -530,6 +835,12 @@ class LoopPointPipeline:
             from ..lint.runner import lint_pipeline
 
             lint_report = lint_pipeline(self)
+        if self._manifest is not None:
+            self._manifest.complete_run({
+                "predicted_cycles": predicted.cycles,
+                "predicted_instructions": predicted.instructions,
+                "health": self.health.as_dict(),
+            })
         return LoopPointResult(
             workload=self.workload.full_name,
             wait_policy=self.options.wait_policy.value,
@@ -540,6 +851,7 @@ class LoopPointPipeline:
             region_results=region_results,
             speedup=speedup,
             lint_report=lint_report,
+            health=self.health,
             frequency_ghz=self.system.core.frequency_ghz,
             reference_frequency_ghz=self.system.core.frequency_ghz,
         )

@@ -56,3 +56,15 @@ class CacheError(ReproError):
 
     Cache *misses* are never errors — a miss just recomputes the stage.
     """
+
+
+class FaultInjectionError(ReproError):
+    """A deterministic fault-injection plan fired at this site.
+
+    Raised only when a :class:`repro.resilience.FaultPlan` is installed;
+    production runs without a plan can never see this error.
+    """
+
+
+class ResumeError(ReproError):
+    """A run manifest cannot be resumed against the current options."""

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 from ..config import DEFAULT_LINT_THRESHOLDS, LintThresholds, ReproScale
 from ..profiling.profile_result import ProfileData
+from ..resilience import WORKER_HANG, FaultPlan
 from .findings import Finding, make_finding
 
 #: The window :class:`~repro.exec_engine.flowcontrol.FlowControl` defaults
@@ -94,6 +95,43 @@ def check_slice_population(
             f"selection degenerates to whole-run simulation",
         )]
     return []
+
+
+#: FaultPlan.iter_problems codes mapped onto lint rule ids.
+_FAULT_PROBLEM_RULES = {
+    "unknown-site": "FLT001",
+    "bad-probability": "FLT002",
+    "bad-hang": "FLT002",
+    "bad-mode": "FLT003",
+}
+
+
+def check_fault_plan(
+    plan: FaultPlan, job_timeout_s: Optional[float] = None
+) -> List[Finding]:
+    """Rules FLT001-FLT004: validate an injection plan before it runs.
+
+    The structural problems (unknown site, bad numbers, bad mode) reuse
+    :meth:`FaultPlan.iter_problems` — the same checks the pipeline enforces
+    at install time — so lint and runtime can never disagree about what a
+    valid plan is.  FLT004 adds the one cross-option check lint alone can
+    see: a ``worker.hang`` that undershoots the job timeout never exercises
+    the timeout/terminate path it presumably exists to test.
+    """
+    findings = [
+        make_finding(_FAULT_PROBLEM_RULES[code], where, message)
+        for code, where, message in plan.iter_problems()
+        if code in _FAULT_PROBLEM_RULES
+    ]
+    if job_timeout_s is not None:
+        for index, spec in enumerate(plan.faults):
+            if spec.site == WORKER_HANG and spec.hang_s <= job_timeout_s:
+                findings.append(make_finding(
+                    "FLT004", f"faults[{index}] ({spec.site})",
+                    f"hang_s {spec.hang_s} <= job_timeout_s {job_timeout_s}"
+                    f"; the hang resolves before the timeout fires",
+                ))
+    return findings
 
 
 def run_config_passes(

@@ -119,6 +119,23 @@ RULES: Dict[str, Rule] = _registry([
          "profile produced too few slices for clustering to matter",
          "Sec. III-E: SimPoint needs a population of slices to pick "
          "representatives from"),
+    # -- fault-plan passes ------------------------------------------------
+    Rule("FLT001", Severity.ERROR,
+         "fault plan names an unknown injection site",
+         "resilience design: a typo'd site silently injects nothing, so a "
+         "resilience test would pass without testing anything"),
+    Rule("FLT002", Severity.ERROR,
+         "fault-spec numeric field out of range",
+         "resilience design: probability must lie in [0, 1] and hang "
+         "durations must be non-negative for decisions to be well-defined"),
+    Rule("FLT003", Severity.ERROR,
+         "fault-spec mode invalid for its site",
+         "resilience design: each site understands a fixed set of modes "
+         "(e.g. cache.corrupt: truncate/garbage); others are dead config"),
+    Rule("FLT004", Severity.WARNING,
+         "worker.hang sleep does not exceed the job timeout",
+         "resilience design: a hang shorter than job_timeout_s just slows "
+         "the job down instead of exercising the timeout/terminate path"),
 ])
 
 

@@ -22,7 +22,11 @@ from .concurrency_passes import (
     check_lock_order,
     check_races,
 )
-from .config_passes import DEFAULT_FLOW_WINDOW, run_config_passes
+from .config_passes import (
+    DEFAULT_FLOW_WINDOW,
+    check_fault_plan,
+    run_config_passes,
+)
 from .dcfg_passes import run_dcfg_passes
 from .findings import LintReport, RULES
 from .marker_passes import run_marker_passes
@@ -63,6 +67,18 @@ def lint_pipeline(
     report = LintReport(
         subject=workload.full_name, disabled=sorted(options.disable)
     )
+    if pipeline.options.fault_plan is not None:
+        # Checked first, and without installing the plan: a structurally
+        # invalid plan would make every later stage raise at install time,
+        # so lint reports it as findings and stops instead of crashing.
+        report.extend(check_fault_plan(
+            pipeline.options.fault_plan,
+            job_timeout_s=pipeline.options.job_timeout_s,
+        ))
+        report.mark_pass("faultplan")
+        if report.has_errors:
+            return report
+
     program = workload.program
     pinball = pipeline.record()
 

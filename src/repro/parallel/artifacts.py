@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from ..errors import CacheError
+from ..resilience import CACHE_CORRUPT, should_fire
 
 #: Bump when any cached stage's semantics change.
 CACHE_VERSION = 1
@@ -136,6 +137,24 @@ class ArtifactCache:
                 pass
             raise
         self.stores[stage] += 1
+        spec = should_fire(CACHE_CORRUPT, f"{stage}:{key}")
+        if spec is not None:
+            self._damage(path, spec.mode)
+
+    @staticmethod
+    def _damage(path: Path, mode: str) -> None:
+        """Fault-injection hook: wreck a just-stored artifact on disk.
+
+        ``truncate`` (the default) cuts the file in half — a store
+        interrupted mid-write; ``garbage`` overwrites it with bytes that
+        are not even gzip.  Both must read back as a cache *miss*.
+        """
+        if mode == "garbage":
+            path.write_bytes(b"not a gzip pickle, injected garbage\x00\xff")
+            return
+        size = path.stat().st_size
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
 
     def invalidate(self, stage: Optional[str] = None) -> None:
         """Drop one stage's artifacts, or the whole versioned cache."""

@@ -7,15 +7,29 @@ rather than the sum.  This module realizes that with a
 ``concurrent.futures.ProcessPoolExecutor`` over the picklable
 :class:`~repro.parallel.jobs.RegionJob` specs.
 
-Robustness contract (ISSUE 2):
+Robustness contract (ISSUE 2, extended by ISSUE 3):
 
 * ``workers <= 1`` runs every job in-process through the *same* job
   function — the serial reference the equivalence tests compare against;
-* every job gets a wall-clock ``timeout_s`` and up to ``retries``
-  re-submissions;
+* each round of submissions shares a single wall-clock deadline of
+  ``timeout_s`` per expected batch (``ceil(pending / workers)``), collected
+  with :func:`concurrent.futures.wait` — one hung worker costs one budget,
+  not one budget per job queued behind it;
+* failed jobs are re-submitted up to ``retries`` times, paced by an
+  exponential-backoff :class:`~repro.resilience.RetryPolicy` with seeded
+  jitter instead of a tight crash loop;
 * a dead worker (``BrokenProcessPool``), a timeout, or an exhausted retry
-  budget degrades gracefully: the affected jobs re-run serially in the
-  parent, so a flaky pool can slow a run down but never fail or skew it.
+  budget degrades to an in-parent serial re-run; only if *that* also fails
+  is the job reported as failed — raised by default, or returned in
+  ``ExecutionOutcome.failures`` under ``raise_on_failure=False`` so the
+  pipeline's degradation policy can decide.
+
+Fault injection: a :class:`~repro.resilience.FaultPlan` handed to
+:func:`run_region_jobs` rides into each worker (the plan is plain picklable
+data) where :func:`~repro.resilience.perform_worker_faults` can crash, hang,
+or fail that attempt deterministically.  The parent's serial fallback never
+runs worker-site faults, so an injected crash can kill a worker process but
+never the run.
 
 The executor also measures what the paper can only estimate: per-job wall
 times (their sum is the measured *serial* cost) against the fan-out's
@@ -26,14 +40,16 @@ next to the theoretical Eq. numbers.
 
 from __future__ import annotations
 
+import math
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..resilience import FaultPlan, RetryPolicy, fault_scope, perform_worker_faults
 from ..timing.mcsim import SimulationResult
 from .jobs import RegionJob, execute_region_job
 
@@ -56,6 +72,11 @@ class ExecutionStats:
     elapsed_seconds: float
     retries: int = 0
     serial_fallbacks: int = 0
+    #: Wall time spent sleeping between retry rounds (backoff pacing).
+    backoff_seconds: float = 0.0
+    #: Jobs that failed even their in-parent fallback (empty unless the
+    #: caller opted into ``raise_on_failure=False``).
+    failed_jobs: List[int] = field(default_factory=list)
     per_job_seconds: Dict[int, float] = field(default_factory=dict)
 
     @property
@@ -68,28 +89,82 @@ class ExecutionStats:
 
 @dataclass
 class ExecutionOutcome:
-    """Results (in job submission order) plus the wall-clock accounting."""
+    """Results (in job submission order) plus the wall-clock accounting.
+
+    ``failures`` maps job id to a one-line error description for every job
+    that failed terminally; such jobs have no entry in ``results``.  It is
+    always empty when ``raise_on_failure=True`` (the default) — the first
+    terminal failure raises instead.
+    """
 
     results: List[SimulationResult]
     stats: ExecutionStats
+    failures: Dict[int, str] = field(default_factory=dict)
 
 
-def _timed_job(job: RegionJob) -> "tuple[int, SimulationResult, float]":
-    """Run one job and measure its wall time (executes in the worker)."""
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _timed_job(job: RegionJob) -> Tuple[int, SimulationResult, float]:
+    """Run one job and measure its wall time."""
     t0 = time.perf_counter()
     result = execute_region_job(job)
     return job.job_id, result, time.perf_counter() - t0
 
 
-def _run_serial(jobs: List[RegionJob]) -> ExecutionOutcome:
+def _pool_timed_job(
+    job: RegionJob, attempt: int, plan: Optional[FaultPlan]
+) -> Tuple[int, SimulationResult, float]:
+    """Worker-process entry point: fire worker-site faults, then run.
+
+    Worker-site faults (crash/hang/error) fire *only* here — never in the
+    parent's serial paths — so an injected crash takes out a disposable
+    worker process, not the run.
+    """
+    if plan is None:
+        return _timed_job(job)
+    perform_worker_faults(plan, job.job_id, attempt)
+    with fault_scope(plan):
+        return _timed_job(job)
+
+
+def _run_serial(
+    jobs: List[RegionJob],
+    retries: int = 0,
+    backoff: Optional[RetryPolicy] = None,
+    raise_on_failure: bool = True,
+) -> ExecutionOutcome:
     t0 = time.perf_counter()
-    results = []
+    done: Dict[int, SimulationResult] = {}
     per_job: Dict[int, float] = {}
+    failures: Dict[int, str] = {}
+    total_retries = 0
+    backoff_seconds = 0.0
     for job in jobs:
-        job_id, result, seconds = _timed_job(job)
-        results.append(result)
-        per_job[job_id] = seconds
+        attempt = 0
+        while True:
+            try:
+                job_id, result, seconds = _timed_job(job)
+                done[job_id] = result
+                per_job[job_id] = seconds
+                break
+            except Exception as exc:
+                attempt += 1
+                if attempt <= retries:
+                    total_retries += 1
+                    if backoff is not None:
+                        delay = backoff.delay(attempt, key=job.job_id)
+                        if delay > 0:
+                            time.sleep(delay)
+                            backoff_seconds += delay
+                    continue
+                if raise_on_failure:
+                    raise
+                failures[job.job_id] = _describe(exc)
+                break
     elapsed = time.perf_counter() - t0
+    results = [done[job.job_id] for job in jobs if job.job_id in done]
     return ExecutionOutcome(
         results=results,
         stats=ExecutionStats(
@@ -97,8 +172,12 @@ def _run_serial(jobs: List[RegionJob]) -> ExecutionOutcome:
             workers=1,
             serial_seconds=sum(per_job.values()),
             elapsed_seconds=elapsed,
+            retries=total_retries,
+            backoff_seconds=backoff_seconds,
+            failed_jobs=sorted(failures),
             per_job_seconds=per_job,
         ),
+        failures=failures,
     )
 
 
@@ -107,34 +186,58 @@ def run_region_jobs(
     workers: int,
     timeout_s: float = DEFAULT_JOB_TIMEOUT_S,
     retries: int = 1,
+    backoff: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    raise_on_failure: bool = True,
 ) -> ExecutionOutcome:
     """Execute ``jobs`` across ``workers`` processes.
 
     Results come back in submission order regardless of completion order.
-    Raises :class:`~repro.errors.SimulationError` only if a job fails even
-    in the final in-parent serial fallback (i.e. the job itself is broken,
-    not the pool).
+    With ``raise_on_failure=True`` (default) a job that fails even the final
+    in-parent serial fallback re-raises; with ``False`` its error lands in
+    ``ExecutionOutcome.failures`` and the remaining jobs' results are still
+    returned — the caller chooses what a lost region means.
     """
-    if not jobs:
-        return ExecutionOutcome(
-            results=[],
-            stats=ExecutionStats(
-                num_jobs=0, workers=max(1, workers),
-                serial_seconds=0.0, elapsed_seconds=0.0,
-            ),
+    with fault_scope(fault_plan):
+        if not jobs:
+            return ExecutionOutcome(
+                results=[],
+                stats=ExecutionStats(
+                    num_jobs=0, workers=max(1, workers),
+                    serial_seconds=0.0, elapsed_seconds=0.0,
+                ),
+            )
+        if workers <= 1 or len(jobs) == 1:
+            return _run_serial(
+                jobs, retries=retries, backoff=backoff,
+                raise_on_failure=raise_on_failure,
+            )
+        return _run_pool(
+            jobs, workers, timeout_s, retries, backoff,
+            fault_plan, raise_on_failure,
         )
-    if workers <= 1 or len(jobs) == 1:
-        return _run_serial(jobs)
 
+
+def _run_pool(
+    jobs: List[RegionJob],
+    workers: int,
+    timeout_s: float,
+    retries: int,
+    backoff: Optional[RetryPolicy],
+    fault_plan: Optional[FaultPlan],
+    raise_on_failure: bool,
+) -> ExecutionOutcome:
     t0 = time.perf_counter()
     by_id = {job.job_id: job for job in jobs}
     if len(by_id) != len(jobs):
         raise SimulationError("region jobs have duplicate job ids")
     done: Dict[int, SimulationResult] = {}
     per_job: Dict[int, float] = {}
+    failures: Dict[int, str] = {}
     pending = list(jobs)
     attempts: Dict[int, int] = {job.job_id: 0 for job in jobs}
     total_retries = 0
+    backoff_seconds = 0.0
     fallbacks: List[RegionJob] = []
 
     while pending:
@@ -142,54 +245,93 @@ def run_region_jobs(
         pool = ProcessPoolExecutor(max_workers=workers_now)
         failed: List[RegionJob] = []
         timed_out = False
-        futures: Dict[int, Future] = {}
+        fut_to_id: Dict[Future, int] = {}
         try:
-            futures = {
-                job.job_id: pool.submit(_timed_job, job) for job in pending
-            }
-            for job_id, future in futures.items():
-                try:
-                    rid, result, seconds = future.result(timeout=timeout_s)
-                    done[rid] = result
-                    per_job[rid] = seconds
-                except FuturesTimeout:
-                    timed_out = True
-                    failed.append(by_id[job_id])
-                except Exception:
-                    # Includes BrokenProcessPool surfaced through a future:
-                    # the job re-runs (retry budget) or falls back serially.
-                    failed.append(by_id[job_id])
+            for job in pending:
+                future = pool.submit(
+                    _pool_timed_job, job, attempts[job.job_id], fault_plan
+                )
+                fut_to_id[future] = job.job_id
+            # One shared deadline per round: the slowest schedule is
+            # ceil(pending / workers) sequential batches, so a single hung
+            # worker can cost at most that many timeout budgets — not one
+            # per job queued behind it (the old per-future accounting).
+            rounds = math.ceil(len(pending) / workers_now)
+            deadline = time.monotonic() + timeout_s * rounds
+            not_done = set(fut_to_id)
+            while not_done:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                finished, not_done = futures_wait(not_done, timeout=remaining)
+                for future in finished:
+                    job_id = fut_to_id[future]
+                    try:
+                        rid, result, seconds = future.result()
+                        done[rid] = result
+                        per_job[rid] = seconds
+                    except Exception:
+                        # Includes BrokenProcessPool surfaced through a
+                        # future (the worker crashed): the job re-runs
+                        # (retry budget) or falls back serially.
+                        failed.append(by_id[job_id])
+            if not_done:
+                timed_out = True
+                failed.extend(by_id[fut_to_id[f]] for f in not_done)
         except BrokenProcessPool:
             # The pool itself died at submit time (e.g. a worker was
             # OOM-killed); everything unfinished falls back.
-            failed = [j for j in pending if j.job_id not in done]
+            seen = {job.job_id for job in failed}
+            failed.extend(
+                job for job in pending
+                if job.job_id not in done and job.job_id not in seen
+            )
         finally:
             if timed_out:
                 # A hung worker would block a normal shutdown forever; cut
-                # it loose instead of inheriting its fate.
-                for future in futures.values():
+                # it loose instead of inheriting its fate.  Snapshot the
+                # process handles first: shutdown(wait=False) drops the
+                # pool's reference to them.
+                processes = dict(getattr(pool, "_processes", None) or {})
+                for future in fut_to_id:
                     future.cancel()
                 pool.shutdown(wait=False)
-                for proc in getattr(pool, "_processes", {}).values():
+                for proc in processes.values():
                     proc.terminate()
             else:
                 pool.shutdown(wait=True)
         pending = []
+        round_delay = 0.0
         for job in failed:
             attempts[job.job_id] += 1
             if attempts[job.job_id] <= retries:
                 total_retries += 1
                 pending.append(job)
+                if backoff is not None:
+                    round_delay = max(
+                        round_delay,
+                        backoff.delay(attempts[job.job_id], key=job.job_id),
+                    )
             else:
                 fallbacks.append(job)
+        if pending and round_delay > 0:
+            # Rounds re-submit together, so one sleep — the largest of the
+            # per-job jittered delays — paces the whole retry round.
+            time.sleep(round_delay)
+            backoff_seconds += round_delay
 
     for job in fallbacks:
-        job_id, result, seconds = _timed_job(job)
-        done[job_id] = result
-        per_job[job_id] = seconds
+        try:
+            job_id, result, seconds = _timed_job(job)
+            done[job_id] = result
+            per_job[job_id] = seconds
+        except Exception as exc:
+            if raise_on_failure:
+                raise
+            failures[job.job_id] = _describe(exc)
 
     elapsed = time.perf_counter() - t0
-    results = [done[job.job_id] for job in jobs]
+    results = [done[job.job_id] for job in jobs if job.job_id in done]
     return ExecutionOutcome(
         results=results,
         stats=ExecutionStats(
@@ -199,6 +341,9 @@ def run_region_jobs(
             elapsed_seconds=elapsed,
             retries=total_retries,
             serial_fallbacks=len(fallbacks),
+            backoff_seconds=backoff_seconds,
+            failed_jobs=sorted(failures),
             per_job_seconds=per_job,
         ),
+        failures=failures,
     )

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from ..errors import RegionError
 from ..isa.image import Program
 from ..profiling.markers import Marker
+from ..resilience import REGION_EXTRACT, maybe_inject
 from .pinball import Pinball, RegionPinball
 from .replayer import ConstrainedReplayer
 
@@ -74,6 +75,7 @@ def extract_region_pinballs(
     A single constrained replay of ``pinball`` locates every cut point, so
     extraction cost is one replay regardless of the number of regions.
     """
+    maybe_inject(REGION_EXTRACT, f"extract:{program.name}:{len(cuts)}")
     states = [_CutState(cut) for cut in cuts]
     marker_pcs = set()
     for cut in cuts:

@@ -20,6 +20,7 @@ from ..isa.blocks import BasicBlock
 from ..isa.image import Program
 from ..pinplay.pinball import Pinball
 from ..pinplay.replayer import ConstrainedReplayer
+from ..resilience import PROFILE_DIVERGENCE, maybe_inject
 from .filters import FilterPolicy
 from .slicer import LoopAlignedSlicer, Slice
 
@@ -68,6 +69,7 @@ def profile_pinball(
     DCFG pass (main-image natural-loop headers) — pass them explicitly to
     experiment with alternative boundary sets.
     """
+    maybe_inject(PROFILE_DIVERGENCE, f"profile:{program.name}")
     policy = filter_policy or FilterPolicy()
     if marker_blocks is None:
         dcfg = build_dcfg_from_pinball(program, pinball)

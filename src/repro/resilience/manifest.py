@@ -1,0 +1,132 @@
+"""The run manifest: an append-only journal that makes runs resumable.
+
+Each pipeline run appends JSON lines to a manifest file — a ``run-start``
+marker carrying every stage's cache key, then ``begin``/``done``/``fail``
+events per stage.  Appends are atomic at the line level (single ``write``
+of one ``\\n``-terminated line, flushed and fsynced), so a run killed at
+any instant leaves at worst one truncated trailing line, which the loader
+skips and reports rather than chokes on.
+
+Resume reads the segment after the last ``run-start``, checks each
+completed stage's recorded key against the key the *current* options would
+produce (a mismatch raises :class:`~repro.errors.ResumeError` — resuming
+under different options would silently mix artifacts), and then lets the
+pipeline run normally: completed stages load from the content-addressed
+artifact cache, everything after the kill point recomputes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from ..errors import ResumeError
+
+#: Journal event names.
+RUN_START = "run-start"
+RESUME = "resume"
+BEGIN = "begin"
+DONE = "done"
+FAIL = "fail"
+RUN_COMPLETE = "run-complete"
+
+
+class RunManifest:
+    """Atomically-appended JSON-lines journal of one run's stage progress."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Append one event as a single fsynced line."""
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def start_run(self, stage_keys: Dict[str, str]) -> None:
+        self.append({"event": RUN_START, "keys": stage_keys})
+
+    def mark_resume(self, stages: List[str]) -> None:
+        self.append({"event": RESUME, "stages": sorted(stages)})
+
+    def begin(self, stage: str, key: str) -> None:
+        self.append({"event": BEGIN, "stage": stage, "key": key})
+
+    def done(self, stage: str, key: str, source: str = "computed") -> None:
+        """``source`` is ``"computed"`` or ``"cache"``."""
+        self.append({"event": DONE, "stage": stage, "key": key,
+                     "source": source})
+
+    def fail(self, stage: str, key: str, error: str) -> None:
+        self.append({"event": FAIL, "stage": stage, "key": key,
+                     "error": error})
+
+    def complete_run(self, summary: Dict[str, Any]) -> None:
+        self.append({"event": RUN_COMPLETE, **summary})
+
+    # -- reading -------------------------------------------------------------
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> Tuple[List[Dict[str, Any]], int]:
+        """Parse the journal; returns ``(events, corrupt_line_count)``.
+
+        Lines that fail to decode (a write cut mid-line by a kill) are
+        skipped and counted, never fatal.
+        """
+        events: List[Dict[str, Any]] = []
+        corrupt = 0
+        try:
+            raw = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ResumeError(f"cannot read manifest {path}: {exc}")
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                corrupt += 1
+                continue
+            if isinstance(event, dict) and "event" in event:
+                events.append(event)
+            else:
+                corrupt += 1
+        return events, corrupt
+
+    @staticmethod
+    def last_run(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """The segment belonging to the most recent ``run-start``."""
+        start = 0
+        for index, event in enumerate(events):
+            if event.get("event") == RUN_START:
+                start = index
+        return events[start:]
+
+    @staticmethod
+    def completed_stages(events: List[Dict[str, Any]]) -> Dict[str, str]:
+        """Map of stage name to cache key for every ``done`` event seen."""
+        done: Dict[str, str] = {}
+        for event in events:
+            if event.get("event") == DONE and "stage" in event:
+                done[str(event["stage"])] = str(event.get("key", ""))
+        return done
+
+    def read_completed(self) -> Tuple[Dict[str, str], int]:
+        """Completed stages of the last run in this manifest file.
+
+        Raises :class:`ResumeError` when the file does not exist.
+        """
+        if not self.path.exists():
+            raise ResumeError(
+                f"cannot resume: no manifest at {self.path} — was the "
+                f"original run started with a manifest path?"
+            )
+        events, corrupt = self.load(self.path)
+        return self.completed_stages(self.last_run(events)), corrupt
