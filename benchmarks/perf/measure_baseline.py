@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Record perf-benchmark baseline walls from a repo checkout.
+
+Runs the shared benchmark scenarios (see ``workloads.py``) against whatever
+``repro`` package is importable on ``PYTHONPATH`` and writes a
+``baseline.json``.  Point ``PYTHONPATH`` at a *seed* checkout's ``src`` to
+record the pre-optimization baseline the harness reports speedups against:
+
+    git worktree add .seed <seed-sha>
+    PYTHONPATH=.seed/src:benchmarks/perf python benchmarks/perf/measure_baseline.py \
+        --sha <seed-sha> --output benchmarks/perf/baseline.json
+    git worktree remove .seed
+
+Only seed-stable APIs are used; in particular the engine is constructed
+without the ``batch_events`` keyword (the seed engine does not have it), so
+against a post-perf checkout this measures the legacy per-event path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+
+import numpy as np
+
+
+def _median_wall(fn, reps: int) -> float:
+    walls = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - t0)
+    return statistics.median(walls)
+
+
+def measure_engine(build, reps: int):
+    from repro.exec_engine.engine import ExecutionEngine
+    from repro.exec_engine.observers import (
+        InstructionCounter,
+        SyncEventLog,
+        TraceCollector,
+    )
+    from workloads import ENGINE_SEED, NTHREADS
+
+    events = {}
+
+    def one_run():
+        program, tp, omp = build()
+        n = NTHREADS
+        obs = (
+            InstructionCounter(n),
+            SyncEventLog(n),
+            TraceCollector(limit=None),
+        )
+        eng = ExecutionEngine(
+            program, tp, omp, n, observers=obs, seed=ENGINE_SEED
+        )
+        result = eng.run()
+        events["n"] = result.num_events
+
+    wall = _median_wall(one_run, reps)
+    return {
+        "wall_seconds": wall,
+        "events": events["n"],
+        "events_per_second": events["n"] / wall,
+    }
+
+
+def measure_select(reps: int):
+    from repro.clustering.simpoint import SimPointOptions, select_simpoints
+    from workloads import build_select_population
+
+    matrix, weights = build_select_population()
+    opts = SimPointOptions(max_k=40, seed=42)
+
+    def one_run():
+        select_simpoints(matrix, weights, opts)
+
+    return {"wall_seconds": _median_wall(one_run, reps)}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sha", required=True,
+                    help="git sha of the measured checkout")
+    ap.add_argument("--output", default="benchmarks/perf/baseline.json")
+    ap.add_argument("--reps", type=int, default=5)
+    args = ap.parse_args(argv)
+
+    from workloads import build_coarse, build_fine_grained
+
+    baseline = {
+        "schema": "repro-bench-baseline/1",
+        "sha": args.sha,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "reps": args.reps,
+        "scenarios": {
+            "engine_fine": measure_engine(build_fine_grained, args.reps),
+            "engine_coarse": measure_engine(build_coarse, args.reps),
+            "select": measure_select(args.reps),
+        },
+        # Minimum fast-path speedup ratios CI enforces (see bench.py):
+        # measured in the same process against the legacy path, so they are
+        # machine-portable, unlike the absolute walls above.
+        "expected_min_ratio": {
+            "engine_fine": 2.0,
+            "engine_coarse": 1.2,
+            "select": 1.5,
+        },
+    }
+    with open(args.output, "w") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    for name, data in baseline["scenarios"].items():
+        print(f"  {name}: {data}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Benchmark workload definitions for the ``repro-bench`` harness.
+
+Importable against *any* repo revision (including the pre-perf seed): only
+long-stable APIs are used — the ISA builder, the OpenMP runtime model, the
+parallel constructs, and the engine/observer surface.  This is what lets
+``measure_baseline.py`` run the identical workloads against a seed checkout
+to record honest baseline numbers.
+
+Two engine scenarios bracket the dispatch-cost regimes:
+
+* ``fine`` — a fine-grained block stream: many small blocks with tiny trip
+  counts, so one scheduling quantum covers dozens of events.  This is the
+  regime of real per-basic-block callbacks (Pin BBL instrumentation), where
+  per-event dispatch cost dominates and batching pays off most.
+* ``coarse`` — the demo matrix workload at ref scale: 64-iteration-batched
+  self-loop events, each larger than a scheduling quantum, plus a barrier
+  every few blocks.  Scheduling overhead dominates; batching helps less.
+  Reported for honesty, not cherry-picked away.
+
+The ``select`` scenario is a seeded synthetic BBV population sized like a
+long profile run (n slices x projected dimensions), driving the full
+``select_simpoints`` sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.blocks import BRANCH_LOOP, BranchSpec
+from repro.isa.builder import ProgramBuilder
+from repro.runtime.constructs import Barrier, LoopWork, ParallelFor
+from repro.runtime.omp import OmpRuntime
+from repro.runtime.thread import ThreadProgram
+
+#: Thread count used by the engine scenarios.
+NTHREADS = 8
+
+#: Observer seed-stable import path used by both harnesses.
+ENGINE_SEED = 0
+
+
+def build_fine_grained(outer_iters: int = 8000, body_blocks: int = 24):
+    """A fine-grained stream: ~25 small events per outer iteration.
+
+    Each body block is ~5 instructions executed twice per iteration, so a
+    600-instruction scheduling quantum spans dozens of events — per-event
+    dispatch cost, not scheduling, is what this scenario measures.
+    """
+    pb = ProgramBuilder("bench-fine")
+    omp = OmpRuntime(pb)
+    kernel = pb.routine("kernel")
+    header = kernel.block(
+        "loop_head", ialu=2,
+        branch=BranchSpec(BRANCH_LOOP), loop_header=True,
+    )
+    body = [
+        kernel.block(f"body{i}", ialu=4, extra_branches=1)
+        for i in range(body_blocks)
+    ]
+    work = LoopWork(header, [(b, 2) for b in body])
+    constructs = [
+        ParallelFor(work, outer_iters // 2),
+        Barrier(),
+        ParallelFor(work, outer_iters - outer_iters // 2),
+    ]
+    program = pb.finalize()
+    return program, ThreadProgram(constructs), omp
+
+
+def build_coarse(input_class: str = "ref"):
+    """The demo matrix workload: coarse batched events, barrier-dense."""
+    from repro.config import get_scale
+    from repro.workloads.registry import get_workload
+
+    wl = get_workload(
+        "demo-matrix-1", input_class, NTHREADS, scale=get_scale("small")
+    )
+    return wl.program, wl.thread_program, wl.omp
+
+
+def build_select_population(
+    n: int = 1500, dim: int = 64, n_clusters: int = 12, seed: int = 1234
+):
+    """Synthetic BBV population shaped like a long profile run.
+
+    Returns ``(matrix, weights)``: ``n`` slice vectors drawn around
+    ``n_clusters`` well-separated centers with per-cluster spread, plus
+    positive slice weights — the inputs ``select_simpoints`` takes.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, 10.0, size=(n_clusters, dim))
+    labels = rng.integers(0, n_clusters, size=n)
+    matrix = centers[labels] + rng.normal(0.0, 1.0, size=(n, dim))
+    matrix = np.abs(matrix)
+    weights = rng.uniform(0.5, 2.0, size=n)
+    return matrix, weights

@@ -12,6 +12,7 @@ setup(
         "console_scripts": [
             "run-looppoint = repro.cli:main",
             "repro-lint = repro.lint.cli:main",
+            "repro-bench = repro.perf.cli:main",
         ],
     }
 )

@@ -1,13 +1,39 @@
-"""K-means with k-means++ seeding (Forgy/Lloyd iteration), pure numpy."""
+"""K-means with k-means++ seeding (Forgy/Lloyd iteration), pure numpy.
+
+The assignment step runs in GEMM form by default (``|x|^2 + |c|^2 -
+2 x . c^T`` with row chunking, see :mod:`repro.perf.kernels`): the same
+squared distances as the naive broadcast without the ``O(n * k * d)``
+temporary, and the inner product goes through BLAS.  The broadcast form is
+kept behind ``assignment="broadcast"`` (or ``REPRO_KMEANS_ASSIGN``) as a
+debugging reference.  The update step accumulates weighted sums per cluster
+with ``np.bincount`` — one pass over the points per dimension instead of
+``k`` boolean-mask scans.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..errors import ClusteringError
+from ..perf.kernels import assign_labels, weighted_means
 from ..resilience import KMEANS_DIVERGE, maybe_inject
+
+_ASSIGNMENT_MODES = ("gemm", "broadcast")
+
+
+def default_assignment() -> str:
+    """Assignment mode from ``REPRO_KMEANS_ASSIGN`` (default ``gemm``)."""
+    mode = os.environ.get("REPRO_KMEANS_ASSIGN", "gemm").strip().lower()
+    if mode not in _ASSIGNMENT_MODES:
+        raise ClusteringError(
+            f"REPRO_KMEANS_ASSIGN must be one of {_ASSIGNMENT_MODES}, "
+            f"got {mode!r}"
+        )
+    return mode
 
 
 @dataclass
@@ -32,8 +58,12 @@ def _kmeanspp_init(
     for i in range(1, k):
         total = dist2.sum()
         if total <= 0.0:
-            # All remaining points coincide with a chosen centroid.
-            centroids[i:] = points[int(rng.integers(n))]
+            # All remaining points coincide with a chosen centroid: any
+            # fill is equivalent (the extra centroids own empty clusters),
+            # so use the deterministic one — duplicating the first
+            # centroid — rather than consuming an rng draw for a choice
+            # that cannot matter.
+            centroids[i:] = centroids[0]
             break
         probs = dist2 / total
         choice = int(rng.choice(n, p=probs))
@@ -43,58 +73,79 @@ def _kmeanspp_init(
     return centroids
 
 
+def _assign(points: np.ndarray, centroids: np.ndarray, mode: str):
+    """``(labels, min_sq_dist)`` under either assignment mode."""
+    if mode == "gemm":
+        return assign_labels(points, centroids)
+    d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    labels = d2.argmin(axis=1)
+    return labels, d2[np.arange(points.shape[0]), labels]
+
+
 def kmeans(
     points: np.ndarray,
     k: int,
     seed: int = 0,
     max_iter: int = 100,
     tol: float = 1e-8,
-    weights: np.ndarray = None,
+    weights: Optional[np.ndarray] = None,
+    init_centroids: Optional[np.ndarray] = None,
+    assignment: Optional[str] = None,
 ) -> KMeansResult:
     """Lloyd's algorithm; optionally instruction-weighted points.
 
     Weighting points by their instruction counts makes big slices pull
     centroids harder, matching how extrapolation later weights clusters.
+
+    ``init_centroids`` skips k-means++ seeding and starts Lloyd iteration
+    from the given ``(k, d)`` array — the warm-start hook the incremental-k
+    sweep in :mod:`repro.clustering.simpoint` uses.  ``assignment`` picks
+    the distance computation (``gemm``/``broadcast``); default comes from
+    :func:`default_assignment`.
     """
     if points.ndim != 2:
         raise ClusteringError(f"expected 2-D points, got shape {points.shape}")
     n = points.shape[0]
     if not 1 <= k <= n:
         raise ClusteringError(f"need 1 <= k <= {n}, got k={k}")
-    if weights is None:
-        weights = np.ones(n, dtype=np.float64)
-    else:
+    if weights is not None:
         weights = np.asarray(weights, dtype=np.float64)
         if weights.shape != (n,) or np.any(weights < 0):
             raise ClusteringError("weights must be non-negative, one per point")
+    mode = assignment or default_assignment()
+    if mode not in _ASSIGNMENT_MODES:
+        raise ClusteringError(
+            f"assignment must be one of {_ASSIGNMENT_MODES}, got {mode!r}"
+        )
 
     maybe_inject(KMEANS_DIVERGE, f"kmeans:k={k}")
-    rng = np.random.default_rng(seed)
-    centroids = _kmeanspp_init(points, k, rng)
+    if init_centroids is not None:
+        centroids = np.asarray(init_centroids, dtype=np.float64)
+        if centroids.shape != (k, points.shape[1]):
+            raise ClusteringError(
+                f"init_centroids shape {centroids.shape} does not match "
+                f"(k={k}, d={points.shape[1]})"
+            )
+        centroids = centroids.copy()
+    else:
+        rng = np.random.default_rng(seed)
+        centroids = _kmeanspp_init(points, k, rng)
     labels = np.zeros(n, dtype=np.int64)
     iterations = 0
     for iterations in range(1, max_iter + 1):
-        # Assignment step.
-        d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
-        labels = d2.argmin(axis=1)
-        # Update step.
-        new_centroids = centroids.copy()
-        for j in range(k):
-            mask = labels == j
-            w = weights[mask]
-            if w.sum() > 0:
-                new_centroids[j] = np.average(points[mask], axis=0, weights=w)
-            else:
-                # Re-seed an empty cluster at the farthest point.
-                far = int(d2.min(axis=1).argmax())
-                new_centroids[j] = points[far]
+        labels, min_d2 = _assign(points, centroids, mode)
+        new_centroids, wsum = weighted_means(points, labels, k, weights)
+        empty = wsum == 0
+        if empty.any():
+            # Re-seed empty (or zero-weight) clusters at the farthest point.
+            far = int(min_d2.argmax())
+            new_centroids[empty] = points[far]
         shift = float(((new_centroids - centroids) ** 2).sum())
         centroids = new_centroids
         if shift <= tol:
             break
-    d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
-    labels = d2.argmin(axis=1)
-    inertia = float(d2[np.arange(n), labels].sum())
+    labels, min_d2 = _assign(points, centroids, mode)
+    inertia = float(min_d2.sum())
     return KMeansResult(
         labels=labels, centroids=centroids, inertia=inertia, k=k,
         iterations=iterations,

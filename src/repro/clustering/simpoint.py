@@ -37,6 +37,16 @@ class SimPointOptions:
     #: distance ties are broken by median position; empirically the safest
     #: default (wider margins drag representatives off-centroid).
     tie_margin: float = 0.0
+    #: Sweep strategy.  ``full`` (default) fits every k independently from
+    #: k-means++ seeding — the reference procedure, unchanged selections.
+    #: ``warm`` starts each k's fit from the best k-1 centroids plus one
+    #: k-means++-style draw: far fewer Lloyd iterations per k, at the cost
+    #: of selections that can differ (slightly) from the full sweep's.
+    sweep: str = "full"
+    #: If > 0, stop sweeping k after this many consecutive k whose BIC
+    #: score failed to improve on the running best — the knee the SimPoint
+    #: rule looks for is behind us by then.  0 sweeps every k (default).
+    patience: int = 0
 
 
 @dataclass
@@ -74,6 +84,7 @@ def select_simpoints(
     instruction_counts: Sequence[float],
     options: Optional[SimPointOptions] = None,
     ineligible: Optional[Sequence[int]] = None,
+    jobs: int = 1,
 ) -> SimPointSelection:
     """Cluster slice BBVs and select one representative per cluster.
 
@@ -83,8 +94,18 @@ def select_simpoints(
     code as later occurrences but on cold microarchitectural state, so they
     are valid cluster *members* but poor cluster *representatives* — the
     standard SimPoint practice of steering clear of initialization.
+
+    ``jobs > 1`` fans the full sweep's independent seeded k-fits across a
+    process pool (each fit is deterministic given its seed, so the result
+    is bit-identical to the serial sweep); the warm sweep is inherently
+    sequential and ignores ``jobs``.
     """
     opts = options or SimPointOptions()
+    if opts.sweep not in ("full", "warm"):
+        raise ClusteringError(
+            f"SimPointOptions.sweep must be 'full' or 'warm', "
+            f"got {opts.sweep!r}"
+        )
     counts = np.asarray(instruction_counts, dtype=np.float64)
     if bbvs.ndim != 2 or bbvs.shape[0] != counts.shape[0]:
         raise ClusteringError(
@@ -98,25 +119,10 @@ def select_simpoints(
     # stays well below n: with n - k residual degrees of freedom near zero
     # the variance estimate collapses and BIC diverges.
     max_k = min(opts.max_k, max(1, n // 2)) if n > 1 else 1
-    results: Dict[int, KMeansResult] = {}
-    scores: Dict[int, float] = {}
-    # Restarts fight k-means init noise; with many points the landscape is
-    # well determined and a single init keeps ref-scale sweeps affordable.
-    n_init = 1 if n > 800 else max(1, opts.n_init)
-    for k in range(1, max_k + 1):
-        best = None
-        for restart in range(n_init):
-            candidate = kmeans(
-                points, k, seed=opts.seed + k + 1000 * restart,
-                weights=weights,
-            )
-            if best is None or candidate.inertia < best.inertia:
-                best = candidate
-        results[k] = best
-        if n > k:
-            scores[k] = bic_score(points, best)
-        else:
-            scores[k] = float("-inf")
+    if opts.sweep == "warm":
+        results, scores = _warm_sweep(points, weights, opts, max_k, n)
+    else:
+        results, scores = _full_sweep(points, weights, opts, max_k, n, jobs)
 
     chosen_k = _choose_k(scores, opts.bic_threshold)
     chosen = results[chosen_k]
@@ -127,6 +133,126 @@ def select_simpoints(
     return SimPointSelection(
         k=chosen_k, clusters=clusters, labels=chosen.labels, bic_by_k=scores
     )
+
+
+def _restarts_for(n: int, opts: SimPointOptions) -> int:
+    # Restarts fight k-means init noise; with many points the landscape is
+    # well determined and a single init keeps ref-scale sweeps affordable.
+    return 1 if n > 800 else max(1, opts.n_init)
+
+
+def _fit_k(task) -> KMeansResult:
+    """Best-of-restarts k-means fit for one k (module-level: picklable)."""
+    points, weights, k, base_seed, n_init = task
+    best = None
+    for restart in range(n_init):
+        candidate = kmeans(
+            points, k, seed=base_seed + k + 1000 * restart, weights=weights
+        )
+        if best is None or candidate.inertia < best.inertia:
+            best = candidate
+    return best
+
+
+def _score(points: np.ndarray, fit: KMeansResult, n: int) -> float:
+    return bic_score(points, fit) if n > fit.k else float("-inf")
+
+
+def _full_sweep(
+    points: np.ndarray,
+    weights: Optional[np.ndarray],
+    opts: SimPointOptions,
+    max_k: int,
+    n: int,
+    jobs: int,
+):
+    """Independent seeded fit per k — the reference sweep.
+
+    Each k's fit depends only on its seed, so the sweep is embarrassingly
+    parallel; with ``jobs > 1`` (and no early stop, which is inherently
+    sequential) the k-fits fan out across a process pool and the results
+    are bit-identical to the serial order.
+    """
+    n_init = _restarts_for(n, opts)
+    tasks = [
+        (points, weights, k, opts.seed, n_init) for k in range(1, max_k + 1)
+    ]
+    results: Dict[int, KMeansResult] = {}
+    scores: Dict[int, float] = {}
+    if jobs > 1 and opts.patience == 0 and len(tasks) > 1:
+        from ..parallel.executor import fanout_map
+
+        for fit in fanout_map(_fit_k, tasks, jobs):
+            results[fit.k] = fit
+            scores[fit.k] = _score(points, fit, n)
+        return results, scores
+    best_score = float("-inf")
+    stale = 0
+    for task in tasks:
+        fit = _fit_k(task)
+        results[fit.k] = fit
+        s = scores[fit.k] = _score(points, fit, n)
+        if s > best_score:
+            best_score, stale = s, 0
+        else:
+            stale += 1
+            if opts.patience and stale >= opts.patience:
+                break
+    return results, scores
+
+
+def _warm_sweep(
+    points: np.ndarray,
+    weights: Optional[np.ndarray],
+    opts: SimPointOptions,
+    max_k: int,
+    n: int,
+):
+    """Incremental-k sweep: each k starts from the previous k's centroids.
+
+    k's init is the converged k-1 centroids plus one extra centroid drawn
+    k-means++-style (proportional to squared distance from the nearest
+    existing centroid).  Lloyd then needs only a handful of iterations to
+    re-settle, instead of converging from scratch — the standard trick for
+    incremental model-order sweeps.  Selections can differ slightly from
+    the full sweep's; the k=1 fit uses the full sweep's seed so the two
+    strategies agree exactly there.
+    """
+    from ..perf.kernels import assign_labels
+
+    results: Dict[int, KMeansResult] = {}
+    scores: Dict[int, float] = {}
+    best_score = float("-inf")
+    stale = 0
+    prev: Optional[KMeansResult] = None
+    for k in range(1, max_k + 1):
+        if prev is None:
+            fit = kmeans(points, k, seed=opts.seed + k, weights=weights)
+        else:
+            _, min_d2 = assign_labels(points, prev.centroids)
+            total = float(min_d2.sum())
+            rng = np.random.default_rng(opts.seed + k)
+            if total <= 0.0:
+                # Every point already coincides with a centroid; the new
+                # one owns an empty cluster wherever it lands.
+                extra = points[int(rng.integers(n))]
+            else:
+                choice = int(rng.choice(n, p=min_d2 / total))
+                extra = points[choice]
+            init = np.vstack([prev.centroids, extra[None, :]])
+            fit = kmeans(
+                points, k, seed=opts.seed + k, weights=weights,
+                init_centroids=init,
+            )
+        prev = results[k] = fit
+        s = scores[k] = _score(points, fit, n)
+        if s > best_score:
+            best_score, stale = s, 0
+        else:
+            stale += 1
+            if opts.patience and stale >= opts.patience:
+                break
+    return results, scores
 
 
 def _choose_k(scores: Dict[int, float], threshold: float) -> int:

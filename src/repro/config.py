@@ -167,6 +167,10 @@ class LintThresholds:
     min_warmup_slices: float = 1.0
     #: CONF005 fires when a profile yields fewer slices than this.
     min_slices: int = 2
+    #: Block-event cap of the trace collector lint attaches to its analysis
+    #: replay; PERF001 fires if the replay overflows it (``None`` = no cap,
+    #: never truncate, unbounded memory on huge runs).
+    trace_limit: Optional[int] = 5_000_000
 
 
 DEFAULT_LINT_THRESHOLDS = LintThresholds()
@@ -231,6 +235,25 @@ def get_scale(name: str = "") -> ReproScale:
         raise WorkloadError(
             f"unknown scale {key!r}; choose from {sorted(_SCALES)}"
         ) from None
+
+
+def default_batch_events() -> bool:
+    """Whether execution drivers use the batched observer path by default.
+
+    Honours the ``REPRO_BATCH_EVENTS`` environment variable (``1``/``true``
+    /``on`` enable, ``0``/``false``/``off`` disable).  Defaults to enabled:
+    the batched path is bit-identical to the legacy per-event path and
+    several times faster.  Disabling is a debugging escape hatch and the
+    way benchmarks time the legacy baseline.
+    """
+    raw = os.environ.get("REPRO_BATCH_EVENTS", "1").strip().lower()
+    if raw in ("1", "true", "on", "yes", ""):
+        return True
+    if raw in ("0", "false", "off", "no"):
+        return False
+    raise WorkloadError(
+        f"REPRO_BATCH_EVENTS must be a boolean flag, got {raw!r}"
+    )
 
 
 def default_fault_plan_path() -> Optional[str]:

@@ -466,6 +466,7 @@ class LoopPointPipeline:
             profile.slice_filtered_counts(),
             self.options.simpoint,
             ineligible=ineligible,
+            jobs=self.options.resolved_jobs(),
         )
 
     def select(self) -> SimPointSelection:

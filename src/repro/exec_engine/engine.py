@@ -10,6 +10,15 @@ and dynamic-schedule chunk assignments — while the application's *work*
 Synchronization library code (:class:`~repro.runtime.omp.OmpRuntime` blocks)
 is executed here on behalf of threads: barrier entry/exit, spin iterations
 while blocked (ACTIVE), futex paths (PASSIVE), lock handoffs, chunk fetches.
+
+Two observer-dispatch paths exist.  The default *batched* path buffers
+block events in a :class:`~repro.perf.ring.EventRing` and flushes them to
+observers as numpy column batches (flushed before every sync event, so
+block/sync ordering is exact); the *legacy* path dispatches every event
+through ``Observer.on_block`` as the original implementation did.  Both
+produce bit-identical :class:`EngineResult` and observer state — the
+batched path is just faster.  Select with ``batch_events=`` or the
+``REPRO_BATCH_EVENTS`` environment variable.
 """
 
 from __future__ import annotations
@@ -19,9 +28,11 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
+from ..config import default_batch_events
 from ..errors import DeadlockError, ExecutionError
 from ..isa.blocks import BasicBlock
 from ..isa.image import Program
+from ..perf.ring import DEFAULT_CAPACITY, EventRing
 from ..policy import WaitPolicy
 from .events import (
     BarrierWait,
@@ -103,6 +114,8 @@ class ExecutionEngine:
         flow_control: Optional[FlowControl] = None,
         quantum_instructions: int = 600,
         max_events: Optional[int] = None,
+        batch_events: Optional[bool] = None,
+        batch_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         if nthreads < 1:
             raise ExecutionError(f"need at least one thread, got {nthreads}")
@@ -118,12 +131,26 @@ class ExecutionEngine:
         #: event-count quantum far too coarse for balanced interleavings.
         self.quantum_instructions = quantum_instructions
         self.max_events = max_events
+        if batch_events is None:
+            batch_events = default_batch_events()
+        self.batch_events = batch_events
 
         self._threads = [
             _Thread(tid, thread_program.thread_main(tid, nthreads))
             for tid in range(nthreads)
         ]
         nblocks = program.num_blocks
+        #: The block-event ring owns the execution-count table while the
+        #: batched path is active; ``exec_counts`` is then materialized from
+        #: it at the end of :meth:`run`.
+        self._ring: Optional[EventRing] = (
+            EventRing(
+                program.blocks, nthreads, self.observers,
+                capacity=batch_capacity,
+            )
+            if batch_events
+            else None
+        )
         self.exec_counts: List[List[int]] = [
             [0] * nblocks for _ in range(nthreads)
         ]
@@ -138,24 +165,37 @@ class ExecutionEngine:
         self._chunks: Dict[int, int] = {}
         self._singles: set = set()
         self._rng = random.Random(seed)
+        #: Set whenever any thread's state changes; the scheduler only
+        #: rebuilds its runnable list (and re-checks completion/deadlock)
+        #: on dirty rounds.
+        self._sched_dirty = True
 
     # -- shared bookkeeping -------------------------------------------------
 
     def _exec_block(self, tid: int, block: BasicBlock, repeat: int) -> None:
-        start = self.exec_counts[tid][block.bid]
-        self.exec_counts[tid][block.bid] = start + repeat
         n = block.n_instr * repeat
         self.total_instructions += n
         self.per_thread_total[tid] += n
         if not block.image.is_library:
             self.filtered_instructions += n
             self.per_thread_filtered[tid] += n
+        if self._ring is not None:
+            self._ring.append(tid, block.bid, repeat)
+            return
+        start = self.exec_counts[tid][block.bid]
+        self.exec_counts[tid][block.bid] = start + repeat
         for ob in self.observers:
             ob.on_block(tid, block, repeat, start)
 
     def _sync(self, tid: int, kind: str, obj_id: int, response) -> None:
         g = self._gseq
         self._gseq = g + 1
+        ring = self._ring
+        if ring is not None and ring.flush_on_sync:
+            # Some attached observer correlates the block and sync streams
+            # (lint concurrency passes, DCFG building): every buffered
+            # block event must precede this sync action.
+            ring.flush()
         for ob in self.observers:
             ob.on_sync(tid, kind, obj_id, response, g)
 
@@ -163,11 +203,13 @@ class ExecutionEngine:
 
     def _block_thread(self, thread: _Thread) -> None:
         thread.state = ThreadState.BLOCKED
+        self._sched_dirty = True
         if self.wait_policy is WaitPolicy.PASSIVE:
             self._exec_block(thread.tid, self.omp.futex_wait, 1)
 
     def _wake_thread(self, thread: _Thread) -> None:
         thread.state = ThreadState.RUNNABLE
+        self._sched_dirty = True
         if self.wait_policy is WaitPolicy.PASSIVE:
             self._exec_block(thread.tid, self.omp.futex_wake, 1)
 
@@ -262,19 +304,52 @@ class ExecutionEngine:
         spin_iters = self.omp.spin.iterations_per_visit
         active = self.wait_policy is WaitPolicy.ACTIVE
         rng = self._rng
+        ring = self._ring
+
+        # Hot-loop locals.  The batched inner loop below additionally
+        # inlines the BlockExec case around direct ring-buffer appends; the
+        # legacy path routes every event through ``_dispatch`` exactly as
+        # the original per-event implementation did.
+        per_thread_total = self.per_thread_total
+        per_thread_filtered = self.per_thread_filtered
+        runnable_state = ThreadState.RUNNABLE
+        getrandbits = rng.getrandbits
+        rng_random = rng.random
+        quantum = self.quantum_instructions
+        flow = self.flow_control
+        max_events = self.max_events
+        runnable: List[int] = []
+        num_events = 0
+        self._sched_dirty = True
+        if ring is not None:
+            ring_tids, ring_bids, ring_repeats = ring.buffers()
+            append_tid = ring_tids.append
+            append_bid = ring_bids.append
+            append_repeat = ring_repeats.append
+            ring_capacity = ring.capacity
+            ring_flush = ring.flush
 
         while True:
-            runnable = [t.tid for t in threads if t.state is ThreadState.RUNNABLE]
-            if not runnable:
-                if all(t.state is ThreadState.DONE for t in threads):
-                    break
-                blocked = [
-                    t.tid for t in threads if t.state is ThreadState.BLOCKED
+            # Thread states change only at sync blocking/waking and thread
+            # exit — the runnable list (and the completion/deadlock check)
+            # is recomputed only on rounds after such a change.
+            if self._sched_dirty:
+                runnable = [
+                    t.tid for t in threads if t.state is runnable_state
                 ]
-                raise DeadlockError(
-                    f"all live threads blocked: {blocked} "
-                    f"(barriers={dict(self._barriers)!r})"
-                )
+                self._sched_dirty = False
+                if not runnable:
+                    if all(t.state is ThreadState.DONE for t in threads):
+                        break
+                    blocked = [
+                        t.tid
+                        for t in threads
+                        if t.state is ThreadState.BLOCKED
+                    ]
+                    raise DeadlockError(
+                        f"all live threads blocked: {blocked} "
+                        f"(barriers={dict(self._barriers)!r})"
+                    )
 
             # Blocked threads under the ACTIVE policy burn spin iterations
             # every scheduling round — host-schedule-dependent instruction
@@ -284,37 +359,99 @@ class ExecutionEngine:
                     if t.state is ThreadState.BLOCKED:
                         self._exec_block(t.tid, spin_block, spin_iters)
 
-            if self.flow_control is not None:
-                eligible = self.flow_control.eligible(
-                    self.per_thread_filtered, runnable
-                )
+            if flow is not None:
+                eligible = flow.eligible(per_thread_filtered, runnable)
             else:
                 eligible = runnable
-            tid = eligible[rng.randrange(len(eligible))]
+            # Inlined ``rng.randrange(len(eligible))``: the exact
+            # ``Random._randbelow_with_getrandbits`` algorithm, consuming
+            # the identical generator stream (interleavings depend on it).
+            n_el = len(eligible)
+            k = n_el.bit_length()
+            r = getrandbits(k)
+            while r >= n_el:
+                r = getrandbits(k)
+            tid = eligible[r]
             thread = threads[tid]
 
-            jitter = 1.0 + rng.random() * 0.5
-            stop_at = self.per_thread_total[tid] + int(
-                self.quantum_instructions * jitter
-            )
-            while (
-                self.per_thread_total[tid] < stop_at
-                and thread.state is ThreadState.RUNNABLE
-            ):
-                try:
-                    event = thread.gen.send(thread.response)
-                except StopIteration:
-                    thread.state = ThreadState.DONE
-                    break
+            jitter = 1.0 + rng_random() * 0.5
+            stop_at = per_thread_total[tid] + int(quantum * jitter)
+            if ring is not None:
+                # Batched fast path: the BlockExec case is inlined reading
+                # the event's precomputed slots; this thread's totals live
+                # in locals and sync back to engine state around any
+                # non-block event (whose handlers read/write that state).
+                send = thread.gen.send
+                response = thread.response
                 thread.response = None
-                self._dispatch(thread, event)
-                self.num_events += 1
-            if self.max_events is not None and self.num_events > self.max_events:
+                total_acc = 0
+                filtered_acc = 0
+                ptt = per_thread_total[tid]
+                ptf = per_thread_filtered[tid]
+                while ptt < stop_at:
+                    try:
+                        event = send(response)
+                    except StopIteration:
+                        thread.state = ThreadState.DONE
+                        self._sched_dirty = True
+                        break
+                    response = None
+                    num_events += 1
+                    if type(event) is BlockExec:
+                        n = event.n_total
+                        total_acc += n
+                        ptt += n
+                        if not event.is_library:
+                            filtered_acc += n
+                            ptf += n
+                        append_tid(tid)
+                        append_bid(event.bid)
+                        append_repeat(event.repeat)
+                        if len(ring_tids) >= ring_capacity:
+                            ring_flush()
+                    else:
+                        per_thread_total[tid] = ptt
+                        per_thread_filtered[tid] = ptf
+                        self.total_instructions += total_acc
+                        self.filtered_instructions += filtered_acc
+                        total_acc = 0
+                        filtered_acc = 0
+                        self._dispatch(thread, event)
+                        response = thread.response
+                        thread.response = None
+                        ptt = per_thread_total[tid]
+                        ptf = per_thread_filtered[tid]
+                        if thread.state is not runnable_state:
+                            break
+                per_thread_total[tid] = ptt
+                per_thread_filtered[tid] = ptf
+                self.total_instructions += total_acc
+                self.filtered_instructions += filtered_acc
+                thread.response = response
+            else:
+                while (
+                    per_thread_total[tid] < stop_at
+                    and thread.state is runnable_state
+                ):
+                    try:
+                        event = thread.gen.send(thread.response)
+                    except StopIteration:
+                        thread.state = ThreadState.DONE
+                        self._sched_dirty = True
+                        break
+                    thread.response = None
+                    self._dispatch(thread, event)
+                    num_events += 1
+            if max_events is not None and num_events > max_events:
+                self.num_events = num_events
                 raise ExecutionError(
-                    f"exceeded max_events={self.max_events}; likely runaway "
+                    f"exceeded max_events={max_events}; likely runaway "
                     f"program"
                 )
 
+        self.num_events = num_events
+        if ring is not None:
+            self.exec_counts = ring.exec_counts()  # flushes the ring
         for ob in self.observers:
             ob.on_finish()
         return EngineResult(

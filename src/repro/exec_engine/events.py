@@ -27,13 +27,24 @@ class Event:
 
 
 class BlockExec(Event):
-    """Execute ``block`` ``repeat`` consecutive times."""
+    """Execute ``block`` ``repeat`` consecutive times.
 
-    __slots__ = ("block", "repeat")
+    The derived values every driver needs per event — the block id, the
+    total instruction count, the library flag — are precomputed here so hot
+    loops read one slot each instead of chasing ``block.image`` attributes.
+    Instances are immutable in practice and constructs may intern and
+    re-yield the same instance many times (see ``LoopWork.emit``), which is
+    why drivers must never mutate or retain-and-compare event identities.
+    """
+
+    __slots__ = ("block", "repeat", "bid", "n_total", "is_library")
 
     def __init__(self, block: "BasicBlock", repeat: int = 1) -> None:
         self.block = block
         self.repeat = repeat
+        self.bid = block.bid
+        self.n_total = block.n_instr * repeat
+        self.is_library = block.image.is_library
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"BlockExec({self.block.name}, x{self.repeat})"

@@ -3,24 +3,62 @@
 Both the functional engine and the timing simulator publish the same two
 callbacks, so profiling tools (BBV collection, marker counting, recording)
 are driver-agnostic — like pintools that work under both Pin and PinPlay.
+
+Drivers with a batched hot path (the functional engine, the constrained
+replayer) deliver block events through :meth:`Observer.on_block_batch` as
+parallel numpy columns (see :class:`repro.perf.ring.EventBatch`).  The base
+class's implementation replays a batch through :meth:`Observer.on_block`
+one event at a time, so observers written against the per-event interface
+— including third-party ones — keep working unchanged; observers on hot
+paths override ``on_block_batch`` with vectorized reductions.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
 
 from ..isa.blocks import BasicBlock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf.ring import EventBatch
 
 
 class Observer:
     """Base observer; subclasses override what they need."""
+
+    #: Whether a batching driver must flush buffered block events before
+    #: delivering ``on_sync``.  True (the safe default) preserves the exact
+    #: per-event block/sync interleaving for observers that correlate the
+    #: two streams (vector clocks, DCFG edges).  Observers whose final
+    #: state does not depend on that interleaving — pure counters, pure
+    #: logs — set this False so sync-dense programs can amortize batches
+    #: across syncs.
+    needs_flush_before_sync = True
 
     def on_block(
         self, tid: int, block: BasicBlock, repeat: int, start_index: int
     ) -> None:
         """``block`` executed ``repeat`` times on ``tid``; ``start_index`` is
         the thread's prior execution count of this block."""
+
+    def on_block_batch(self, batch: "EventBatch") -> None:
+        """A batch of block events in execution order.
+
+        The default replays the batch through :meth:`on_block` per event —
+        the compatibility shim that keeps per-event observers (and the lint
+        concurrency passes) semantics-identical under batching drivers.
+        """
+        blocks = batch.blocks
+        on_block = self.on_block
+        tids = batch.tid.tolist()
+        bids = batch.bid.tolist()
+        repeats = batch.repeat.tolist()
+        starts = batch.start_index.tolist()
+        for i in range(batch.size):
+            on_block(tids[i], blocks[bids[i]], repeats[i], starts[i])
 
     def on_sync(
         self, tid: int, kind: str, obj_id: int, response, gseq: int
@@ -33,6 +71,8 @@ class Observer:
 
 class InstructionCounter(Observer):
     """Counts instructions, split by image and by thread."""
+
+    needs_flush_before_sync = False  # pure accumulator; order-independent
 
     def __init__(self, nthreads: int) -> None:
         self.nthreads = nthreads
@@ -53,6 +93,22 @@ class InstructionCounter(Observer):
             self.filtered += n
             self.per_thread_filtered[tid] += n
 
+    def on_block_batch(self, batch: "EventBatch") -> None:
+        n = batch.instructions
+        self.total += int(n.sum())
+        app = ~batch.is_library
+        self.filtered += int(n[app].sum())
+        by_thread = np.bincount(batch.tid, weights=n, minlength=self.nthreads)
+        by_thread_app = np.bincount(
+            batch.tid[app], weights=n[app], minlength=self.nthreads
+        )
+        for t in range(self.nthreads):
+            self.per_thread_total[t] += int(by_thread[t])
+            self.per_thread_filtered[t] += int(by_thread_app[t])
+        by_bid = np.bincount(batch.bid, weights=batch.repeat)
+        for b in np.flatnonzero(by_bid):
+            self.per_block[int(b)] += int(by_bid[b])
+
     @property
     def library_instructions(self) -> int:
         return self.total - self.filtered
@@ -66,6 +122,17 @@ class SyncEventLog(Observer):
     Works under both the functional engine and constrained replay, since
     both publish :meth:`Observer.on_sync`.
     """
+
+    # Records only the sync stream (gseq values come from the driver), so
+    # block-batch flush timing cannot affect its final state.
+    needs_flush_before_sync = False
+
+    def on_block_batch(self, batch: "EventBatch") -> None:
+        """No-op: block events carry nothing this log records.
+
+        (Without this override the base-class shim would replay every
+        batch through the no-op ``on_block`` one event at a time.)
+        """
 
     def __init__(self, nthreads: int) -> None:
         self.nthreads = nthreads
@@ -92,22 +159,89 @@ class SyncEventLog(Observer):
 class TraceCollector(Observer):
     """Collects the raw per-thread event stream (tests and DCFG building).
 
-    ``limit`` guards against accidentally collecting an unbounded trace.
+    ``limit`` bounds the memory an accidental unbounded collection can
+    take.  Past the cap the collector stops recording and *flags* the
+    truncation instead of raising: :attr:`truncated` flips to True and
+    :attr:`dropped_blocks` / :attr:`dropped_syncs` count what was lost, so
+    downstream consumers (and lint rule PERF001) can tell a complete trace
+    from a clipped one — a fingerprint built from a silently clipped trace
+    would misrepresent the run.
     """
 
     def __init__(self, limit: Optional[int] = 5_000_000) -> None:
-        self.blocks: List[Tuple[int, int, int]] = []  # (tid, bid, repeat)
+        # The block and sync streams are stored separately, so interleaving
+        # only matters when a cap can clip them mid-run: truncation must
+        # stop the sync stream at the same interleaved point the legacy
+        # path would, hence strict ordering with a finite limit.
+        self.needs_flush_before_sync = limit is not None
+        # The block trace is stored as ordered parts — lists of
+        # ``(tid, bid, repeat)`` tuples from per-event delivery, and raw
+        # column triples from batch delivery (kept as numpy arrays: far
+        # cheaper to store and only materialized when someone reads
+        # :attr:`blocks`).
+        self._parts: List = []
+        self._tail: List[Tuple[int, int, int]] = []
+        self._n_blocks = 0
+        self._blocks_cache: Optional[List[Tuple[int, int, int]]] = None
+        self._blocks_cache_n = -1
         self.syncs: List[Tuple[int, str, int, object, int]] = []
         self.limit = limit
+        #: True once any event was dropped because the cap was reached.
+        self.truncated = False
+        self.dropped_blocks = 0
+        self.dropped_syncs = 0
+
+    @property
+    def blocks(self) -> List[Tuple[int, int, int]]:
+        """The recorded ``(tid, bid, repeat)`` stream, in observed order."""
+        if self._blocks_cache_n != self._n_blocks:
+            out: List[Tuple[int, int, int]] = []
+            for part in self._parts:
+                if isinstance(part, list):
+                    out.extend(part)
+                else:
+                    tids, bids, repeats = part
+                    out.extend(
+                        zip(tids.tolist(), bids.tolist(), repeats.tolist())
+                    )
+            out.extend(self._tail)
+            self._blocks_cache = out
+            self._blocks_cache_n = self._n_blocks
+        return self._blocks_cache
 
     def on_block(
         self, tid: int, block: BasicBlock, repeat: int, start_index: int
     ) -> None:
-        self.blocks.append((tid, block.bid, repeat))
-        if self.limit is not None and len(self.blocks) > self.limit:
-            raise MemoryError("TraceCollector limit exceeded")
+        if self.limit is not None and self._n_blocks >= self.limit:
+            self.truncated = True
+            self.dropped_blocks += 1
+            return
+        self._tail.append((tid, block.bid, repeat))
+        self._n_blocks += 1
+
+    def on_block_batch(self, batch: "EventBatch") -> None:
+        take = batch.size
+        if self.limit is not None:
+            room = self.limit - self._n_blocks
+            if room < take:
+                take = max(room, 0)
+                self.truncated = True
+                self.dropped_blocks += batch.size - take
+        if take:
+            if self._tail:
+                self._parts.append(self._tail)
+                self._tail = []
+            self._parts.append(
+                (batch.tid[:take], batch.bid[:take], batch.repeat[:take])
+            )
+            self._n_blocks += take
 
     def on_sync(
         self, tid: int, kind: str, obj_id: int, response, gseq: int
     ) -> None:
+        if self.truncated:
+            # A clipped block stream makes the sync stream past the cut
+            # meaningless for replay alignment; stop recording both.
+            self.dropped_syncs += 1
+            return
         self.syncs.append((tid, kind, obj_id, response, gseq))

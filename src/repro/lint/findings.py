@@ -136,6 +136,12 @@ RULES: Dict[str, Rule] = _registry([
          "worker.hang sleep does not exceed the job timeout",
          "resilience design: a hang shorter than job_timeout_s just slows "
          "the job down instead of exercising the timeout/terminate path"),
+    # -- performance / evidence-completeness passes -----------------------
+    Rule("PERF001", Severity.WARNING,
+         "analysis trace truncated at the collector's event limit",
+         "perf design: a bounded trace keeps lint replays from exhausting "
+         "memory, but dropped events mean block-level evidence is "
+         "incomplete — findings remain valid, absences do not"),
 ])
 
 

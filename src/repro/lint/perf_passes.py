@@ -1,0 +1,34 @@
+"""Performance / evidence-completeness passes.
+
+The lint replay attaches a bounded :class:`~repro.exec_engine.observers.
+TraceCollector` (cap from :class:`~repro.config.LintThresholds.trace_limit`)
+so block-level evidence is available to future passes without risking
+unbounded memory on huge runs.  Truncation no longer raises (the collector
+drops the tail and sets ``truncated``); PERF001 surfaces that drop, because
+every conclusion of the form "no finding" is only as good as the evidence
+actually collected.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..exec_engine.observers import TraceCollector
+from .findings import Finding, make_finding
+
+
+def check_trace_truncation(trace: TraceCollector) -> List[Finding]:
+    """PERF001: the analysis trace overflowed its collector's cap."""
+    findings: List[Finding] = []
+    if trace.truncated:
+        kept = len(trace.blocks)
+        findings.append(make_finding(
+            "PERF001",
+            f"trace[limit={trace.limit}]",
+            f"trace collector kept {kept} block events and dropped "
+            f"{trace.dropped_blocks} block / {trace.dropped_syncs} sync "
+            f"events past the cap; block-level evidence covers only a "
+            f"prefix of the run — raise LintThresholds.trace_limit (or set "
+            f"it to None) for full coverage",
+        ))
+    return findings

@@ -13,7 +13,7 @@ from typing import FrozenSet, Optional, TYPE_CHECKING
 
 from ..config import DEFAULT_LINT_THRESHOLDS, LintThresholds
 from ..dcfg.graph import DCFGBuilder
-from ..exec_engine.observers import SyncEventLog
+from ..exec_engine.observers import SyncEventLog, TraceCollector
 from ..pinplay.replayer import ConstrainedReplayer
 from .concurrency_passes import (
     ConcurrencyAnalyzer,
@@ -30,6 +30,7 @@ from .config_passes import (
 from .dcfg_passes import run_dcfg_passes
 from .findings import LintReport, RULES
 from .marker_passes import run_marker_passes
+from .perf_passes import check_trace_truncation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.looppoint import LoopPointPipeline
@@ -82,12 +83,14 @@ def lint_pipeline(
     program = workload.program
     pinball = pipeline.record()
 
-    # One constrained replay feeds the DCFG and concurrency analyses.
+    # One constrained replay feeds the DCFG and concurrency analyses; the
+    # bounded trace collector documents how complete that evidence is.
     dcfg_builder = DCFGBuilder(program, pinball.nthreads)
     analyzer = ConcurrencyAnalyzer(pinball.nthreads)
     sync_log = SyncEventLog(pinball.nthreads)
+    trace = TraceCollector(limit=options.thresholds.trace_limit)
     ConstrainedReplayer(
-        program, pinball, observers=(dcfg_builder, analyzer, sync_log)
+        program, pinball, observers=(dcfg_builder, analyzer, sync_log, trace)
     ).run()
 
     report.extend(run_dcfg_passes(dcfg_builder.result(), pinball.nthreads))
@@ -98,6 +101,9 @@ def lint_pipeline(
     report.extend(check_races(analyzer))
     report.extend(check_gseq_integrity(sync_log))
     report.mark_pass("concurrency")
+
+    report.extend(check_trace_truncation(trace))
+    report.mark_pass("perf")
 
     profile = pipeline.profile()
     report.extend(run_marker_passes(

@@ -1,0 +1,316 @@
+"""The ``repro-bench`` measurement core.
+
+Times the pipeline's hot paths in two honest ways:
+
+* **In-process ratios** — each scenario runs its *legacy* path (per-event
+  observer dispatch; broadcast k-means assignment) and its *fast* path
+  (batched ring; GEMM assignment) in the same interpreter, same machine,
+  same moment.  Ratios are machine-portable, which is what CI gates on:
+  a ratio regressing past 25% of its recorded floor fails the build.
+* **Speedups vs the recorded seed baseline** — ``baseline.json`` holds
+  median walls measured from the pre-optimization seed checkout (see
+  ``benchmarks/perf/measure_baseline.py`` for the recipe).  Absolute
+  speedups are machine-specific, so they are reported, not gated —
+  except that they are the evidence ``BENCH_perf.json`` commits to.
+
+Scenario definitions live in ``benchmarks/perf/workloads.py`` (importable
+against any revision, which is how the seed baseline was recorded); this
+module loads that file by repo-relative path so there is exactly one copy
+of each scenario.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+class BenchError(ReproError):
+    """The benchmark harness cannot run (missing scenarios, bad baseline)."""
+
+
+#: Fraction of a recorded ``expected_min_ratio`` a measured ratio may lose
+#: before ``--check`` fails: >25% regression is a build failure.
+REGRESSION_MARGIN = 0.25
+
+
+def repo_root() -> Path:
+    """The repository root, assuming the in-tree ``src`` layout."""
+    return Path(__file__).resolve().parents[3]
+
+
+def default_baseline_path() -> Path:
+    return repo_root() / "benchmarks" / "perf" / "baseline.json"
+
+
+def load_scenarios(path: Optional[Path] = None):
+    """Import ``benchmarks/perf/workloads.py`` as a module, by path."""
+    path = path or repo_root() / "benchmarks" / "perf" / "workloads.py"
+    if not path.is_file():
+        raise BenchError(
+            f"scenario definitions not found at {path}; repro-bench runs "
+            f"from a repository checkout (benchmarks/perf/workloads.py)"
+        )
+    spec = importlib.util.spec_from_file_location("repro_bench_workloads",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _median_wall(fn: Callable[[], None], reps: int) -> float:
+    walls = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - t0)
+    return statistics.median(walls)
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo_root(),
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.strip()
+    try:
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=repo_root(),
+            capture_output=True, text=True, timeout=10,
+        )
+        if dirty.returncode == 0 and dirty.stdout.strip():
+            sha += "-dirty"
+    except (OSError, subprocess.TimeoutExpired):
+        pass
+    return sha
+
+
+def _run_engine(build, batch_events: bool, nthreads: int, seed: int) -> int:
+    from ..exec_engine.engine import ExecutionEngine
+    from ..exec_engine.observers import (
+        InstructionCounter,
+        SyncEventLog,
+        TraceCollector,
+    )
+
+    program, tp, omp = build()
+    observers = (
+        InstructionCounter(nthreads),
+        SyncEventLog(nthreads),
+        TraceCollector(limit=None),
+    )
+    result = ExecutionEngine(
+        program, tp, omp, nthreads, observers=observers, seed=seed,
+        batch_events=batch_events,
+    ).run()
+    return result.num_events
+
+
+def bench_engine(build, reps: int, nthreads: int, seed: int) -> Dict:
+    """Legacy vs batched wall for one engine scenario."""
+    events = _run_engine(build, True, nthreads, seed)  # warm imports/caches
+    batch_wall = _median_wall(
+        lambda: _run_engine(build, True, nthreads, seed), reps
+    )
+    legacy_wall = _median_wall(
+        lambda: _run_engine(build, False, nthreads, seed), reps
+    )
+    return {
+        "events": events,
+        "legacy_wall_seconds": legacy_wall,
+        "fast_wall_seconds": batch_wall,
+        "fast_events_per_second": events / batch_wall,
+        "ratio": legacy_wall / batch_wall,
+    }
+
+
+def bench_select(matrix, weights, max_k: int, reps: int) -> Dict:
+    """Broadcast-assignment (legacy) vs GEMM select_simpoints wall."""
+    from ..clustering.simpoint import SimPointOptions, select_simpoints
+
+    opts = SimPointOptions(max_k=max_k, seed=42)
+
+    def run(mode: str):
+        os.environ["REPRO_KMEANS_ASSIGN"] = mode
+        try:
+            select_simpoints(matrix, weights, opts)
+        finally:
+            os.environ.pop("REPRO_KMEANS_ASSIGN", None)
+
+    run("gemm")  # warm
+    fast_wall = _median_wall(lambda: run("gemm"), reps)
+    legacy_wall = _median_wall(lambda: run("broadcast"), reps)
+    return {
+        "legacy_wall_seconds": legacy_wall,
+        "fast_wall_seconds": fast_wall,
+        "ratio": legacy_wall / fast_wall,
+    }
+
+
+def load_baseline(path: Path) -> Optional[Dict]:
+    if not path.is_file():
+        return None
+    with open(path) as fh:
+        baseline = json.load(fh)
+    if baseline.get("schema") != "repro-bench-baseline/1":
+        raise BenchError(
+            f"unrecognized baseline schema in {path}: "
+            f"{baseline.get('schema')!r}"
+        )
+    return baseline
+
+
+def run_bench(
+    smoke: bool = False,
+    reps: int = 5,
+    baseline_path: Optional[Path] = None,
+    scenarios_path: Optional[Path] = None,
+) -> Dict:
+    """Measure every scenario; returns the ``BENCH_perf.json`` payload.
+
+    ``smoke`` shrinks the scenarios for CI (seconds, not minutes).  Smoke
+    sizes differ from the baseline's, so speedup-vs-seed is only computed
+    for full-size runs; the in-process ratios are valid in both modes.
+    """
+    wl = load_scenarios(scenarios_path)
+    nthreads, seed = wl.NTHREADS, wl.ENGINE_SEED
+    if smoke:
+        reps = min(reps, 3)
+        fine = lambda: wl.build_fine_grained(outer_iters=1600)
+        coarse = lambda: wl.build_coarse("train")
+        matrix, weights = wl.build_select_population(n=500)
+        max_k = 20
+    else:
+        fine = wl.build_fine_grained
+        coarse = wl.build_coarse
+        matrix, weights = wl.build_select_population()
+        max_k = 40
+
+    scenarios = {
+        "engine_fine": bench_engine(fine, reps, nthreads, seed),
+        "engine_coarse": bench_engine(coarse, reps, nthreads, seed),
+        "select": bench_select(matrix, weights, max_k, reps),
+    }
+
+    baseline = load_baseline(baseline_path or default_baseline_path())
+    speedups = None
+    if baseline is not None and not smoke:
+        speedups = {}
+        for name, data in scenarios.items():
+            base = baseline["scenarios"].get(name)
+            if base is not None:
+                speedups[name] = (
+                    base["wall_seconds"] / data["fast_wall_seconds"]
+                )
+
+    return {
+        "schema": "repro-bench/1",
+        "sha": _git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": smoke,
+        "reps": reps,
+        "config": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "nthreads": nthreads,
+            "engine_seed": seed,
+        },
+        "scenarios": scenarios,
+        "baseline_sha": baseline["sha"] if baseline else None,
+        "speedup_vs_baseline": speedups,
+    }
+
+
+def check_report(report: Dict, baseline: Dict) -> Dict:
+    """Gate the in-process ratios against the baseline's recorded floors.
+
+    A scenario fails when its measured legacy/fast ratio falls more than
+    :data:`REGRESSION_MARGIN` below ``expected_min_ratio`` — i.e. the fast
+    path regressed by >25% relative to what was recorded when the
+    optimization landed.
+    """
+    expected = baseline.get("expected_min_ratio", {})
+    checks = []
+    for name, floor in sorted(expected.items()):
+        data = report["scenarios"].get(name)
+        if data is None:
+            checks.append({
+                "scenario": name, "pass": False,
+                "reason": "scenario missing from this run",
+            })
+            continue
+        threshold = floor * (1.0 - REGRESSION_MARGIN)
+        ok = data["ratio"] >= threshold
+        checks.append({
+            "scenario": name,
+            "ratio": data["ratio"],
+            "expected_min_ratio": floor,
+            "threshold": threshold,
+            "pass": ok,
+        })
+    return {"checks": checks, "pass": all(c["pass"] for c in checks)}
+
+
+def write_report(report: Dict, path: Path) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_summary(report: Dict) -> str:
+    lines = [f"repro-bench @ {report['sha'] or '?'} "
+             f"({'smoke' if report['smoke'] else 'full'}, "
+             f"reps={report['reps']})"]
+    for name, data in report["scenarios"].items():
+        extra = ""
+        if report.get("speedup_vs_baseline"):
+            s = report["speedup_vs_baseline"].get(name)
+            if s is not None:
+                extra = f"  speedup vs seed {s:.2f}x"
+        lines.append(
+            f"  {name:14s} legacy {data['legacy_wall_seconds']:.4f}s  "
+            f"fast {data['fast_wall_seconds']:.4f}s  "
+            f"ratio {data['ratio']:.2f}x{extra}"
+        )
+    return "\n".join(lines)
+
+
+def main_check(report: Dict, baseline_path: Path) -> int:
+    baseline = load_baseline(baseline_path)
+    if baseline is None:
+        print(f"no baseline at {baseline_path}; nothing to check",
+              file=sys.stderr)
+        return 2
+    verdict = check_report(report, baseline)
+    report["check"] = verdict
+    for c in verdict["checks"]:
+        status = "ok" if c["pass"] else "FAIL"
+        if "ratio" in c:
+            print(
+                f"  [{status}] {c['scenario']}: ratio "
+                f"{c['ratio']:.2f}x (floor {c['expected_min_ratio']:.2f}x, "
+                f"threshold {c['threshold']:.2f}x)",
+                file=sys.stderr,
+            )
+        else:
+            print(f"  [{status}] {c['scenario']}: {c['reason']}",
+                  file=sys.stderr)
+    return 0 if verdict["pass"] else 1

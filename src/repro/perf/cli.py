@@ -1,0 +1,74 @@
+"""``repro-bench``: measure the hot paths, record evidence, gate CI.
+
+Modes:
+
+* default — full-size scenarios, report in-process legacy/fast ratios and
+  speedups against the recorded seed baseline, write ``BENCH_perf.json``.
+* ``--smoke`` — shrunken scenarios for CI (seconds of wall time); ratios
+  only, no seed-speedup comparison (sizes differ from the baseline's).
+* ``--check`` — exit non-zero if any scenario's ratio regressed more than
+  25% below the baseline's recorded ``expected_min_ratio`` floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .bench import (
+    BenchError,
+    default_baseline_path,
+    format_summary,
+    main_check,
+    run_bench,
+    write_report,
+)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the repro pipeline's hot paths.",
+    )
+    ap.add_argument("--smoke", action="store_true",
+                    help="shrunken CI scenarios (seconds, not minutes)")
+    ap.add_argument("--check", action="store_true",
+                    help="fail if ratios regress >25%% below the baseline "
+                         "floors")
+    ap.add_argument("--reps", type=int, default=5,
+                    help="repetitions per measurement (median wins)")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="baseline.json path (default: "
+                         "benchmarks/perf/baseline.json)")
+    ap.add_argument("--output", type=Path, default=None,
+                    help="write the report JSON here "
+                         "(default: BENCH_perf.json for full runs)")
+    args = ap.parse_args(argv)
+
+    baseline_path = args.baseline or default_baseline_path()
+    try:
+        report = run_bench(
+            smoke=args.smoke, reps=args.reps, baseline_path=baseline_path,
+        )
+    except BenchError as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        return 2
+
+    status = 0
+    if args.check:
+        status = main_check(report, baseline_path)
+
+    output = args.output
+    if output is None and not args.smoke:
+        output = Path("BENCH_perf.json")
+    if output is not None:
+        write_report(report, output)
+        print(f"wrote {output}", file=sys.stderr)
+
+    print(format_summary(report))
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

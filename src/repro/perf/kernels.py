@@ -1,0 +1,89 @@
+"""Vectorized analysis kernels for the clustering hot path.
+
+The K-means assignment step used to broadcast ``points[:, None, :] -
+centroids[None, :, :]``, allocating an ``O(n * k * d)`` temporary per Lloyd
+iteration.  :func:`assign_labels` computes the same squared distances in the
+GEMM form ``|x|^2 + |c|^2 - 2 x . c^T`` with row chunking, so peak memory is
+bounded by ``chunk_rows * k`` at any population size and the inner product
+runs through BLAS.
+
+:func:`weighted_means` replaces the per-cluster boolean-mask update loop
+with ``np.bincount`` accumulation — one pass over the points per dimension
+instead of ``k`` mask scans.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Row-chunk size for the GEMM assignment: bounds the distance temporary at
+#: ``DEFAULT_CHUNK_ROWS * k`` doubles regardless of the population size.
+DEFAULT_CHUNK_ROWS = 16384
+
+
+def squared_distances(
+    points: np.ndarray, centroids: np.ndarray
+) -> np.ndarray:
+    """Full ``(n, k)`` squared-distance matrix in the GEMM form.
+
+    Clamped at zero: cancellation in ``|x|^2 + |c|^2 - 2 x . c^T`` can
+    produce tiny negative values for near-coincident pairs.
+    """
+    x2 = np.einsum("ij,ij->i", points, points)
+    c2 = np.einsum("ij,ij->i", centroids, centroids)
+    d2 = x2[:, None] + c2[None, :] - 2.0 * (points @ centroids.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def assign_labels(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-centroid assignment; returns ``(labels, min_sq_dist)``.
+
+    Processes ``chunk_rows`` points at a time so the ``chunk x k`` distance
+    temporary stays bounded at any ``n * k``.
+    """
+    n = points.shape[0]
+    labels = np.empty(n, dtype=np.int64)
+    min_d2 = np.empty(n, dtype=np.float64)
+    c2 = np.einsum("ij,ij->i", centroids, centroids)
+    for lo in range(0, n, chunk_rows):
+        hi = min(lo + chunk_rows, n)
+        chunk = points[lo:hi]
+        x2 = np.einsum("ij,ij->i", chunk, chunk)
+        d2 = x2[:, None] + c2[None, :] - 2.0 * (chunk @ centroids.T)
+        np.maximum(d2, 0.0, out=d2)
+        labels[lo:hi] = d2.argmin(axis=1)
+        min_d2[lo:hi] = d2[np.arange(hi - lo), labels[lo:hi]]
+    return labels, min_d2
+
+
+def weighted_means(
+    points: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    weights: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-cluster weighted means via ``np.bincount`` accumulation.
+
+    Returns ``(means, weight_sums)``; a cluster with zero total weight gets
+    a zero row in ``means`` (callers re-seed empty clusters themselves).
+    """
+    n, d = points.shape
+    if weights is None:
+        weights = np.ones(n, dtype=np.float64)
+    wsum = np.bincount(labels, weights=weights, minlength=k)
+    acc = np.empty((k, d), dtype=np.float64)
+    for j in range(d):
+        acc[:, j] = np.bincount(
+            labels, weights=weights * points[:, j], minlength=k
+        )
+    nonzero = wsum > 0
+    means = np.zeros((k, d), dtype=np.float64)
+    means[nonzero] = acc[nonzero] / wsum[nonzero, None]
+    return means, wsum

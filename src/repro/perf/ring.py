@@ -1,0 +1,281 @@
+"""The batched event hot path: a fixed-capacity block-event ring.
+
+Per-event observer dispatch is the wall-clock bottleneck of every
+functional execution and constrained replay: each ``BlockExec`` used to be
+routed one at a time through a Python ``for ob in observers`` loop, costing
+several function calls and attribute chases per event.  The
+:class:`EventRing` instead accumulates block events into a fixed-capacity
+ring and flushes them to observers as an :class:`EventBatch` — six parallel
+numpy columns ``(tid, bid, repeat, n_instr, flags, start_index)`` — so
+observers can reduce whole batches with ``np.add.at``/``np.bincount``
+instead of doing per-event Python work.
+
+Ordering contract: when any attached observer sets
+``needs_flush_before_sync`` (the :class:`~repro.exec_engine.observers.
+Observer` base default — correct for third-party observers of unknown
+ordering sensitivity), the driver must call :meth:`EventRing.flush` before
+delivering any ``on_sync`` event, so observers that correlate block and
+synchronization streams (the lint concurrency passes, DCFG building) see
+the exact per-event order the legacy path produced.  Drivers check
+:attr:`EventRing.flush_on_sync` for this.  Observers whose final state is
+independent of block/sync interleaving (the built-in counters, logs and
+unbounded trace collectors) clear the flag, which lets sync-dense programs
+amortize batches across syncs — otherwise a program with a sync every few
+blocks would flush near-empty batches and numpy fixed costs would swamp
+the win.  ``on_finish`` always requires a final flush.  Within a batch,
+events appear in execution order.
+
+Observers that only implement the per-event :meth:`Observer.on_block`
+callback keep working unchanged: the base class's ``on_block_batch``
+replays the batch through ``on_block`` one event at a time (the
+compatibility shim), so third-party observers see identical calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+#: ``flags`` column bit: the block lives in a library image (spin or
+#: synchronization code, filtered out of BBV work).
+FLAG_LIBRARY = 1
+
+#: Default ring capacity (events buffered between flushes).  Large enough
+#: to amortize the numpy fixed costs, small enough that a batch's columns
+#: stay cache-resident.
+DEFAULT_CAPACITY = 8192
+
+#: Batches smaller than this are delivered per-event through ``on_block``
+#: instead of being materialized as numpy columns: below this size the
+#: fixed cost of array construction plus the argsort-based start-index
+#: reconstruction exceeds plain Python dispatch.  Only order-strict
+#: observer sets (``flush_on_sync`` rings flushing at every sync) ever see
+#: batches this small in steady state.
+SMALL_BATCH_THRESHOLD = 48
+
+
+class EventBatch:
+    """One flushed batch of block events as parallel numpy columns.
+
+    ``start_index[i]`` is thread ``tid[i]``'s execution count of block
+    ``bid[i]`` *before* event ``i`` — the same value the per-event path
+    passes to ``on_block`` — reconstructed vectorially at flush time.
+    ``blocks`` is the program's block table so shims (and observers that
+    need block attributes not carried by a column) can resolve ``bid``.
+    """
+
+    __slots__ = (
+        "size", "tid", "bid", "repeat", "n_instr", "flags", "start_index",
+        "blocks",
+    )
+
+    def __init__(
+        self,
+        size: int,
+        tid: np.ndarray,
+        bid: np.ndarray,
+        repeat: np.ndarray,
+        n_instr: np.ndarray,
+        flags: np.ndarray,
+        start_index: np.ndarray,
+        blocks: Sequence,
+    ) -> None:
+        self.size = size
+        self.tid = tid
+        self.bid = bid
+        self.repeat = repeat
+        self.n_instr = n_instr
+        self.flags = flags
+        self.start_index = start_index
+        self.blocks = blocks
+
+    @property
+    def instructions(self) -> np.ndarray:
+        """Per-event instruction counts (``n_instr * repeat``)."""
+        return self.n_instr * self.repeat
+
+    @property
+    def is_library(self) -> np.ndarray:
+        """Per-event boolean mask: block lives in a library image."""
+        return (self.flags & FLAG_LIBRARY) != 0
+
+
+def batch_start_indices(
+    tid: np.ndarray,
+    bid: np.ndarray,
+    repeat: np.ndarray,
+    flat_counts: np.ndarray,
+    nblocks: int,
+) -> np.ndarray:
+    """Per-event pre-execution counts for a batch; updates ``flat_counts``.
+
+    ``flat_counts`` is the flattened ``(nthreads * nblocks)`` execution-count
+    table *before* the batch; it is advanced in place to the post-batch
+    state.  Within the batch, an event's start index is the table value plus
+    the sum of earlier same-``(tid, bid)`` repeats — an exclusive prefix sum
+    segmented by key, computed with one stable argsort.
+    """
+    key = tid * nblocks + bid
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    sorted_repeat = repeat[order]
+    inclusive = np.cumsum(sorted_repeat)
+    exclusive = inclusive - sorted_repeat
+    is_group_start = np.empty(len(sorted_key), dtype=bool)
+    is_group_start[0] = True
+    np.not_equal(sorted_key[1:], sorted_key[:-1], out=is_group_start[1:])
+    group_id = np.cumsum(is_group_start) - 1
+    group_base = exclusive[is_group_start]
+    within_group = exclusive - group_base[group_id]
+    start_sorted = flat_counts[sorted_key] + within_group
+    start = np.empty_like(start_sorted)
+    start[order] = start_sorted
+    # Advance the table by each key's total batch repeat: the group's last
+    # inclusive sum minus its base.
+    group_start_pos = np.flatnonzero(is_group_start)
+    group_end_pos = np.append(group_start_pos[1:], len(sorted_key)) - 1
+    flat_counts[sorted_key[group_start_pos]] += (
+        inclusive[group_end_pos] - group_base
+    )
+    return start
+
+
+class EventRing:
+    """Fixed-capacity block-event ring shared by the engine and replayer.
+
+    :meth:`append` is the per-event hot path and does the minimum possible
+    work (three list appends and a capacity check); the derived columns —
+    ``n_instr``, ``flags`` from per-block tables, ``start_index`` from the
+    running execution-count table — materialize vectorially at flush.
+
+    The ring owns the authoritative execution-count table while batching is
+    active: drivers read it back through :meth:`exec_counts` after the final
+    flush instead of maintaining per-event nested-list counts.
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence,
+        nthreads: int,
+        observers: Sequence,
+        capacity: int = DEFAULT_CAPACITY,
+        initial_exec_counts=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.blocks = blocks
+        self.nthreads = nthreads
+        self.capacity = capacity
+        self.observers = list(observers)
+        #: Whether the driver must flush before delivering ``on_sync``.
+        #: True if any observer wants strict block/sync ordering (the
+        #: conservative default for observers that do not say otherwise).
+        self.flush_on_sync = any(
+            getattr(ob, "needs_flush_before_sync", True)
+            for ob in self.observers
+        )
+        nblocks = len(blocks)
+        self._nblocks = nblocks
+        self._n_instr_by_bid = np.array(
+            [b.n_instr for b in blocks], dtype=np.int64
+        )
+        self._flags_by_bid = np.array(
+            [FLAG_LIBRARY if b.image.is_library else 0 for b in blocks],
+            dtype=np.int64,
+        )
+        if initial_exec_counts is not None:
+            self._flat_counts = np.asarray(
+                initial_exec_counts, dtype=np.int64
+            ).reshape(-1).copy()
+            if self._flat_counts.shape[0] != nthreads * nblocks:
+                raise ValueError("initial_exec_counts shape mismatch")
+        else:
+            self._flat_counts = np.zeros(nthreads * nblocks, dtype=np.int64)
+        self._tids: List[int] = []
+        self._bids: List[int] = []
+        self._repeats: List[int] = []
+
+    def append(self, tid: int, bid: int, repeat: int) -> None:
+        """Buffer one block event; flushes automatically at capacity."""
+        self._tids.append(tid)
+        self._bids.append(bid)
+        self._repeats.append(repeat)
+        if len(self._tids) >= self.capacity:
+            self.flush()
+
+    def buffers(self):
+        """The three column buffers ``(tids, bids, repeats)``.
+
+        Hot loops (the engine's inner quantum loop) bind these lists'
+        ``append`` methods directly and check ``len() >= capacity``
+        themselves, skipping the :meth:`append` call overhead per event.
+        The lists are cleared in place by :meth:`flush`, so bound methods
+        stay valid across flushes.
+        """
+        return self._tids, self._bids, self._repeats
+
+    def flush(self) -> None:
+        """Deliver all buffered events to the observers as one batch."""
+        size = len(self._tids)
+        if size == 0:
+            return
+        if size < SMALL_BATCH_THRESHOLD:
+            self._flush_small(size)
+            return
+        tid = np.array(self._tids, dtype=np.int64)
+        bid = np.array(self._bids, dtype=np.int64)
+        repeat = np.array(self._repeats, dtype=np.int64)
+        self._tids.clear()
+        self._bids.clear()
+        self._repeats.clear()
+        start = batch_start_indices(
+            tid, bid, repeat, self._flat_counts, self._nblocks
+        )
+        batch = EventBatch(
+            size=size,
+            tid=tid,
+            bid=bid,
+            repeat=repeat,
+            n_instr=self._n_instr_by_bid[bid],
+            flags=self._flags_by_bid[bid],
+            start_index=start,
+            blocks=self.blocks,
+        )
+        for ob in self.observers:
+            ob.on_block_batch(batch)
+
+    def _flush_small(self, size: int) -> None:
+        """Per-event delivery for batches too small to amortize numpy.
+
+        Semantically identical to the batched flush (same ``on_block``
+        calls the base-class shim would make, same count-table advance),
+        just cheaper below :data:`SMALL_BATCH_THRESHOLD`.
+        """
+        tids = self._tids
+        bids = self._bids
+        repeats = self._repeats
+        blocks = self.blocks
+        counts = self._flat_counts
+        nblocks = self._nblocks
+        observers = self.observers
+        for i in range(size):
+            t = tids[i]
+            b = bids[i]
+            r = repeats[i]
+            idx = t * nblocks + b
+            start = int(counts[idx])
+            counts[idx] = start + r
+            block = blocks[b]
+            for ob in observers:
+                ob.on_block(t, block, r, start)
+        tids.clear()
+        bids.clear()
+        repeats.clear()
+
+    def exec_counts(self) -> List[List[int]]:
+        """The execution-count table as nested lists (flushes first)."""
+        self.flush()
+        return self._flat_counts.reshape(
+            self.nthreads, self._nblocks
+        ).tolist()

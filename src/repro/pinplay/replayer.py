@@ -9,16 +9,26 @@ the flow-controlled balance the profile was recorded with.
 Every analysis pass of the LoopPoint pipeline (BBV profiling, DCFG
 construction, slicing) runs on a replay, so analysis is reproducible no
 matter how noisy the original host was — requirement (1a) of the paper.
+
+Block events go to observers through the batched
+:class:`~repro.perf.ring.EventRing` hot path by default (same contract as
+the engine: bit-identical observer state, batch-vectorized dispatch).  The
+legacy per-event path remains for ``batch_events=False`` and is forced
+whenever an ``entry_hook`` is set: hooks observe (and read
+``exec_counts``) *between* events, which a batch by definition cannot
+honor.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..config import default_batch_events
 from ..errors import ReplayError
 from ..exec_engine.engine import EngineResult
 from ..exec_engine.observers import Observer
 from ..isa.image import Program
+from ..perf.ring import DEFAULT_CAPACITY, EventRing
 from ..policy import WaitPolicy
 from .pinball import Pinball
 
@@ -35,6 +45,8 @@ class ConstrainedReplayer:
         quantum_instructions: int = 600,
         initial_exec_counts: Optional[List[List[int]]] = None,
         entry_hook=None,
+        batch_events: Optional[bool] = None,
+        batch_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         if pinball.program_name != program.name:
             raise ReplayError(
@@ -49,6 +61,10 @@ class ConstrainedReplayer:
         #: Called as ``entry_hook(tid, pos, entry)`` immediately *before* an
         #: entry is processed; used by region extraction to find cut points.
         self.entry_hook = entry_hook
+        if batch_events is None:
+            batch_events = default_batch_events()
+        self.batch_events = batch_events
+        self._batch_capacity = batch_capacity
         #: Per-thread index of the next unprocessed log entry.
         self.positions: List[int] = [0] * pinball.nthreads
         nthreads = pinball.nthreads
@@ -59,6 +75,7 @@ class ConstrainedReplayer:
             self.exec_counts = [list(row) for row in initial_exec_counts]
         else:
             self.exec_counts = [[0] * nblocks for _ in range(nthreads)]
+        self._ring: Optional[EventRing] = None
         self.total_instructions = 0
         self.filtered_instructions = 0
         self.per_thread_total = [0] * nthreads
@@ -84,6 +101,26 @@ class ConstrainedReplayer:
         nthreads = self.pinball.nthreads
         pos = self.positions
         hook = self.entry_hook
+        blocks = self.program.blocks
+        # The batch/legacy decision happens here, not at construction:
+        # callers (region extraction) may assign entry_hook after __init__,
+        # and hooks read per-event state (positions, exec_counts) between
+        # events, which a batch by definition cannot keep fresh.
+        ring = None
+        if self.batch_events and hook is None:
+            ring = self._ring = EventRing(
+                blocks, nthreads, self.observers,
+                capacity=self._batch_capacity,
+                initial_exec_counts=self.exec_counts,
+            )
+        if ring is not None:
+            ring_tids, ring_bids, ring_repeats = ring.buffers()
+            ring_append_tid = ring_tids.append
+            ring_append_bid = ring_bids.append
+            ring_append_repeat = ring_repeats.append
+            ring_capacity = ring.capacity
+            ring_flush = ring.flush
+            flush_on_sync = ring.flush_on_sync
         ends = [len(log) for log in logs]
         next_gseq = 0
         live = set(tid for tid in range(nthreads) if pos[tid] < ends[tid])
@@ -97,24 +134,62 @@ class ConstrainedReplayer:
             for tid in candidates:
                 log = logs[tid]
                 stop_at = self.per_thread_total[tid] + self.quantum_instructions
-                while self.per_thread_total[tid] < stop_at and pos[tid] < ends[tid]:
-                    entry = log[pos[tid]]
-                    if entry[0] == "b":
-                        if hook is not None:
-                            hook(tid, pos[tid], entry)
-                        self._exec_block(tid, entry[1], entry[2])
-                    else:
-                        _, kind, obj_id, response, gseq = entry
-                        if gseq != next_gseq:
-                            break  # not this thread's turn at the sync order
-                        if hook is not None:
-                            hook(tid, pos[tid], entry)
-                        next_gseq += 1
-                        for ob in self.observers:
-                            ob.on_sync(tid, kind, obj_id, response, gseq)
-                    pos[tid] += 1
-                    self.num_events += 1
-                    progressed = True
+                if ring is not None:
+                    ptt = self.per_thread_total[tid]
+                    ptf = self.per_thread_filtered[tid]
+                    while ptt < stop_at and pos[tid] < ends[tid]:
+                        entry = log[pos[tid]]
+                        if entry[0] == "b":
+                            bid = entry[1]
+                            repeat = entry[2]
+                            block = blocks[bid]
+                            n = block.n_instr * repeat
+                            ptt += n
+                            if not block.image.is_library:
+                                ptf += n
+                                self.filtered_instructions += n
+                            self.total_instructions += n
+                            ring_append_tid(tid)
+                            ring_append_bid(bid)
+                            ring_append_repeat(repeat)
+                            if len(ring_tids) >= ring_capacity:
+                                ring_flush()
+                        else:
+                            _, kind, obj_id, response, gseq = entry
+                            if gseq != next_gseq:
+                                break  # not this thread's turn at the order
+                            next_gseq += 1
+                            if flush_on_sync:
+                                ring_flush()
+                            for ob in self.observers:
+                                ob.on_sync(tid, kind, obj_id, response, gseq)
+                        pos[tid] += 1
+                        self.num_events += 1
+                        progressed = True
+                    self.per_thread_total[tid] = ptt
+                    self.per_thread_filtered[tid] = ptf
+                else:
+                    while (
+                        self.per_thread_total[tid] < stop_at
+                        and pos[tid] < ends[tid]
+                    ):
+                        entry = log[pos[tid]]
+                        if entry[0] == "b":
+                            if hook is not None:
+                                hook(tid, pos[tid], entry)
+                            self._exec_block(tid, entry[1], entry[2])
+                        else:
+                            _, kind, obj_id, response, gseq = entry
+                            if gseq != next_gseq:
+                                break  # not this thread's turn at the order
+                            if hook is not None:
+                                hook(tid, pos[tid], entry)
+                            next_gseq += 1
+                            for ob in self.observers:
+                                ob.on_sync(tid, kind, obj_id, response, gseq)
+                        pos[tid] += 1
+                        self.num_events += 1
+                        progressed = True
                 if pos[tid] >= ends[tid]:
                     live.discard(tid)
                 if progressed:
@@ -129,6 +204,8 @@ class ConstrainedReplayer:
                     f"{waiting} — corrupt or truncated pinball"
                 )
 
+        if ring is not None:
+            self.exec_counts = ring.exec_counts()  # flushes the ring
         for ob in self.observers:
             ob.on_finish()
         return EngineResult(

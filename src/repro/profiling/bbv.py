@@ -34,6 +34,9 @@ class BBVCollector:
         self.filter_policy = filter_policy or FilterPolicy()
         self._matrix = np.zeros((nthreads, nblocks), dtype=np.float64)
         self._per_thread_instructions = [0] * nthreads
+        # Lazily built per-bid tables for the batched path (see work_tables).
+        self._countable: Optional[np.ndarray] = None
+        self._weight_by_bid: Optional[np.ndarray] = None
 
     def add(self, tid: int, block: BasicBlock, repeat: int) -> None:
         """Record ``repeat`` executions of ``block`` on ``tid`` (if countable)."""
@@ -42,6 +45,53 @@ class BBVCollector:
         weight = block.n_instr * repeat
         self._matrix[tid, block.bid] += weight
         self._per_thread_instructions[tid] += weight
+
+    def work_tables(self, blocks):
+        """Per-bid ``(n_instr, countable)`` tables for vectorized consumers.
+
+        Built once from the program's block table; exactness of the batched
+        accumulation follows because all weights are integers (float64 adds
+        of integers are order-independent below 2**53).
+        """
+        if self._countable is None:
+            if len(blocks) != self.nblocks:
+                raise ProfilingError(
+                    f"block table has {len(blocks)} blocks, collector "
+                    f"expects {self.nblocks}"
+                )
+            policy = self.filter_policy
+            self._weight_by_bid = np.array(
+                [b.n_instr for b in blocks], dtype=np.int64
+            )
+            self._countable = np.array(
+                [policy.counts_as_work(b) for b in blocks], dtype=bool
+            )
+        return self._weight_by_bid, self._countable
+
+    def add_batch(
+        self,
+        tids: np.ndarray,
+        bids: np.ndarray,
+        repeats: np.ndarray,
+        blocks,
+    ) -> None:
+        """Vectorized :meth:`add` over parallel event columns.
+
+        Equivalent to calling :meth:`add` once per event in order; the
+        scatter-add goes through ``np.add.at`` so duplicate ``(tid, bid)``
+        pairs within one batch accumulate correctly.
+        """
+        n_instr, countable = self.work_tables(blocks)
+        mask = countable[bids]
+        if not mask.any():
+            return
+        t = tids[mask]
+        b = bids[mask]
+        w = n_instr[b] * repeats[mask]
+        np.add.at(self._matrix, (t, b), w)
+        per_thread = np.bincount(t, weights=w, minlength=self.nthreads)
+        for tid in np.flatnonzero(per_thread):
+            self._per_thread_instructions[tid] += int(per_thread[tid])
 
     @property
     def per_thread_instructions(self) -> List[int]:

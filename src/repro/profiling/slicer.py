@@ -98,6 +98,11 @@ class LoopAlignedSlicer(Observer):
         self._finished = False
         # Phase tracking: instruction mass per routine within the slice.
         self._routine_mass: dict = {}
+        # The slicer never consumes sync events, so batches need not be cut
+        # at sync boundaries (see EventRing's ordering contract); marker
+        # ordering within the block stream is preserved by segmentation.
+        self.needs_flush_before_sync = False
+        self._marker_bids: Optional[np.ndarray] = None
 
     # -- observer interface ---------------------------------------------------
 
@@ -123,6 +128,63 @@ class LoopAlignedSlicer(Observer):
                 key = block.routine.name
                 self._routine_mass[key] = self._routine_mass.get(key, 0) + n
         self.bbv.add(tid, block, repeat)
+
+    def on_block_batch(self, batch) -> None:
+        """Batched :meth:`on_block`: vectorize the runs between markers.
+
+        Slice boundaries can only occur at marker executions, so everything
+        between two markers is order-free accumulation — those runs reduce
+        vectorially through :meth:`BBVCollector.add_batch`, while each
+        marker event replays through the scalar path to keep the exact
+        close-slice semantics.  Phase-aligned mode tracks per-routine mass
+        on every countable event, so it keeps the per-event shim.
+        """
+        if self.phase_aligned:
+            super().on_block_batch(batch)
+            return
+        if self._marker_bids is None:
+            self._marker_bids = np.array(
+                sorted(
+                    bid for bid in range(len(batch.blocks))
+                    if self.tracker.is_marker_bid(bid)
+                ),
+                dtype=np.int64,
+            )
+        bids = batch.bid
+        is_marker = np.isin(bids, self._marker_bids)
+        if not is_marker.any():
+            self._consume_plain(batch.tid, bids, batch.repeat, batch.blocks)
+            return
+        tids = batch.tid
+        repeats = batch.repeat
+        starts = batch.start_index
+        blocks = batch.blocks
+        prev = 0
+        for p in np.flatnonzero(is_marker):
+            if p > prev:
+                run = slice(prev, p)
+                self._consume_plain(
+                    tids[run], bids[run], repeats[run], blocks
+                )
+            i = int(p)
+            self.on_block(
+                int(tids[i]), blocks[int(bids[i])], int(repeats[i]),
+                int(starts[i]),
+            )
+            prev = i + 1
+        if prev < batch.size:
+            run = slice(prev, batch.size)
+            self._consume_plain(tids[run], bids[run], repeats[run], blocks)
+
+    def _consume_plain(self, tids, bids, repeats, blocks) -> None:
+        """Accumulate a marker-free run of events into the open slice."""
+        n_instr, countable = self.bbv.work_tables(blocks)
+        per_event = n_instr[bids] * repeats
+        self._slice_total += int(per_event.sum())
+        filtered = int(per_event[countable[bids]].sum())
+        self._slice_filtered += filtered
+        self._global_filtered += filtered
+        self.bbv.add_batch(tids, bids, repeats, blocks)
 
     def _is_phase_change(self, block) -> bool:
         """True when this loop entry belongs to a routine other than the

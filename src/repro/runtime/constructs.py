@@ -65,20 +65,65 @@ class LoopWork:
             raise ProgramStructureError(
                 f"LoopWork header {self.header.name!r} is not a loop header"
             )
+        # Event-interning caches, built lazily on first emit (events need
+        # block.image, which the program builder may assign after
+        # construction).  ``_iter_plan`` is the per-outer-iteration event
+        # tuple when every trip count is constant; ``_ev_cache`` interns
+        # ``(bid, repeat)`` events for iteration-dependent trip counts.
+        # BlockExec events are immutable, so yielding the same instance
+        # many times is observably identical to fresh construction — it
+        # just skips the per-event allocation on the hot path.
+        object.__setattr__(self, "_iter_plan", None)
+        object.__setattr__(self, "_plan_built", False)
+        object.__setattr__(self, "_ev_cache", {})
+
+    def _expand(self, block: BasicBlock, n: int, out: list) -> None:
+        while n > BATCH_LIMIT:
+            out.append(BlockExec(block, BATCH_LIMIT))
+            n -= BATCH_LIMIT
+        if n > 0:
+            out.append(BlockExec(block, n))
+
+    def _build_plan(self) -> None:
+        if all(not callable(trip) for _block, trip in self.body):
+            events: list = [BlockExec(self.header, 1)]
+            for block, trip in self.body:
+                self._expand(block, trip, events)
+            object.__setattr__(self, "_iter_plan", tuple(events))
+        object.__setattr__(self, "_plan_built", True)
 
     def emit(self, tid: int, start: int, stop: int) -> Iterator[Event]:
         """Yield the events of outer iterations ``[start, stop)``."""
+        if not self._plan_built:
+            self._build_plan()
+        plan = self._iter_plan
+        if plan is not None:
+            for _ in range(start, stop):
+                yield from plan
+            return
         body = self.body
-        header = self.header
+        cache = self._ev_cache
+        header_ev = cache.get((self.header.bid, 1))
+        if header_ev is None:
+            header_ev = BlockExec(self.header, 1)
+            cache[(self.header.bid, 1)] = header_ev
         for i in range(start, stop):
-            yield BlockExec(header, 1)
+            yield header_ev
             for block, trip in body:
                 n = _trips(trip, i)
                 while n > BATCH_LIMIT:
-                    yield BlockExec(block, BATCH_LIMIT)
+                    ev = cache.get((block.bid, BATCH_LIMIT))
+                    if ev is None:
+                        ev = BlockExec(block, BATCH_LIMIT)
+                        cache[(block.bid, BATCH_LIMIT)] = ev
+                    yield ev
                     n -= BATCH_LIMIT
                 if n > 0:
-                    yield BlockExec(block, n)
+                    ev = cache.get((block.bid, n))
+                    if ev is None:
+                        ev = BlockExec(block, n)
+                        cache[(block.bid, n)] = ev
+                    yield ev
 
     def instructions_per_iteration(self, outer_index: int = 0) -> int:
         """Instruction cost of one outer iteration (for sizing workloads)."""
@@ -199,16 +244,25 @@ class ParallelFor(Construct):
                 yield BlockExec(atom.block, 1)
 
     def run(self, tid: int, nthreads: int) -> Iterator[Event]:
+        # The critical/atomic-free case delegates straight to the work's
+        # emit — one less generator frame for every send on the hot path.
+        plain = self.critical is None and self.atomic is None
         if self.schedule == SCHEDULE_STATIC:
             start, stop = static_chunk(self.total_iters, nthreads, tid)
-            yield from self._iteration_events(tid, start, stop)
+            if plain:
+                yield from self.work.emit(tid, start, stop)
+            else:
+                yield from self._iteration_events(tid, start, stop)
         else:
             while True:
                 start = yield ChunkRequest(self.loop_id, self.chunk, self.total_iters)
                 if start is None or start < 0:
                     break
                 stop = min(start + self.chunk, self.total_iters)
-                yield from self._iteration_events(tid, start, stop)
+                if plain:
+                    yield from self.work.emit(tid, start, stop)
+                else:
+                    yield from self._iteration_events(tid, start, stop)
         if self.reduction:
             yield Reduce()
         if not self.nowait:

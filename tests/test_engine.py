@@ -186,12 +186,25 @@ class TestObservers:
         assert counter.filtered == result.filtered_instructions
         assert counter.per_thread_total == result.per_thread_total
 
-    def test_trace_collector_limit(self):
+    def test_trace_collector_limit_truncates(self):
         program, tp, omp = build_toy()
         trace = TraceCollector(limit=10)
         engine = ExecutionEngine(program, tp, omp, 4, observers=(trace,))
-        with pytest.raises(MemoryError):
-            engine.run()
+        engine.run()
+        assert trace.truncated
+        assert len(trace.blocks) == 10
+        assert trace.dropped_blocks > 0
+        # Once clipped, the sync stream stops too (alignment is broken).
+        assert trace.dropped_syncs > 0
+
+    def test_trace_collector_complete_run_not_truncated(self):
+        program, tp, omp = build_toy()
+        trace = TraceCollector()
+        engine = ExecutionEngine(program, tp, omp, 4, observers=(trace,))
+        engine.run()
+        assert not trace.truncated
+        assert trace.dropped_blocks == 0
+        assert trace.dropped_syncs == 0
 
     def test_exec_counts_consistent_with_trace(self):
         program, tp, omp = build_toy()

@@ -384,7 +384,7 @@ class TestEndToEnd:
         data = json.loads(capsys.readouterr().out)
         assert "demo-matrix-1" in data["subject"]
         assert set(data["passes_run"]) == {
-            "dcfg", "concurrency", "markers", "config"
+            "dcfg", "concurrency", "perf", "markers", "config"
         }
 
     def test_cli_list_rules(self, capsys):

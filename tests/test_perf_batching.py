@@ -1,0 +1,342 @@
+"""The batched event hot path: equivalence, the ring, and the fast kernels.
+
+The optimization's contract is *bit-identical* observer state between the
+legacy per-event path and the batched ring, for the engine and for the
+constrained replayer.  These tests enforce that contract across wait
+policies, seeds, and awkward ring capacities, then cover the ring's
+start-index reconstruction, the GEMM k-means kernels, the sweep modes, and
+the parallel k-fit fan-out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import kmeans
+from repro.clustering.simpoint import SimPointOptions, select_simpoints
+from repro.exec_engine.engine import ExecutionEngine
+from repro.exec_engine.observers import (
+    InstructionCounter,
+    Observer,
+    SyncEventLog,
+    TraceCollector,
+)
+from repro.perf.kernels import assign_labels, weighted_means
+from repro.perf.ring import EventRing, batch_start_indices
+from repro.pinplay.recorder import record_execution
+from repro.pinplay.replayer import ConstrainedReplayer
+from repro.policy import WaitPolicy
+from repro.profiling.filters import FilterPolicy
+from repro.profiling.slicer import LoopAlignedSlicer
+
+from conftest import build_toy
+
+
+def _observers(nthreads, limit=None):
+    return (
+        InstructionCounter(nthreads),
+        SyncEventLog(nthreads),
+        TraceCollector(limit=limit),
+    )
+
+
+def _run(batch, *, policy=WaitPolicy.PASSIVE, seed=0, nthreads=4,
+         capacity=None, limit=None):
+    program, tp, omp = build_toy(nthreads_hint=nthreads)
+    obs = _observers(nthreads, limit)
+    kwargs = {"batch_events": batch}
+    if capacity is not None:
+        kwargs["batch_capacity"] = capacity
+    engine = ExecutionEngine(
+        program, tp, omp, nthreads, wait_policy=policy, seed=seed,
+        observers=obs, **kwargs,
+    )
+    return engine.run(), obs
+
+
+def _assert_equal_state(legacy, batched):
+    result_l, obs_l = legacy
+    result_b, obs_b = batched
+    assert result_l == result_b
+    assert obs_l[0].per_thread_total == obs_b[0].per_thread_total
+    assert obs_l[0].per_thread_filtered == obs_b[0].per_thread_filtered
+    assert obs_l[1].per_thread == obs_b[1].per_thread
+    assert obs_l[1].gseq_order == obs_b[1].gseq_order
+    assert obs_l[2].blocks == obs_b[2].blocks
+    assert obs_l[2].syncs == obs_b[2].syncs
+
+
+class TestEngineBatchEquivalence:
+    @pytest.mark.parametrize("policy", [WaitPolicy.PASSIVE, WaitPolicy.ACTIVE])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_bit_identical_results(self, policy, seed):
+        _assert_equal_state(
+            _run(False, policy=policy, seed=seed),
+            _run(True, policy=policy, seed=seed),
+        )
+
+    def test_odd_capacity(self):
+        """A capacity that never aligns with quantum boundaries."""
+        _assert_equal_state(_run(False), _run(True, capacity=7))
+
+    def test_capacity_one(self):
+        _assert_equal_state(_run(False), _run(True, capacity=1))
+
+    def test_bounded_trace_same_truncation_point(self):
+        """A finite collector cap forces strict ordering; the clipped
+        prefix must be identical to the legacy path's."""
+        _assert_equal_state(
+            _run(False, limit=100), _run(True, limit=100)
+        )
+
+    def test_third_party_observer_sees_per_event_calls(self):
+        """An observer that only defines on_block gets the same calls in
+        the same order through the base-class batch shim."""
+
+        class Spy(Observer):
+            def __init__(self):
+                self.calls = []
+
+            def on_block(self, tid, block, repeat, start_index):
+                self.calls.append((tid, block.bid, repeat, start_index))
+
+        program, tp, omp = build_toy()
+        runs = []
+        for batch in (False, True):
+            spy = Spy()
+            ExecutionEngine(
+                program, tp, omp, 4, observers=(spy,), seed=0,
+                batch_events=batch,
+            ).run()
+            runs.append(spy.calls)
+        assert runs[0] == runs[1]
+
+    def test_env_toggle_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_EVENTS", "0")
+        program, tp, omp = build_toy()
+        eng = ExecutionEngine(program, tp, omp, 4)
+        assert eng._ring is None
+        monkeypatch.setenv("REPRO_BATCH_EVENTS", "1")
+        eng = ExecutionEngine(program, tp, omp, 4)
+        assert eng._ring is not None
+
+
+class TestReplayerBatchEquivalence:
+    def _pinball(self, nthreads=4):
+        program, tp, omp = build_toy(nthreads_hint=nthreads)
+        pinball, _ = record_execution(program, tp, omp, nthreads, seed=3)
+        return program, pinball
+
+    def test_bit_identical_replay(self):
+        program, pinball = self._pinball()
+        obs_l = _observers(4)
+        r_l = ConstrainedReplayer(
+            program, pinball, observers=obs_l, batch_events=False
+        ).run()
+        obs_b = _observers(4)
+        r_b = ConstrainedReplayer(
+            program, pinball, observers=obs_b, batch_events=True,
+            batch_capacity=13,
+        ).run()
+        _assert_equal_state((r_l, obs_l), (r_b, obs_b))
+
+    def test_slicer_identical_through_batches(self):
+        program, pinball = self._pinball()
+        policy = FilterPolicy()
+        markers = [b for b in program.blocks if policy.marker_eligible(b)]
+
+        def run(batch):
+            slicer = LoopAlignedSlicer(
+                4, program.num_blocks, markers, slice_size=600
+            )
+            ConstrainedReplayer(
+                program, pinball, observers=(slicer,), batch_events=batch
+            ).run()
+            return slicer.slices
+
+        legacy, batched = run(False), run(True)
+        assert len(legacy) == len(batched)
+        for a, b in zip(legacy, batched):
+            assert (a.start, a.end) == (b.start, b.end)
+            assert np.array_equal(a.bbv, b.bbv)
+            assert a.filtered_instructions == b.filtered_instructions
+            assert a.per_thread_filtered == b.per_thread_filtered
+            assert a.start_filtered == b.start_filtered
+
+    def test_entry_hook_forces_legacy_path(self):
+        program, pinball = self._pinball()
+        replayer = ConstrainedReplayer(
+            program, pinball, entry_hook=lambda tid, pos, entry: None
+        )
+        assert replayer._ring is None
+        assert replayer.run().num_events > 0
+
+
+class TestRingInternals:
+    def test_start_indices_with_duplicates(self):
+        """Repeated (tid, bid) pairs inside one batch must see running
+        prefix counts, exactly as sequential per-event delivery would."""
+        tid = np.array([0, 0, 1, 0, 1, 0], dtype=np.int64)
+        bid = np.array([2, 2, 2, 1, 2, 2], dtype=np.int64)
+        repeat = np.array([3, 1, 5, 2, 1, 4], dtype=np.int64)
+        flat = np.zeros(2 * 3, dtype=np.int64)
+        flat[0 * 3 + 2] = 10  # thread 0 already ran block 2 ten times
+        start = batch_start_indices(tid, bid, repeat, flat, 3)
+        assert start.tolist() == [10, 13, 0, 0, 5, 14]
+        assert flat[0 * 3 + 2] == 18 and flat[1 * 3 + 2] == 6
+        assert flat[0 * 3 + 1] == 2
+
+    def test_flush_on_sync_reflects_observers(self):
+        class Strict(Observer):
+            pass
+
+        class Relaxed(Observer):
+            needs_flush_before_sync = False
+
+        program, _, _ = build_toy()
+        blocks = program.blocks
+        assert EventRing(blocks, 2, [Relaxed()]).flush_on_sync is False
+        assert EventRing(blocks, 2, [Relaxed(), Strict()]).flush_on_sync
+
+    def test_counts_survive_small_and_large_flushes(self):
+        program, _, _ = build_toy()
+        nblocks = program.num_blocks
+        counter = InstructionCounter(2)
+        ring = EventRing(program.blocks, 2, [counter], capacity=4096)
+        for i in range(10):  # below SMALL_BATCH_THRESHOLD
+            ring.append(i % 2, 0, 1)
+        ring.flush()
+        for i in range(500):  # above it
+            ring.append(i % 2, 0, 1)
+        ring.flush()
+        counts = ring.exec_counts()
+        assert counts[0][0] == 255 and counts[1][0] == 255
+        assert len(counts) == 2 and len(counts[0]) == nblocks
+
+
+class TestKernels:
+    def test_assign_labels_matches_broadcast(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(300, 17))
+        centroids = rng.normal(size=(9, 17))
+        labels, min_d2 = assign_labels(points, centroids, chunk_rows=64)
+        d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assert np.array_equal(labels, d2.argmin(axis=1))
+        assert np.allclose(min_d2, d2.min(axis=1))
+        assert (min_d2 >= 0).all()
+
+    def test_weighted_means_matches_masked_scan(self):
+        rng = np.random.default_rng(6)
+        points = rng.normal(size=(200, 5))
+        labels = rng.integers(0, 4, size=200)
+        weights = rng.uniform(0.5, 2.0, size=200)
+        means, wsum = weighted_means(points, labels, 5, weights)
+        for j in range(4):
+            mask = labels == j
+            expect = (
+                (points[mask] * weights[mask, None]).sum(axis=0)
+                / weights[mask].sum()
+            )
+            assert np.allclose(means[j], expect)
+        assert wsum[4] == 0.0 and np.all(means[4] == 0.0)
+
+    def test_kmeans_gemm_and_broadcast_agree(self):
+        rng = np.random.default_rng(7)
+        points = np.abs(rng.normal(size=(250, 12)))
+        a = kmeans(points, 6, seed=11, assignment="gemm")
+        b = kmeans(points, 6, seed=11, assignment="broadcast")
+        assert np.array_equal(a.labels, b.labels)
+        assert np.allclose(a.centroids, b.centroids)
+        assert a.inertia == pytest.approx(b.inertia)
+
+    def test_kmeanspp_degenerate_is_deterministic(self):
+        """All-identical points: the surplus centroids duplicate the first
+        pick instead of consuming rng draws."""
+        points = np.ones((8, 3))
+        a = kmeans(points, 4, seed=2)
+        b = kmeans(points, 4, seed=2)
+        assert np.array_equal(a.centroids, b.centroids)
+        assert (a.centroids == 1.0).all()
+        assert a.inertia == 0.0
+
+    def test_kmeans_weights_pull_centroid(self):
+        points = np.array([[0.0], [1.0]])
+        heavy_left = kmeans(points, 1, weights=np.array([9.0, 1.0]))
+        assert heavy_left.centroids[0, 0] == pytest.approx(0.1)
+
+    def test_kmeans_warm_start_shape_checked(self):
+        points = np.zeros((10, 2))
+        from repro.errors import ClusteringError
+
+        with pytest.raises(ClusteringError):
+            kmeans(points, 3, init_centroids=np.zeros((2, 2)))
+
+
+def _population(n=240, dim=16, k=5, seed=9):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 8, size=(k, dim))
+    labels = rng.integers(0, k, size=n)
+    matrix = np.abs(centers[labels] + rng.normal(0, 0.5, size=(n, dim)))
+    return matrix, rng.uniform(0.5, 2.0, size=n)
+
+
+class TestSweepModes:
+    def test_parallel_full_sweep_is_bit_identical(self):
+        matrix, weights = _population()
+        opts = SimPointOptions(max_k=12, seed=42)
+        serial = select_simpoints(matrix, weights, opts, jobs=1)
+        fanned = select_simpoints(matrix, weights, opts, jobs=2)
+        assert serial.k == fanned.k
+        assert serial.representative_indices == fanned.representative_indices
+        assert np.array_equal(serial.labels, fanned.labels)
+        assert serial.bic_by_k == fanned.bic_by_k
+
+    def test_warm_sweep_produces_valid_selection(self):
+        matrix, weights = _population()
+        sel = select_simpoints(
+            matrix, weights, SimPointOptions(max_k=12, seed=42, sweep="warm")
+        )
+        assert sel.k >= 1
+        assert len(sel.clusters) == len(set(sel.representative_indices))
+        assert all(c.multiplier >= 1.0 for c in sel.clusters)
+
+    def test_patience_stops_early_and_still_selects(self):
+        matrix, weights = _population()
+        full = select_simpoints(
+            matrix, weights, SimPointOptions(max_k=20, seed=42)
+        )
+        patient = select_simpoints(
+            matrix, weights, SimPointOptions(max_k=20, seed=42, patience=4)
+        )
+        assert len(patient.bic_by_k) < len(full.bic_by_k)
+        assert patient.k >= 1 and patient.clusters
+
+    def test_invalid_sweep_rejected(self):
+        from repro.errors import ClusteringError
+
+        matrix, weights = _population(n=40)
+        with pytest.raises(ClusteringError):
+            select_simpoints(
+                matrix, weights, SimPointOptions(sweep="lukewarm")
+            )
+
+
+class TestTraceTruncationLint:
+    def test_perf001_fires_on_truncated_trace(self):
+        from repro.lint.perf_passes import check_trace_truncation
+
+        program, tp, omp = build_toy()
+        trace = TraceCollector(limit=20)
+        ExecutionEngine(program, tp, omp, 4, observers=(trace,)).run()
+        assert trace.truncated
+        findings = check_trace_truncation(trace)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "PERF001"
+
+    def test_perf001_silent_on_complete_trace(self):
+        from repro.lint.perf_passes import check_trace_truncation
+
+        program, tp, omp = build_toy()
+        trace = TraceCollector(limit=None)
+        ExecutionEngine(program, tp, omp, 4, observers=(trace,)).run()
+        assert not trace.truncated
+        assert check_trace_truncation(trace) == []
