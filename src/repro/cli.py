@@ -20,9 +20,10 @@ import time
 from typing import List, Optional
 
 from .analysis.tables import ascii_table
-from .config import default_fault_plan_path, get_scale
+from .config import default_fault_plan_path, default_trace_value, get_scale
 from .core.looppoint import LoopPointOptions, LoopPointPipeline
 from .errors import ReproError
+from .obs.console import Console
 from .policy import WaitPolicy
 from .resilience import DegradePolicy, FaultPlan
 from .workloads.registry import get_workload, list_workloads
@@ -96,6 +97,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON fault-injection plan for resilience testing (default: "
              "the REPRO_FAULT_PLAN environment variable); see "
              "repro.resilience.faults for the site catalogue",
+    )
+    parser.add_argument(
+        "--trace", nargs="?", const="1", default=None, metavar="FILE",
+        help="write a span trace of the run (JSON lines; inspect with "
+             "repro-obs).  With no value, or REPRO_TRACE=1, the trace "
+             "lands next to the manifest: <cache-dir or .>/<program>"
+             ".trace.jsonl",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress status lines ([cache], [health], [obs], ...); the "
+             "final results table and errors still print",
     )
     parser.add_argument(
         "--force", action="store_true",
@@ -184,6 +197,29 @@ def _manifest_path_for(
     return None
 
 
+def _trace_path_for(
+    name: str,
+    trace: Optional[str],
+    cache_dir: Optional[str],
+    multi: bool,
+) -> Optional[str]:
+    """Per-program trace path derivation (mirrors the manifest's).
+
+    A bare ``--trace`` (or ``REPRO_TRACE=1``) defaults to
+    ``<cache-dir or .>/<program>.trace.jsonl``; an explicit path is used
+    as-is for one program and gets ``.<program>`` appended to its stem for
+    several.
+    """
+    if not trace:
+        return None
+    if trace.lower() in ("1", "true", "on", "yes"):
+        return os.path.join(cache_dir or ".", f"{name}.trace.jsonl")
+    if not multi:
+        return trace
+    root, ext = os.path.splitext(trace)
+    return f"{root}.{name}{ext or '.jsonl'}"
+
+
 def run_one(
     name: str,
     ncores: int,
@@ -198,8 +234,11 @@ def run_one(
     job_retries: Optional[int] = None,
     degrade: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
+    trace_path: Optional[str] = None,
+    console: Optional[Console] = None,
 ) -> List[object]:
     """Run the methodology end to end on one program; returns a table row."""
+    console = console or Console()
     scale = get_scale()
     t0 = time.time()
     workload = get_workload(name, input_class, ncores, scale=scale)
@@ -215,23 +254,28 @@ def run_one(
         options=LoopPointOptions(
             wait_policy=wait_policy, scale=scale, jobs=jobs,
             cache_dir=cache_dir, manifest_path=manifest_path,
-            fault_plan=fault_plan, **overrides,
+            fault_plan=fault_plan, trace_path=trace_path, **overrides,
         ),
     )
     result = pipeline.run(simulate_full=simulate_full, resume=resume)
     if pipeline.artifacts is not None:
-        print(f"[cache] {pipeline.artifacts.stats_line()}", flush=True)
+        console.status("cache", pipeline.artifacts.stats_line())
+    if pipeline.last_trace is not None:
+        t = pipeline.last_trace
+        console.status(
+            "obs",
+            f"trace={t['path']} spans={t['spans']} trace_id={t['trace_id']}",
+        )
     # Grep-able metric line: the CI fault-injection matrix diffs these
     # between clean, faulted, and resumed runs to assert bit-identity.
     p = result.predicted
-    print(
-        f"[predicted] cycles={p.cycles} instructions={p.instructions} "
-        f"ipc={p.ipc:.6f}",
-        flush=True,
+    console.status(
+        "predicted",
+        f"cycles={p.cycles} instructions={p.instructions} ipc={p.ipc:.6f}",
     )
     health = result.health
     if not health.ok:
-        print(f"[health] {health.summary()}", flush=True)
+        console.status("health", health.summary())
     err = (
         f"{result.runtime_error_pct:.2f}%"
         if result.runtime_error_pct is not None else "--"
@@ -267,21 +311,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not programs:
         parser.error("no programs given")
     policy = WaitPolicy(args.wait_policy)
+    console = Console(quiet=args.quiet)
 
     if args.lint:
         worst = 0
         for name in programs:
-            print(f"[run-looppoint] linting {name} "
-                  f"(n={args.ncores}, policy={policy.value}) ...",
-                  flush=True)
+            console.status(
+                "run-looppoint",
+                f"linting {name} (n={args.ncores}, "
+                f"policy={policy.value}) ...",
+            )
             try:
                 worst = max(worst, lint_one(
                     name, args.ncores, args.input_class, policy,
                     args.json, args.disable,
                 ))
             except ReproError as exc:
-                print(f"[run-looppoint] {name} FAILED: {exc}",
-                      file=sys.stderr)
+                console.error("run-looppoint", f"{name} FAILED: {exc}")
                 return 2
         return worst
 
@@ -292,24 +338,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         if fault_plan is not None:
             fault_plan.validate()
-            print(f"[run-looppoint] fault plan {plan_path} "
-                  f"(seed={fault_plan.seed}, "
-                  f"{len(fault_plan.faults)} spec(s))", flush=True)
+            console.status(
+                "run-looppoint",
+                f"fault plan {plan_path} (seed={fault_plan.seed}, "
+                f"{len(fault_plan.faults)} spec(s))",
+            )
     except ReproError as exc:
-        print(f"[run-looppoint] bad fault plan: {exc}", file=sys.stderr)
+        console.error("run-looppoint", f"bad fault plan: {exc}")
         return 2
     if args.resume and not args.cache_dir:
         parser.error("--resume requires --cache-dir (resume restores "
                      "completed stages from the artifact cache)")
 
+    trace_value = (
+        args.trace if args.trace is not None else default_trace_value()
+    )
     rows = []
     for name in programs:
-        print(f"[run-looppoint] {name} "
-              f"(n={args.ncores}, policy={policy.value}, "
-              f"input={args.input_class or 'default'}) ...", flush=True)
+        console.status(
+            "run-looppoint",
+            f"{name} (n={args.ncores}, policy={policy.value}, "
+            f"input={args.input_class or 'default'}) ...",
+        )
         manifest_path = _manifest_path_for(
             name, args.manifest, args.cache_dir,
             multi=len(programs) > 1, resume=args.resume,
+        )
+        trace_path = _trace_path_for(
+            name, trace_value, args.cache_dir, multi=len(programs) > 1,
         )
         try:
             rows.append(
@@ -319,14 +375,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         manifest_path=manifest_path, resume=args.resume,
                         job_timeout_s=args.job_timeout,
                         job_retries=args.job_retries,
-                        degrade=args.degrade, fault_plan=fault_plan)
+                        degrade=args.degrade, fault_plan=fault_plan,
+                        trace_path=trace_path, console=console)
             )
         except ReproError as exc:
-            print(f"[run-looppoint] {name} FAILED: {exc}", file=sys.stderr)
+            console.error("run-looppoint", f"{name} FAILED: {exc}")
             return 1
 
-    print()
-    print(ascii_table(
+    console.result()
+    console.result(ascii_table(
         ["workload", "slices", "looppoints", "runtime err",
          "serial speedup", "parallel speedup", "measured speedup",
          "retries", "fallbacks", "coverage", "wall"],

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ClusteringError
+from ..obs.tracer import active_metrics
 from ..perf.kernels import assign_labels, weighted_means
 from ..resilience import KMEANS_DIVERGE, maybe_inject
 
@@ -146,6 +147,10 @@ def kmeans(
             break
     labels, min_d2 = _assign(points, centroids, mode)
     inertia = float(min_d2.sum())
+    reg = active_metrics()
+    if reg is not None:  # once per fit, never per iteration
+        reg.inc("kmeans.fits")
+        reg.inc("kmeans.iterations", iterations)
     return KMeansResult(
         labels=labels, centroids=centroids, inertia=inertia, k=k,
         iterations=iterations,

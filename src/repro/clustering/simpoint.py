@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ClusteringError
+from ..obs.tracer import active_metrics
 from .bic import bic_score
 from .kmeans import KMeansResult, kmeans
 from .projection import DEFAULT_DIMENSIONS, project
@@ -126,6 +127,11 @@ def select_simpoints(
 
     chosen_k = _choose_k(scores, opts.bic_threshold)
     chosen = results[chosen_k]
+    reg = active_metrics()
+    if reg is not None:
+        reg.inc("select.runs")
+        reg.inc("select.ks_swept", len(scores))
+        reg.gauge("select.chosen_k", chosen_k)
     clusters = _build_clusters(
         points, counts, chosen, opts.tie_margin,
         frozenset(ineligible or ()),
@@ -133,6 +139,12 @@ def select_simpoints(
     return SimPointSelection(
         k=chosen_k, clusters=clusters, labels=chosen.labels, bic_by_k=scores
     )
+
+
+def _note_early_stop() -> None:
+    reg = active_metrics()
+    if reg is not None:
+        reg.inc("select.sweep_early_stops")
 
 
 def _restarts_for(n: int, opts: SimPointOptions) -> int:
@@ -197,6 +209,7 @@ def _full_sweep(
         else:
             stale += 1
             if opts.patience and stale >= opts.patience:
+                _note_early_stop()
                 break
     return results, scores
 
@@ -251,6 +264,7 @@ def _warm_sweep(
         else:
             stale += 1
             if opts.patience and stale >= opts.patience:
+                _note_early_stop()
                 break
     return results, scores
 

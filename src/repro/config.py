@@ -256,6 +256,23 @@ def default_batch_events() -> bool:
     )
 
 
+def default_trace_value() -> Optional[str]:
+    """The ``REPRO_TRACE`` environment value, or ``None`` when tracing is
+    off.
+
+    ``0``/``false``/``off``/``no`` (and unset/empty) disable tracing;
+    ``1``/``true``/``on``/``yes`` enable it at the CLI's default trace
+    path; anything else is taken as an explicit trace-file path.  Like
+    ``REPRO_FAULT_PLAN`` this is a CLI-level default (``--trace``
+    overrides it) — the library only traces when its options carry a path
+    explicitly.
+    """
+    raw = os.environ.get("REPRO_TRACE", "").strip()
+    if raw.lower() in ("", "0", "false", "off", "no"):
+        return None
+    return raw
+
+
 def default_fault_plan_path() -> Optional[str]:
     """Path to a fault-plan JSON file from ``REPRO_FAULT_PLAN``, or None.
 

@@ -42,6 +42,7 @@ from ..errors import (
     SimulationError,
     WorkloadError,
 )
+from ..obs.tracer import Tracer, active_metrics, active_tracer, obs_scope
 from ..parallel.artifacts import ArtifactCache, canonical_key
 from ..parallel.executor import (
     DEFAULT_JOB_TIMEOUT_S,
@@ -113,6 +114,10 @@ class LoopPointOptions:
     #: Append-only run-journal path enabling ``run(resume=True)``; ``None``
     #: disables journaling.
     manifest_path: Optional[str] = None
+    #: Span-trace output path (JSON lines, appended next to the manifest by
+    #: the CLI); ``None`` disables tracing — the instrumented seams then hit
+    #: the :data:`repro.obs.tracer.NULL_TRACER` fast path.
+    trace_path: Optional[str] = None
     #: What to do with a region that fails its retries *and* the in-parent
     #: serial fallback: raise (``FAIL``, the default), re-simulate it
     #: binary-driven (``FALLBACK``, constrained mode only), or drop it and
@@ -268,6 +273,9 @@ class LoopPointPipeline:
         )
         #: Stages the manifest says completed in the run being resumed.
         self._resume_stages: Set[str] = set()
+        #: Summary of the last run's trace (path, trace id, span count);
+        #: ``None`` when tracing is off.
+        self.last_trace: Optional[Dict[str, Any]] = None
 
     # -- cache key material -------------------------------------------------
     #
@@ -355,9 +363,15 @@ class LoopPointPipeline:
                         stage=stage, error=error, action="retried",
                         attempts=attempt,
                     ))
+                    active_tracer().set_current("retry_round", attempt)
+                    reg = active_metrics()
+                    if reg is not None:
+                        reg.inc("stage.retries")
                     delay = policy.delay(attempt, key=stage)
                     if delay > 0:
                         time.sleep(delay)
+                        if reg is not None:
+                            reg.observe("retry.backoff_seconds", delay)
                     continue
                 self.health.record(FailureRecord(
                     stage=stage, error=error, action="raised",
@@ -375,36 +389,39 @@ class LoopPointPipeline:
         """Cache-load → (retrying) compute → cache-store one stage artifact,
         journaling every transition in the run manifest."""
         key = canonical_key(material)
-        cached: Any = None
-        if self.artifacts is not None:
-            cached = self.artifacts.load(stage, material)
-            if not isinstance(cached, kind):
-                cached = None
-        if cached is not None:
+        with active_tracer().span(f"stage:{stage}", stage=stage) as span:
+            cached: Any = None
+            if self.artifacts is not None:
+                cached = self.artifacts.load(stage, material)
+                if not isinstance(cached, kind):
+                    cached = None
+            if cached is not None:
+                span.set("cache", "hit")
+                if stage in self._resume_stages:
+                    self.health.resumed_stages.append(stage)
+                if self._manifest is not None:
+                    self._manifest.done(stage, key, source="cache")
+                maybe_inject(PIPELINE_ABORT, f"after:{stage}")
+                return cached
+            span.set("cache", "miss")
             if stage in self._resume_stages:
-                self.health.resumed_stages.append(stage)
+                # The journal says this stage completed, but its artifact is
+                # gone (wiped cache, corrupt file evicted on load).  Recompute
+                # loudly rather than fail the resume.
+                self.health.record(FailureRecord(
+                    stage=stage,
+                    error="resume: cached artifact missing or corrupt",
+                    action="recomputed",
+                ))
             if self._manifest is not None:
-                self._manifest.done(stage, key, source="cache")
+                self._manifest.begin(stage, key)
+            artifact = self._with_stage_retry(stage, key, compute)
+            if self.artifacts is not None:
+                self.artifacts.store(stage, material, artifact)
+            if self._manifest is not None:
+                self._manifest.done(stage, key, source="computed")
             maybe_inject(PIPELINE_ABORT, f"after:{stage}")
-            return cached
-        if stage in self._resume_stages:
-            # The journal says this stage completed, but its artifact is
-            # gone (wiped cache, corrupt file evicted on load).  Recompute
-            # loudly rather than fail the resume.
-            self.health.record(FailureRecord(
-                stage=stage,
-                error="resume: cached artifact missing or corrupt",
-                action="recomputed",
-            ))
-        if self._manifest is not None:
-            self._manifest.begin(stage, key)
-        artifact = self._with_stage_retry(stage, key, compute)
-        if self.artifacts is not None:
-            self.artifacts.store(stage, material, artifact)
-        if self._manifest is not None:
-            self._manifest.done(stage, key, source="computed")
-        maybe_inject(PIPELINE_ABORT, f"after:{stage}")
-        return artifact
+            return artifact
 
     def _compute_record(self) -> Pinball:
         w = self.workload
@@ -585,6 +602,7 @@ class LoopPointPipeline:
                     )[0]
                 except (KeyError, ReproError) as exc:
                     self.health.dropped_regions.append(job_id)
+                    self._note_degrade("degrade.dropped")
                     self.health.record(FailureRecord(
                         stage="simulate",
                         error=f"{error}; binary-driven fallback also "
@@ -595,6 +613,7 @@ class LoopPointPipeline:
                     continue
                 results_by_id[job_id] = result
                 self.health.fallback_regions.append(job_id)
+                self._note_degrade("degrade.fallback")
                 self.health.record(FailureRecord(
                     stage="simulate", error=error, action="fallback",
                     region_id=job_id, attempts=attempts,
@@ -604,6 +623,7 @@ class LoopPointPipeline:
             # other simulation mode left to fall back to.
             for job_id, error in sorted(outcome.failures.items()):
                 self.health.dropped_regions.append(job_id)
+                self._note_degrade("degrade.dropped")
                 self.health.record(FailureRecord(
                     stage="simulate", error=error, action="dropped",
                     region_id=job_id, attempts=attempts,
@@ -612,6 +632,12 @@ class LoopPointPipeline:
             results_by_id[j.job_id] for j in jobs
             if j.job_id in results_by_id
         ]
+
+    @staticmethod
+    def _note_degrade(counter: str) -> None:
+        reg = active_metrics()
+        if reg is not None:
+            reg.inc(counter)
 
     def simulate_regions(self) -> List[SimulationResult]:
         """Stage 4 (binary-driven): detailed simulation of all looppoints.
@@ -768,6 +794,45 @@ class LoopPointPipeline:
             resumable.append(stage)
         self._resume_stages = set(resumable)
         self._manifest.mark_resume(resumable)
+        self._restore_resumed_stages()
+
+    def _restore_resumed_stages(self) -> None:
+        """Prime the stage memos from the cache, in pipeline order.
+
+        Without this, a resumed run whose *last* completed stage hits the
+        cache never consults the upstream artifacts at all (``select``'s
+        memo short-circuits the lazy ``record``/``profile`` loads), so the
+        cache counters — and the ``[cache]`` stats line the CLI prints —
+        claim resume reused nothing.  Restoring proactively counts every
+        restore-time read as the cache hit it is.
+
+        A restore miss (wiped cache, corrupt artifact) leaves the memo
+        unset: the stage then recomputes through :meth:`_stage_artifact`,
+        which records the loud "cached artifact missing or corrupt"
+        failure.
+        """
+        assert self.artifacts is not None
+        loaders = (
+            ("record", self._record_material, Pinball, "_pinball"),
+            ("profile", self._profile_material, ProfileData, "_profile"),
+            ("select", self._select_material, SimPointSelection,
+             "_selection"),
+        )
+        with active_tracer().span("stage:restore", stage="restore"):
+            for stage, material_fn, kind, attr in loaders:
+                if stage not in self._resume_stages:
+                    continue
+                material = material_fn()
+                cached = self.artifacts.load(stage, material)
+                if not isinstance(cached, kind):
+                    continue
+                setattr(self, attr, cached)
+                self.health.resumed_stages.append(stage)
+                if self._manifest is not None:
+                    self._manifest.done(
+                        stage, canonical_key(material), source="cache"
+                    )
+                maybe_inject(PIPELINE_ABORT, f"after:{stage}")
 
     # -- the headline entry point -------------------------------------------
 
@@ -788,8 +853,23 @@ class LoopPointPipeline:
         ``cache_dir``.
         """
         self.health = RunHealth()
-        with fault_scope(self.options.fault_plan):
-            return self._run(simulate_full, constrained, resume)
+        tracer = None
+        if self.options.trace_path:
+            tracer = Tracer(
+                self.options.trace_path,
+                workload=self.workload.full_name,
+                mode="constrained" if constrained else "binary",
+                jobs=self.options.resolved_jobs(),
+            )
+        try:
+            with obs_scope(tracer), fault_scope(self.options.fault_plan):
+                with active_tracer().span(
+                    "run", workload=self.workload.full_name, resume=resume
+                ):
+                    return self._run(simulate_full, constrained, resume)
+        finally:
+            if tracer is not None:
+                self.last_trace = tracer.finish()
 
     def _run(
         self, simulate_full: bool, constrained: bool, resume: bool
@@ -804,23 +884,33 @@ class LoopPointPipeline:
         sim_key = f"{stage_keys['select']}:" + (
             "constrained" if constrained else "binary"
         )
+        tracer = active_tracer()
         if self._manifest is not None:
             self._manifest.begin("simulate", sim_key)
-        if constrained:
-            region_results = self.simulate_regions_constrained()
-        else:
-            region_results = self.simulate_regions()
+        with tracer.span(
+            "stage:simulate", stage="simulate",
+            mode="constrained" if constrained else "binary",
+            regions=len(selection.clusters),
+        ):
+            if constrained:
+                region_results = self.simulate_regions_constrained()
+            else:
+                region_results = self.simulate_regions()
         if self._manifest is not None:
             self._manifest.done("simulate", sim_key)
         maybe_inject(PIPELINE_ABORT, "after:simulate")
-        clusters = list(selection.clusters)
-        if self.health.dropped_regions:
-            clusters, coverage = renormalize_clusters(
-                clusters, set(self.health.dropped_regions)
-            )
-            self.health.retained_coverage = coverage
-        predicted = extrapolate_metrics(region_results, clusters)
-        actual = self.simulate_full().metrics if simulate_full else None
+        with tracer.span("stage:extrapolate", stage="extrapolate"):
+            clusters = list(selection.clusters)
+            if self.health.dropped_regions:
+                clusters, coverage = renormalize_clusters(
+                    clusters, set(self.health.dropped_regions)
+                )
+                self.health.retained_coverage = coverage
+            predicted = extrapolate_metrics(region_results, clusters)
+        actual = None
+        if simulate_full:
+            with tracer.span("stage:fullsim", stage="fullsim"):
+                actual = self.simulate_full().metrics
         scale = self.options.resolved_scale()
         speedup = compute_speedups(
             profile,
@@ -835,7 +925,8 @@ class LoopPointPipeline:
             # top-level import would be circular.
             from ..lint.runner import lint_pipeline
 
-            lint_report = lint_pipeline(self)
+            with tracer.span("stage:lint", stage="lint"):
+                lint_report = lint_pipeline(self)
         if self._manifest is not None:
             self._manifest.complete_run({
                 "predicted_cycles": predicted.cycles,

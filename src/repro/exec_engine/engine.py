@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..config import default_batch_events
 from ..errors import DeadlockError, ExecutionError
+from ..obs.tracer import active_metrics
 from ..isa.blocks import BasicBlock
 from ..isa.image import Program
 from ..perf.ring import DEFAULT_CAPACITY, EventRing
@@ -454,6 +455,14 @@ class ExecutionEngine:
             self.exec_counts = ring.exec_counts()  # flushes the ring
         for ob in self.observers:
             ob.on_finish()
+        reg = active_metrics()
+        if reg is not None:  # once per run, never per event
+            reg.inc("engine.runs")
+            reg.inc("engine.events", num_events)
+            if ring is not None:
+                reg.inc("engine.ring.flushes", ring.flushes)
+                reg.inc("engine.ring.small_flushes", ring.small_flushes)
+                reg.inc("engine.ring.events_flushed", ring.events_flushed)
         return EngineResult(
             total_instructions=self.total_instructions,
             filtered_instructions=self.filtered_instructions,

@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the two-replay boundary-invariance check (MARK004)",
     )
     parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="lint a run's span-trace file (OBS001/OBS002) instead of a "
+             "workload; the positional program argument is ignored",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list every lint rule and exit",
     )
@@ -82,6 +87,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         print(list_rules())
         return 0
+
+    if args.trace:
+        from .obs_passes import lint_trace_file
+
+        try:
+            report = lint_trace_file(
+                args.trace, disable=frozenset(args.disable)
+            )
+        except ReproError as exc:
+            print(f"[repro-lint] {args.trace} FAILED: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            print(report.to_json() if args.json else report.render_table())
+        except BrokenPipeError:
+            sys.stderr.close()
+        return report.exit_code
 
     try:
         options = LintOptions(

@@ -142,6 +142,18 @@ RULES: Dict[str, Rule] = _registry([
          "perf design: a bounded trace keeps lint replays from exhausting "
          "memory, but dropped events mean block-level evidence is "
          "incomplete — findings remain valid, absences do not"),
+    # -- observability passes ---------------------------------------------
+    Rule("OBS001", Severity.ERROR,
+         "malformed span tree in a run trace",
+         "obs design: spans are written on close, so an unclosed span, a "
+         "worker span with no parent, or a child outside its parent's "
+         "interval is evidence of a crashed/hung stage or broken "
+         "cross-process stitching"),
+    Rule("OBS002", Severity.WARNING,
+         "trace parse was bounded: truncated or corrupt lines skipped",
+         "obs design: the bounded reader keeps damaged or huge traces "
+         "from exhausting memory; findings on the parsed prefix remain "
+         "valid, absences do not"),
 ])
 
 

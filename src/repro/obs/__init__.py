@@ -1,0 +1,62 @@
+"""Observability for pipeline runs: span tracing, metrics, reporting.
+
+Public surface:
+
+* :class:`Tracer` / :class:`NullTracer` / :func:`obs_scope` — span tracing
+  with the fault-scope installation pattern; :func:`active_tracer` and
+  :func:`active_metrics` are the instrumentation seams.
+* :class:`MetricsRegistry` — deterministic counters/gauges/histograms.
+* :class:`Console` — the CLI's single status-line code path.
+* :func:`read_trace` / :func:`render_report` — trace files back to humans
+  (the ``repro-obs`` CLI wraps these).
+"""
+
+from .console import Console
+from .metrics import BUCKET_BOUNDS, Histogram, MetricsRegistry
+from .report import folded_stacks, render_diff, render_report
+from .trace import (
+    DEFAULT_LIMITS,
+    SpanRecord,
+    TraceData,
+    TraceError,
+    TraceLimits,
+    read_trace,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanContext,
+    TRACE_SCHEMA,
+    Tracer,
+    active_metrics,
+    active_tracer,
+    obs_scope,
+    worker_tracer,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Console",
+    "DEFAULT_LIMITS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "SpanRecord",
+    "TRACE_SCHEMA",
+    "TraceData",
+    "TraceError",
+    "TraceLimits",
+    "Tracer",
+    "active_metrics",
+    "active_tracer",
+    "folded_stacks",
+    "obs_scope",
+    "read_trace",
+    "render_diff",
+    "render_report",
+    "worker_tracer",
+]

@@ -1,0 +1,88 @@
+"""``repro-obs``: read a run's trace file and explain where time went.
+
+Examples::
+
+    repro-obs report /tmp/cache/demo-matrix-1.trace.jsonl
+    repro-obs folded trace.jsonl -o stacks.folded
+    repro-obs diff before.trace.jsonl after.trace.jsonl
+
+``report`` renders the per-stage/per-region breakdown and the parallel
+critical-path summary; ``folded`` exports flamegraph-style folded stacks;
+``diff`` compares two runs' stage walls and deterministic counters for
+regression triage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .report import folded_stacks, render_diff, render_report
+from .trace import DEFAULT_LIMITS, TraceError, TraceLimits, read_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--max-bytes", type=int, default=DEFAULT_LIMITS.max_bytes,
+        help="parser byte budget per trace (bounded reads; default 64MiB)",
+    )
+    parser.add_argument(
+        "--max-spans", type=int, default=DEFAULT_LIMITS.max_spans,
+        help="parser span budget per trace (default 500000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="stage/region time breakdown")
+    report.add_argument("trace", help="trace file (JSON lines)")
+
+    folded = sub.add_parser(
+        "folded", help="flamegraph-style folded-stacks export"
+    )
+    folded.add_argument("trace", help="trace file (JSON lines)")
+    folded.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write folded stacks here (default: stdout)",
+    )
+
+    diff = sub.add_parser("diff", help="compare two runs' traces")
+    diff.add_argument("trace_a", help="baseline trace file")
+    diff.add_argument("trace_b", help="comparison trace file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    limits = TraceLimits(max_bytes=args.max_bytes, max_spans=args.max_spans)
+    try:
+        if args.command == "report":
+            print(render_report(read_trace(args.trace, limits)))
+        elif args.command == "folded":
+            text = folded_stacks(read_trace(args.trace, limits))
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as fh:
+                    fh.write(text + "\n")
+                print(f"wrote {args.output}", file=sys.stderr)
+            else:
+                print(text)
+        elif args.command == "diff":
+            print(render_diff(
+                read_trace(args.trace_a, limits),
+                read_trace(args.trace_b, limits),
+            ))
+    except TraceError as exc:
+        print(f"repro-obs: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `repro-obs report ... | head`
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

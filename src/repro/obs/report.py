@@ -1,0 +1,252 @@
+"""Rendering a parsed trace: stage breakdown, critical path, folded
+stacks, and run-vs-run diff.
+
+The stage table aggregates the *top-level* spans (direct children of the
+run root): the pipeline runs its stages sequentially, so their wall times
+partition the run wall time, and the table's footer reports exactly that
+coverage (the residue is un-spanned glue).  Nested stage spans (``record``
+computing lazily inside ``profile``) show with their ancestry path, so no
+time is double-counted at the top level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .trace import SpanRecord, TraceData
+
+
+def _ascii_table(headers, rows, title=""):
+    # Imported lazily: the analysis package pulls in the whole pipeline,
+    # which itself imports repro.obs for instrumentation — a top-level
+    # import here would be circular.
+    from ..analysis.tables import ascii_table
+
+    return ascii_table(headers, rows, title=title)
+
+
+def _span_paths(trace: TraceData) -> List[Tuple[str, SpanRecord]]:
+    """Every span with its ``root;...;name`` ancestry path (cycle-safe)."""
+    by_id = trace.by_id()
+    out: List[Tuple[str, SpanRecord]] = []
+    for span in trace.spans:
+        names = [span.name]
+        seen = {span.span_id}
+        cursor = span
+        while cursor.parent is not None:
+            parent = by_id.get(cursor.parent)
+            if parent is None or parent.span_id in seen:
+                break
+            names.append(parent.name)
+            seen.add(parent.span_id)
+            cursor = parent
+        out.append((";".join(reversed(names)), span))
+    return out
+
+
+def _self_seconds(trace: TraceData) -> Dict[str, float]:
+    """Span id -> wall time not covered by its children (clamped >= 0:
+    parallel children can legitimately overlap their parent)."""
+    children = trace.children()
+    out: Dict[str, float] = {}
+    for span in trace.spans:
+        child_total = sum(c.dur for c in children.get(span.span_id, []))
+        out[span.span_id] = max(0.0, span.dur - child_total)
+    return out
+
+
+def _run_root(trace: TraceData) -> Optional[SpanRecord]:
+    roots = trace.roots()
+    if not roots:
+        return None
+    # A well-formed trace has exactly one root ("run"); tolerate more by
+    # taking the longest.
+    return max(roots, key=lambda s: s.dur)
+
+
+def stage_breakdown(
+    trace: TraceData,
+) -> Tuple[List[List[object]], float, float]:
+    """(rows, stage_total_seconds, run_seconds) of the top-level table."""
+    root = _run_root(trace)
+    run_dur = root.dur if root is not None else 0.0
+    children = trace.children()
+    top = children.get(root.span_id, []) if root is not None else []
+    agg: Dict[str, List[float]] = {}
+    order: List[str] = []
+    for span in sorted(top, key=lambda s: s.t0):
+        if span.name not in agg:
+            agg[span.name] = [0, 0.0, 0.0]
+            order.append(span.name)
+        entry = agg[span.name]
+        entry[0] += 1
+        entry[1] += span.dur
+        entry[2] += span.cpu
+    rows: List[List[object]] = []
+    total = 0.0
+    for name in order:
+        count, wall, cpu = agg[name]
+        total += wall
+        pct = 100.0 * wall / run_dur if run_dur > 0 else 0.0
+        rows.append([name, int(count), f"{wall:.4f}s", f"{cpu:.4f}s",
+                     f"{pct:.1f}%"])
+    return rows, total, run_dur
+
+
+def region_breakdown(trace: TraceData) -> List[List[object]]:
+    """Aggregate ``region:*`` spans across processes: the per-region cost
+    picture for parallel runs (worker spans included)."""
+    regions = [s for s in trace.spans if s.name.startswith("region:")]
+    agg: Dict[str, List[float]] = {}
+    for span in regions:
+        entry = agg.setdefault(span.name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span.dur
+        entry[2] = max(entry[2], span.dur)
+    rows = []
+    for name in sorted(agg, key=lambda n: -agg[n][1]):
+        count, wall, worst = agg[name]
+        rows.append([name, int(count), f"{wall:.4f}s", f"{worst:.4f}s"])
+    return rows
+
+
+def critical_path_lines(trace: TraceData) -> List[str]:
+    """One line per fan-out: busy vs elapsed, the critical region, and
+    worker efficiency — the parallel-run summary the paper's speedup
+    argument needs."""
+    children = trace.children()
+    lines = []
+    for span in trace.spans:
+        if span.name != "fanout":
+            continue
+        workers = int(span.attrs.get("workers", 1) or 1)
+        regions = [
+            c for c in children.get(span.span_id, [])
+            if c.name.startswith("region:")
+        ]
+        busy = sum(c.dur for c in regions)
+        crit = max(regions, key=lambda c: c.dur) if regions else None
+        efficiency = (
+            busy / (workers * span.dur)
+            if workers > 0 and span.dur > 0 else 0.0
+        )
+        crit_text = (
+            f"critical {crit.name} {crit.dur:.4f}s" if crit is not None
+            else "no region spans"
+        )
+        lines.append(
+            f"fanout[{span.span_id}]: {len(regions)} region span(s) on "
+            f"{workers} worker(s), elapsed {span.dur:.4f}s, busy "
+            f"{busy:.4f}s, {crit_text}, efficiency {efficiency:.0%}"
+        )
+    if not lines:
+        lines.append("no fan-out spans (serial run, or simulate was cached)")
+    return lines
+
+
+def folded_stacks(trace: TraceData) -> str:
+    """Flamegraph-style folded stacks: ``a;b;c <self-microseconds>``.
+
+    Feed to any standard ``flamegraph.pl``-compatible renderer.  Values
+    are self times so stack totals reconstruct parent walls.
+    """
+    self_s = _self_seconds(trace)
+    totals: Dict[str, int] = {}
+    for path, span in _span_paths(trace):
+        micros = int(round(self_s[span.span_id] * 1e6))
+        totals[path] = totals.get(path, 0) + micros
+    return "\n".join(f"{path} {value}" for path, value in sorted(totals.items()))
+
+
+def render_report(trace: TraceData) -> str:
+    """The full ``repro-obs report`` text for one trace."""
+    header = [
+        f"trace {trace.trace_id} ({trace.path})",
+        f"  segments={trace.segments} spans={len(trace.spans)} "
+        f"processes={len(trace.clocks)} "
+        f"metrics_records={len(trace.metrics)}"
+        + (" TRUNCATED" if trace.truncated else "")
+        + (f" corrupt_lines={trace.corrupt_lines}"
+           if trace.corrupt_lines else ""),
+    ]
+    if trace.meta:
+        meta = " ".join(f"{k}={v}" for k, v in sorted(trace.meta.items()))
+        header.append(f"  {meta}")
+    parts = ["\n".join(header)]
+    rows, total, run_dur = stage_breakdown(trace)
+    if rows:
+        table = _ascii_table(
+            ["stage", "count", "wall", "cpu", "of run"], rows,
+            title="per-stage breakdown (top-level spans)",
+        )
+        coverage = 100.0 * total / run_dur if run_dur > 0 else 0.0
+        parts.append(
+            f"{table}\n  stages cover {total:.4f}s of the "
+            f"{run_dur:.4f}s run ({coverage:.1f}%)"
+        )
+    else:
+        parts.append("no completed top-level spans (crashed run?)")
+    region_rows = region_breakdown(trace)
+    if region_rows:
+        parts.append(_ascii_table(
+            ["region", "attempts", "wall", "worst"], region_rows,
+            title="per-region cost (all processes)",
+        ))
+    parts.append("critical path\n  " + "\n  ".join(critical_path_lines(trace)))
+    counters = trace.counters()
+    if counters:
+        counter_rows = [[name, counters[name]] for name in sorted(counters)]
+        parts.append(_ascii_table(["counter", "value"], counter_rows,
+                                 title="counters (parent + workers)"))
+    return "\n\n".join(parts)
+
+
+def _stage_walls(trace: TraceData) -> Dict[str, float]:
+    rows, _, _ = stage_breakdown(trace)
+    return {str(row[0]): float(str(row[2]).rstrip("s")) for row in rows}
+
+
+def render_diff(a: TraceData, b: TraceData) -> str:
+    """Stage walls and counters of trace ``b`` relative to ``a``."""
+    walls_a, walls_b = _stage_walls(a), _stage_walls(b)
+    rows = []
+    for name in sorted(set(walls_a) | set(walls_b)):
+        wa = walls_a.get(name)
+        wb = walls_b.get(name)
+        delta = (wb or 0.0) - (wa or 0.0)
+        if wa and wb:
+            rel = f"{100.0 * (wb - wa) / wa:+.1f}%"
+        else:
+            rel = "only in A" if wb is None else (
+                "only in B" if wa is None else "--"
+            )
+        rows.append([
+            name,
+            f"{wa:.4f}s" if wa is not None else "--",
+            f"{wb:.4f}s" if wb is not None else "--",
+            f"{delta:+.4f}s",
+            rel,
+        ])
+    parts = [
+        f"A: trace {a.trace_id} ({a.path})\nB: trace {b.trace_id} ({b.path})"
+    ]
+    if rows:
+        parts.append(_ascii_table(
+            ["stage", "A wall", "B wall", "delta", "rel"], rows,
+            title="stage wall times, A vs B",
+        ))
+    counters_a, counters_b = a.counters(), b.counters()
+    counter_rows = []
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va = counters_a.get(name, 0)
+        vb = counters_b.get(name, 0)
+        if va != vb:
+            counter_rows.append([name, va, vb, vb - va])
+    if counter_rows:
+        parts.append(_ascii_table(
+            ["counter", "A", "B", "delta"], counter_rows,
+            title="counters that differ",
+        ))
+    else:
+        parts.append("counters identical (deterministic telemetry)")
+    return "\n\n".join(parts)

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from ..errors import CacheError
+from ..obs.tracer import active_metrics
 from ..resilience import CACHE_CORRUPT, should_fire
 
 #: Bump when any cached stage's semantics change.
@@ -69,6 +70,7 @@ class ArtifactCache:
         self.hits: Counter = Counter()
         self.misses: Counter = Counter()
         self.stores: Counter = Counter()
+        self.evictions: Counter = Counter()
         #: Last load outcome per stage ("hit"/"miss"), for the stats line.
         self.last_outcome: Dict[str, str] = {}
         try:
@@ -99,7 +101,7 @@ class ArtifactCache:
             with gzip.open(path, "rb") as fh:
                 payload = pickle.load(fh)
         except Exception:
-            self._evict_corrupt(path)
+            self._evict_corrupt(stage, path)
             self._miss(stage)
             return None
         if (
@@ -109,11 +111,14 @@ class ArtifactCache:
             or payload[1] != CACHE_VERSION
             or payload[2] != material
         ):
-            self._evict_corrupt(path)
+            self._evict_corrupt(stage, path)
             self._miss(stage)
             return None
         self.hits[stage] += 1
         self.last_outcome[stage] = "hit"
+        reg = active_metrics()
+        if reg is not None:
+            reg.inc("cache.hits")
         return payload[3]
 
     def store(self, stage: str, material: Dict[str, Any], artifact: Any) -> None:
@@ -137,6 +142,9 @@ class ArtifactCache:
                 pass
             raise
         self.stores[stage] += 1
+        reg = active_metrics()
+        if reg is not None:
+            reg.inc("cache.stores")
         spec = should_fire(CACHE_CORRUPT, f"{stage}:{key}")
         if spec is not None:
             self._damage(path, spec.mode)
@@ -168,8 +176,15 @@ class ArtifactCache:
     def _miss(self, stage: str) -> None:
         self.misses[stage] += 1
         self.last_outcome[stage] = "miss"
+        reg = active_metrics()
+        if reg is not None:
+            reg.inc("cache.misses")
 
-    def _evict_corrupt(self, path: Path) -> None:
+    def _evict_corrupt(self, stage: str, path: Path) -> None:
+        self.evictions[stage] += 1
+        reg = active_metrics()
+        if reg is not None:
+            reg.inc("cache.evictions")
         try:
             path.unlink()
         except OSError:
@@ -185,6 +200,7 @@ class ArtifactCache:
         totals = (
             f"hits={sum(self.hits.values())} "
             f"misses={sum(self.misses.values())} "
-            f"stores={sum(self.stores.values())}"
+            f"stores={sum(self.stores.values())} "
+            f"evictions={sum(self.evictions.values())}"
         )
         return f"{outcomes} | {totals}".strip(" |")

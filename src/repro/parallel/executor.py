@@ -49,6 +49,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..obs.tracer import (
+    SpanContext,
+    active_metrics,
+    active_tracer,
+    obs_scope,
+    worker_tracer,
+)
 from ..resilience import FaultPlan, RetryPolicy, fault_scope, perform_worker_faults
 from ..timing.mcsim import SimulationResult
 from .jobs import RegionJob, execute_region_job
@@ -114,19 +121,38 @@ def _timed_job(job: RegionJob) -> Tuple[int, SimulationResult, float]:
 
 
 def _pool_timed_job(
-    job: RegionJob, attempt: int, plan: Optional[FaultPlan]
+    job: RegionJob,
+    attempt: int,
+    plan: Optional[FaultPlan],
+    ctx: Optional[SpanContext] = None,
 ) -> Tuple[int, SimulationResult, float]:
     """Worker-process entry point: fire worker-site faults, then run.
 
     Worker-site faults (crash/hang/error) fire *only* here — never in the
     parent's serial paths — so an injected crash takes out a disposable
     worker process, not the run.
+
+    ``ctx`` stitches the worker's region span into the parent trace: the
+    span parents into the dispatching ``fanout`` span and is written to the
+    shared trace file when (and only when) the job finishes — a crashed or
+    hung worker leaves no span, which is exactly what OBS001 looks for.
     """
-    if plan is None:
-        return _timed_job(job)
-    perform_worker_faults(plan, job.job_id, attempt)
-    with fault_scope(plan):
-        return _timed_job(job)
+    tracer = worker_tracer(ctx)
+    with obs_scope(tracer):
+        with tracer.span(
+            f"region:{job.job_id}",
+            parent=ctx.span_id if ctx is not None else None,
+            region=job.job_id,
+            attempt=attempt,
+        ):
+            if plan is None:
+                out = _timed_job(job)
+            else:
+                perform_worker_faults(plan, job.job_id, attempt)
+                with fault_scope(plan):
+                    out = _timed_job(job)
+        tracer.emit_metrics(scope=f"job:{job.job_id}", reset=True)
+    return out
 
 
 def _run_serial(
@@ -141,11 +167,16 @@ def _run_serial(
     failures: Dict[int, str] = {}
     total_retries = 0
     backoff_seconds = 0.0
+    tracer = active_tracer()
     for job in jobs:
         attempt = 0
         while True:
             try:
-                job_id, result, seconds = _timed_job(job)
+                with tracer.span(
+                    f"region:{job.job_id}", region=job.job_id,
+                    attempt=attempt,
+                ):
+                    job_id, result, seconds = _timed_job(job)
                 done[job_id] = result
                 per_job[job_id] = seconds
                 break
@@ -247,15 +278,38 @@ def run_region_jobs(
                     serial_seconds=0.0, elapsed_seconds=0.0,
                 ),
             )
-        if workers <= 1 or len(jobs) == 1:
-            return _run_serial(
-                jobs, retries=retries, backoff=backoff,
-                raise_on_failure=raise_on_failure,
-            )
-        return _run_pool(
-            jobs, workers, timeout_s, retries, backoff,
-            fault_plan, raise_on_failure,
-        )
+        serial = workers <= 1 or len(jobs) == 1
+        with active_tracer().span(
+            "fanout", jobs=len(jobs), workers=max(1, workers),
+            mode="serial" if serial else "pool",
+        ) as span:
+            if serial:
+                outcome = _run_serial(
+                    jobs, retries=retries, backoff=backoff,
+                    raise_on_failure=raise_on_failure,
+                )
+            else:
+                outcome = _run_pool(
+                    jobs, workers, timeout_s, retries, backoff,
+                    fault_plan, raise_on_failure,
+                )
+            span.set("retries", outcome.stats.retries)
+            span.set("serial_fallbacks", outcome.stats.serial_fallbacks)
+        _report_fanout(outcome.stats)
+        return outcome
+
+
+def _report_fanout(stats: ExecutionStats) -> None:
+    reg = active_metrics()
+    if reg is None:
+        return
+    reg.inc("fanout.runs")
+    reg.inc("fanout.jobs", stats.num_jobs)
+    reg.inc("fanout.retries", stats.retries)
+    reg.inc("fanout.serial_fallbacks", stats.serial_fallbacks)
+    reg.inc("fanout.failed_jobs", len(stats.failed_jobs))
+    if stats.backoff_seconds > 0:
+        reg.observe("fanout.backoff_seconds", stats.backoff_seconds)
 
 
 def _run_pool(
@@ -268,6 +322,8 @@ def _run_pool(
     raise_on_failure: bool,
 ) -> ExecutionOutcome:
     t0 = time.perf_counter()
+    tracer = active_tracer()
+    ctx = tracer.current_context()
     by_id = {job.job_id: job for job in jobs}
     if len(by_id) != len(jobs):
         raise SimulationError("region jobs have duplicate job ids")
@@ -289,7 +345,8 @@ def _run_pool(
         try:
             for job in pending:
                 future = pool.submit(
-                    _pool_timed_job, job, attempts[job.job_id], fault_plan
+                    _pool_timed_job, job, attempts[job.job_id], fault_plan,
+                    ctx,
                 )
                 fut_to_id[future] = job.job_id
             # One shared deadline per round: the slowest schedule is
@@ -362,7 +419,10 @@ def _run_pool(
 
     for job in fallbacks:
         try:
-            job_id, result, seconds = _timed_job(job)
+            with tracer.span(
+                f"region:{job.job_id}", region=job.job_id, fallback=True,
+            ):
+                job_id, result, seconds = _timed_job(job)
             done[job_id] = result
             per_job[job_id] = seconds
         except Exception as exc:

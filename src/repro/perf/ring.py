@@ -195,6 +195,12 @@ class EventRing:
         self._tids: List[int] = []
         self._bids: List[int] = []
         self._repeats: List[int] = []
+        # Flush accounting (plain ints: incremented once per *flush*, never
+        # per event, so the hot path stays inside the perf-smoke floors).
+        # Drivers report these to repro.obs's active registry at end of run.
+        self.flushes = 0
+        self.small_flushes = 0
+        self.events_flushed = 0
 
     def append(self, tid: int, bid: int, repeat: int) -> None:
         """Buffer one block event; flushes automatically at capacity."""
@@ -223,6 +229,8 @@ class EventRing:
         if size < SMALL_BATCH_THRESHOLD:
             self._flush_small(size)
             return
+        self.flushes += 1
+        self.events_flushed += size
         tid = np.array(self._tids, dtype=np.int64)
         bid = np.array(self._bids, dtype=np.int64)
         repeat = np.array(self._repeats, dtype=np.int64)
@@ -252,6 +260,8 @@ class EventRing:
         calls the base-class shim would make, same count-table advance),
         just cheaper below :data:`SMALL_BATCH_THRESHOLD`.
         """
+        self.small_flushes += 1
+        self.events_flushed += size
         tids = self._tids
         bids = self._bids
         repeats = self._repeats

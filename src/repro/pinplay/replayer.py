@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 from ..config import default_batch_events
 from ..errors import ReplayError
 from ..exec_engine.engine import EngineResult
+from ..obs.tracer import active_metrics
 from ..exec_engine.observers import Observer
 from ..isa.image import Program
 from ..perf.ring import DEFAULT_CAPACITY, EventRing
@@ -208,6 +209,14 @@ class ConstrainedReplayer:
             self.exec_counts = ring.exec_counts()  # flushes the ring
         for ob in self.observers:
             ob.on_finish()
+        reg = active_metrics()
+        if reg is not None:  # once per replay, never per event
+            reg.inc("replay.runs")
+            reg.inc("replay.events", self.num_events)
+            if ring is not None:
+                reg.inc("replay.ring.flushes", ring.flushes)
+                reg.inc("replay.ring.small_flushes", ring.small_flushes)
+                reg.inc("replay.ring.events_flushed", ring.events_flushed)
         return EngineResult(
             total_instructions=self.total_instructions,
             filtered_instructions=self.filtered_instructions,
