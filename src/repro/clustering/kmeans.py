@@ -133,7 +133,8 @@ def kmeans(
         centroids = _kmeanspp_init(points, k, rng)
     labels = np.zeros(n, dtype=np.int64)
     iterations = 0
-    for iterations in range(1, max_iter + 1):
+    # The counter is read after the loop for the iteration report.
+    for iterations in range(1, max_iter + 1):  # noqa: B007
         labels, min_d2 = _assign(points, centroids, mode)
         new_centroids, wsum = weighted_means(points, labels, k, weights)
         empty = wsum == 0

@@ -751,6 +751,13 @@ class LoopPointPipeline:
             "select": canonical_key(self._select_material()),
         }
 
+    def stage_keys(self) -> Dict[str, str]:
+        """The content-address each cacheable stage resolves to under the
+        current options — what the manifest journals, what resume
+        cross-checks, and what lint's incremental engine and XAR004 audit
+        key on."""
+        return self._stage_keys()
+
     def _prepare_resume(self, stage_keys: Dict[str, str]) -> None:
         """Validate the manifest against current options and mark stages.
 

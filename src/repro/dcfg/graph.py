@@ -79,24 +79,74 @@ class DCFG:
 
 
 class DCFGBuilder(Observer):
-    """Observer that accumulates per-thread edges during a (re)play."""
+    """Observer that accumulates per-thread edges during a (re)play.
 
-    def __init__(self, program: Program, nthreads: int) -> None:
+    ``track_threads=True`` additionally keeps each thread's own edge
+    multiset, from which :meth:`thread_graph` reconstructs the per-thread
+    subgraph — what the lint dominance-certification pass reasons over
+    (a marker-dominance claim must hold on every thread's own walk, not
+    just the merged graph).  The default stays off: the merged graph is
+    all the profiling pipeline needs, and the per-thread dicts would
+    roughly double the builder's memory.
+    """
+
+    def __init__(
+        self, program: Program, nthreads: int, track_threads: bool = False
+    ) -> None:
         self.dcfg = DCFG(program)
         self._last: List[Optional[int]] = [None] * nthreads
+        self._thread_edges: Optional[List[Dict[Tuple[int, int], int]]] = (
+            [defaultdict(int) for _ in range(nthreads)]
+            if track_threads else None
+        )
 
     def on_block(self, tid: int, block, repeat: int, start_index: int) -> None:
         bid = block.bid
         dcfg = self.dcfg
         last = self._last[tid]
-        dcfg.add_edge(ENTRY if last is None else last, bid)
+        src = ENTRY if last is None else last
+        dcfg.add_edge(src, bid)
         if repeat > 1:
             dcfg.add_edge(bid, bid, repeat - 1)
         dcfg.add_node_executions(bid, repeat)
+        if self._thread_edges is not None:
+            edges = self._thread_edges[tid]
+            edges[(src, bid)] += 1
+            if repeat > 1:
+                edges[(bid, bid)] += repeat - 1
         self._last[tid] = bid
 
     def result(self) -> DCFG:
         return self.dcfg
+
+    @property
+    def tracks_threads(self) -> bool:
+        return self._thread_edges is not None
+
+    def thread_graph(self, tid: int) -> DCFG:
+        """One thread's own subgraph (requires ``track_threads=True``).
+
+        Node execution counts are derived from in-flow — every execution
+        of a block on this thread arrived over exactly one recorded edge
+        (the virtual ENTRY edge for its first block) — so the flow
+        conservation laws hold on the reconstruction by construction.
+        """
+        if self._thread_edges is None:
+            raise ProgramStructureError(
+                "DCFGBuilder was constructed without track_threads=True"
+            )
+        graph = DCFG(self.dcfg.program)
+        for (src, dst), count in self._thread_edges[tid].items():
+            graph.add_edge(src, dst, count)
+            graph.add_node_executions(dst, count)
+        return graph
+
+    def thread_graphs(self) -> List[DCFG]:
+        if self._thread_edges is None:
+            raise ProgramStructureError(
+                "DCFGBuilder was constructed without track_threads=True"
+            )
+        return [self.thread_graph(t) for t in range(len(self._thread_edges))]
 
 
 def build_dcfg_from_pinball(program: Program, pinball) -> DCFG:

@@ -8,10 +8,13 @@ replay must reproduce the recorded shared-memory/sync order.  This package
 *checks* those invariants on demand, turning silent profile corruption into
 actionable diagnostics.
 
-Four pass families:
+Pass families (the scheduling and caching unit of the incremental engine,
+:mod:`~repro.lint.incremental`):
 
 * :mod:`~repro.lint.dcfg_passes` — DCFG structure (flow conservation,
-  reachability, irreducibility, dominator self-check).
+  reachability, irreducibility, dominator self-check) plus the
+  marker-dominance certification (MARK006), built on the generic worklist
+  dataflow solver in :mod:`~repro.lint.dataflow`.
 * :mod:`~repro.lint.marker_passes` — marker validity (main-image loop
   headers only, monotone counts, two-replay invariance).
 * :mod:`~repro.lint.concurrency_passes` — the sync event stream (lock-order
@@ -19,13 +22,22 @@ Four pass families:
   integrity).
 * :mod:`~repro.lint.config_passes` — pipeline-configuration sanity versus
   the :mod:`repro.config` defaults.
+* :mod:`~repro.lint.xar_passes` — cross-artifact audits: BBV vs DCFG
+  block universes, cluster-weight reconciliation, selection/slice
+  boundary agreement, manifest vs cache keys, trace vs metrics counters.
+* :mod:`~repro.lint.obs_passes` — span-trace well-formedness.
+
+Reporting: findings baselines (:mod:`~repro.lint.baseline`) let CI fail
+only on *new* findings; :mod:`~repro.lint.sarif` exports SARIF 2.1.0 for
+code-scanning upload; ``docs/LINT_RULES.md`` is generated from the rule
+registry by :mod:`~repro.lint.rules_doc`.
 
 Entry points: the ``repro-lint`` console script, ``run-looppoint --lint``,
 and :func:`~repro.lint.runner.lint_pipeline` /
 :func:`~repro.lint.runner.lint_workload` for programmatic use.
 """
 
-from .findings import Finding, LintReport, RULES, Severity
+from .findings import Finding, LintReport, RULES, Severity, rule_families
 from .runner import LintOptions, lint_pipeline, lint_workload
 
 __all__ = [
@@ -33,6 +45,7 @@ __all__ = [
     "LintReport",
     "RULES",
     "Severity",
+    "rule_families",
     "LintOptions",
     "lint_pipeline",
     "lint_workload",

@@ -1,0 +1,132 @@
+"""Finding baselines: fail CI only on *new* findings.
+
+A baseline file records the fingerprints of findings a project has
+examined and accepted (pre-existing debt, known tool limitations).  With
+a baseline applied, matched findings move to ``LintReport.baselined`` —
+still visible in JSON/SARIF, but excluded from the table, the counts,
+and the exit code — so a gate stays green on old debt and goes red the
+moment anything *new* fires.
+
+Matching is by :attr:`~repro.lint.findings.Finding.fingerprint` — a hash
+of (rule id, location, message) — deliberately content-based: a finding
+that moves or reworded its diagnosis is a new finding, which is exactly
+when a human should look again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict
+
+from ..errors import ReproError
+from .findings import LintReport
+
+#: Bump when the baseline file layout changes incompatibly.
+BASELINE_SCHEMA = 1
+
+
+class BaselineError(ReproError):
+    """A baseline file is unreadable or structurally wrong."""
+
+
+def baseline_from_report(report: LintReport) -> Dict[str, Any]:
+    """The baseline document accepting every finding currently present.
+
+    Already-baselined findings are carried over: re-writing a baseline
+    while one is in force must not silently drop the old acceptances.
+    """
+    accepted: Dict[str, Any] = {}
+    for finding in list(report.findings) + list(report.baselined):
+        accepted[finding.fingerprint] = {
+            "rule_id": finding.rule_id,
+            "location": finding.location,
+            "message": finding.message,
+        }
+    return {
+        "schema": BASELINE_SCHEMA,
+        "subject": report.subject,
+        "findings": accepted,
+    }
+
+
+def write_baseline(report: LintReport, path: str) -> int:
+    """Write ``path`` accepting the report's findings; returns the count.
+
+    The write is atomic (temp file + rename) so a baseline consulted by
+    a concurrent CI job is never seen half-written.
+    """
+    doc = baseline_from_report(report)
+    blob = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".baseline-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return len(doc["findings"])
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Parse and structurally validate a baseline file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise BaselineError(
+            f"baseline {path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(doc, dict):
+        raise BaselineError(f"baseline {path!r} must be a JSON object")
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path!r} has schema {doc.get('schema')!r}; this "
+            f"tool reads schema {BASELINE_SCHEMA} — regenerate it with "
+            f"--write-baseline"
+        )
+    findings = doc.get("findings")
+    if not isinstance(findings, dict):
+        raise BaselineError(
+            f"baseline {path!r} is missing its 'findings' object"
+        )
+    return doc
+
+
+def apply_baseline(report: LintReport, baseline: Dict[str, Any]) -> int:
+    """Move baseline-accepted findings aside; returns how many matched.
+
+    Unmatched baseline entries (fixed findings) are simply ignored — a
+    stale acceptance is harmless, and pruning is one ``--write-baseline``
+    away.
+    """
+    accepted = set(baseline.get("findings", {}))
+    kept = []
+    matched = 0
+    for finding in report.findings:
+        if finding.fingerprint in accepted:
+            report.baselined.append(finding)
+            matched += 1
+        else:
+            kept.append(finding)
+    report.findings = kept
+    return matched
+
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BaselineError",
+    "apply_baseline",
+    "baseline_from_report",
+    "load_baseline",
+    "write_baseline",
+]

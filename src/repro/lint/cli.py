@@ -5,10 +5,14 @@ Examples::
     repro-lint demo-matrix-1 -n 8
     repro-lint demo-matrix-2 --json
     repro-lint demo-matrix-1 --disable CONF001 --no-invariance
+    repro-lint demo-matrix-1 --cache-dir .lint-cache   # incremental rerun
+    repro-lint demo-matrix-1 --baseline ci/lint-baseline.json
+    repro-lint demo-matrix-1 --sarif lint.sarif
     repro-lint --list-rules
+    repro-lint --explain MARK006
 
 Exit status is non-zero when any error-severity finding survives
-suppression, so CI can gate on a clean run.
+suppression and the baseline, so CI can gate on "no new findings".
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from ..config import get_scale
 from ..errors import ReproError
 from ..policy import WaitPolicy
 from ..workloads.registry import get_workload
-from .findings import RULES
+from .findings import LintReport, RULES
 from .runner import LintOptions, lint_workload
 
 
@@ -54,7 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--disable", action="append", default=[], metavar="RULE",
-        help="suppress a rule id (repeatable)",
+        help="suppress a rule id (repeatable); disabling every rule of a "
+             "pass family skips the family's computation entirely",
     )
     parser.add_argument(
         "--no-invariance", action="store_true",
@@ -66,26 +71,98 @@ def build_parser() -> argparse.ArgumentParser:
              "workload; the positional program argument is ignored",
     )
     parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact-cache directory: pipeline stages AND per-family "
+             "lint findings persist there, so re-linting an unchanged "
+             "run replays nothing",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent expensive lint families "
+             "(default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="accept findings recorded in this baseline file: matched "
+             "findings are reported but excluded from the exit code",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write a baseline accepting every finding of this run, "
+             "then exit 0",
+    )
+    parser.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="additionally write the report as SARIF 2.1.0",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list every lint rule and exit",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print one rule's full rationale and exit",
     )
     return parser
 
 
 def list_rules() -> str:
     rows = [
-        [rule.rule_id, str(rule.severity), rule.summary]
+        [rule.rule_id, str(rule.severity), rule.family, rule.summary]
         for rule in RULES.values()
     ]
-    return ascii_table(["rule", "severity", "summary"], rows,
+    return ascii_table(["rule", "severity", "family", "summary"], rows,
                        title="repro-lint rules")
+
+
+def explain_rule(rule_id: str) -> str:
+    """One rule's registry entry, rendered for the terminal."""
+    rule = RULES[rule_id]
+    return "\n".join([
+        f"{rule.rule_id} ({rule.severity}, family {rule.family})",
+        f"  {rule.summary}",
+        f"  rationale: {rule.paper_ref}",
+    ])
+
+
+def _finish(report: LintReport, args: argparse.Namespace) -> int:
+    """Baseline handling, SARIF export, rendering, and the exit code."""
+    if args.baseline:
+        from .baseline import apply_baseline, load_baseline
+
+        apply_baseline(report, load_baseline(args.baseline))
+    if args.write_baseline:
+        from .baseline import write_baseline
+
+        count = write_baseline(report, args.write_baseline)
+        print(f"[repro-lint] baseline written: {args.write_baseline} "
+              f"({count} finding(s) accepted)", file=sys.stderr)
+        return 0
+    if args.sarif:
+        from .sarif import write_sarif
+
+        write_sarif(report, args.sarif)
+    try:
+        print(report.to_json() if args.json else report.render_table())
+    except BrokenPipeError:  # e.g. `repro-lint --json | head`
+        sys.stderr.close()
+    return report.exit_code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.list_rules:
-        print(list_rules())
+    if args.list_rules or args.explain:
+        if args.explain and args.explain not in RULES:
+            parser.error(
+                f"unknown rule id {args.explain!r} "
+                f"(see repro-lint --list-rules)"
+            )
+        try:
+            print(list_rules() if args.list_rules
+                  else explain_rule(args.explain))
+        except BrokenPipeError:  # e.g. `repro-lint --list-rules | head`
+            sys.stderr.close()
         return 0
 
     if args.trace:
@@ -100,15 +177,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 2
         try:
-            print(report.to_json() if args.json else report.render_table())
-        except BrokenPipeError:
-            sys.stderr.close()
-        return report.exit_code
+            return _finish(report, args)
+        except ReproError as exc:
+            print(f"[repro-lint] {exc}", file=sys.stderr)
+            return 2
 
     try:
         options = LintOptions(
             check_invariance=not args.no_invariance,
             disable=frozenset(args.disable),
+            jobs=args.jobs,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -124,18 +202,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             workload,
             options=options,
             pipeline_options=LoopPointOptions(
-                wait_policy=WaitPolicy(args.wait_policy), scale=scale
+                wait_policy=WaitPolicy(args.wait_policy), scale=scale,
+                cache_dir=args.cache_dir,
             ),
         )
+        return _finish(report, args)
     except ReproError as exc:
         print(f"[repro-lint] {args.program} FAILED: {exc}", file=sys.stderr)
         return 2
-
-    try:
-        print(report.to_json() if args.json else report.render_table())
-    except BrokenPipeError:  # e.g. `repro-lint --json | head`
-        sys.stderr.close()
-    return report.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,15 +12,35 @@ exact conservation laws (Sec. IV-D's per-thread edge recording):
 
 Violations mean the graph (and everything derived from it: dominators,
 loops, markers) is corrupt.
+
+The graph analyses here run on the shared dataflow framework
+(:mod:`repro.lint.dataflow`): reachability and the dominance oracle are
+worklist solves, and negative findings carry concrete witnesses — a
+counterexample path for a refuted dominance claim, the orphaned
+predecessor evidence for an unreachable node.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, TYPE_CHECKING
 
 from ..dcfg.dominators import immediate_dominators
 from ..dcfg.graph import DCFG, ENTRY
+from .dataflow import (
+    dominance_sets,
+    dominates,
+    immediate_dominators_from_sets,
+    loop_nesting_forest,
+    nesting_depth,
+    path_avoiding,
+    reachable_nodes,
+)
 from .findings import Finding, make_finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..clustering.simpoint import SimPointSelection
+    from ..isa.image import Program
+    from ..profiling.profile_result import ProfileData
 
 
 def _node_name(dcfg: DCFG, node: int) -> str:
@@ -74,13 +94,30 @@ def check_flow_conservation(
 
 
 def check_reachability(dcfg: DCFG) -> List[Finding]:
-    """Rule DCFG002: every node must be reachable from the virtual entry."""
-    reachable = dcfg.reachable_from(ENTRY)
+    """Rule DCFG002: every node must be reachable from the virtual entry.
+
+    Unreachable nodes come with their predecessor evidence: either the
+    node has no incoming edges at all, or every predecessor is itself
+    unreachable (an orphaned island).
+    """
+    reachable = reachable_nodes(dcfg, ENTRY)
+    preds = dcfg.predecessors()
     findings = []
     for node in sorted(dcfg.nodes - reachable):
+        incoming = sorted(preds.get(node, ()))
+        if not incoming:
+            evidence = "no incoming edges at all"
+        else:
+            names = ", ".join(_node_name(dcfg, p) for p in incoming)
+            evidence = (
+                f"every predecessor ({names}) is itself unreachable — an "
+                f"orphaned island"
+            )
         findings.append(make_finding(
             "DCFG002", _node_name(dcfg, node),
-            "node has recorded executions or edges but no path from ENTRY",
+            f"node has recorded executions or edges but no path from "
+            f"ENTRY; {evidence}",
+            witness=tuple(_node_name(dcfg, p) for p in incoming),
         ))
     return findings
 
@@ -166,53 +203,20 @@ def check_irreducibility(dcfg: DCFG) -> List[Finding]:
     return findings
 
 
-def _reference_dominators(dcfg: DCFG, entry: int = ENTRY) -> Dict[int, Set[int]]:
-    """Textbook set-based dominance dataflow, as an independent oracle."""
-    reachable = dcfg.reachable_from(entry)
-    preds = {
-        node: [p for p in srcs if p in reachable]
-        for node, srcs in dcfg.predecessors().items()
-        if node in reachable
-    }
-    dom: Dict[int, Set[int]] = {node: set(reachable) for node in reachable}
-    dom[entry] = {entry}
-    changed = True
-    while changed:
-        changed = False
-        for node in reachable:
-            if node == entry:
-                continue
-            node_preds = preds.get(node, [])
-            new = set.intersection(*(dom[p] for p in node_preds)) if node_preds \
-                else set()
-            new.add(node)
-            if new != dom[node]:
-                dom[node] = new
-                changed = True
-    return dom
-
-
 def check_dominators(dcfg: DCFG) -> List[Finding]:
-    """Rule DCFG004: CHK immediate dominators vs. the set-based oracle.
+    """Rule DCFG004: CHK immediate dominators vs. the dataflow oracle.
 
     ``dcfg/dominators.py`` implements Cooper-Harvey-Kennedy; this pass
-    recomputes full dominance with the naive iterative dataflow and checks
-    that each node's idom is its unique closest strict dominator.
+    recomputes full dominance through the generic worklist solver
+    (:func:`repro.lint.dataflow.dominance_sets`) and checks that each
+    node's idom is its unique closest strict dominator.
     """
     idom = immediate_dominators(dcfg)
-    oracle = _reference_dominators(dcfg)
+    oracle = dominance_sets(dcfg, ENTRY)
+    expected_idom = immediate_dominators_from_sets(oracle, ENTRY)
     findings = []
-    for node, dominators in sorted(oracle.items()):
-        if node == ENTRY:
-            continue
-        strict = dominators - {node}
-        # The immediate dominator is the strict dominator that every other
-        # strict dominator dominates (the closest one).
-        expected = None
-        for cand in strict:
-            if all(other in oracle[cand] for other in strict):
-                expected = cand
-                break
+    for node in sorted(expected_idom):
+        expected = expected_idom[node]
         got = idom.get(node)
         if got != expected:
             findings.append(make_finding(
@@ -230,6 +234,148 @@ def check_dominators(dcfg: DCFG) -> List[Finding]:
             "CHK computed a dominator for a node the oracle finds "
             "unreachable",
         ))
+    return findings
+
+
+# -- marker-dominance certification (rule MARK006) -------------------------
+
+
+def _certify_region_on_graph(
+    graph: DCFG,
+    start_bid: int,
+    end_bid: int,
+    region_id: int,
+    scope: str,
+) -> Optional[Finding]:
+    """Certify one region's marker pair on one graph, or explain why not.
+
+    The certification ladder, strongest first:
+
+    1. **Static dominance** — every path from the graph's entry to the
+       end-marker block passes through the start-marker block; the region
+       cannot be entered at its end without crossing its start.
+    2. **Dynamic (wrap) certification** — the start marker does not
+       dominate the end, but the two lie on a common cycle (the region
+       spans an outer-iteration boundary, e.g. starts in one phase of a
+       repeating outer loop and ends in the next sweep).  Here the
+       ``(PC, count)`` pair ordering is what delimits the region, and
+       MARK003's monotone-count rule certifies exactly that — no finding.
+    3. **Refuted** — the end marker is unreachable from the start marker
+       (the region cannot be traversed at all; a backwards path, when one
+       exists, is the witness), or a bypass path reaches the end around a
+       start that no enclosing cycle could legitimize (witness: the
+       concrete counterexample path).
+
+    Blocks the graph never executed are skipped — a thread that never
+    touched either marker says nothing about the claim.
+    """
+    nodes = graph.nodes
+    if start_bid not in nodes or end_bid not in nodes:
+        return None
+    if start_bid == end_bid:
+        return None  # a node trivially dominates itself
+    forward = path_avoiding(graph, start_bid, end_bid, ())
+    backward = path_avoiding(graph, end_bid, start_bid, ())
+    if forward is None:
+        witness = tuple(
+            _node_name(graph, n) for n in (backward or ())
+        )
+        return make_finding(
+            "MARK006",
+            f"region {region_id} ({scope})",
+            f"end marker {_node_name(graph, end_bid)} is unreachable from "
+            f"start marker {_node_name(graph, start_bid)}: the region "
+            f"cannot be traversed"
+            + (
+                f"; the boundaries are ordered backwards — the end "
+                f"reaches the start via {' -> '.join(witness)}"
+                if witness else ""
+            ),
+            witness=witness or None,
+        )
+    dom = dominance_sets(graph, ENTRY)
+    if end_bid not in dom:
+        return None  # end never reached from entry on this graph
+    if dominates(dom, start_bid, end_bid):
+        return None  # statically certified
+    if backward is not None:
+        # Start and end share a cycle: the region legitimately wraps an
+        # enclosing iteration, and the (PC, count) ordering (MARK003)
+        # certifies it dynamically.
+        return None
+    counterexample = path_avoiding(graph, ENTRY, end_bid, {start_bid})
+    witness = tuple(
+        _node_name(graph, n) for n in (counterexample or ())
+    )
+    forest = loop_nesting_forest(graph)
+    depth_s = nesting_depth(forest, start_bid)
+    depth_e = nesting_depth(forest, end_bid)
+    return make_finding(
+        "MARK006",
+        f"region {region_id} ({scope})",
+        f"start marker {_node_name(graph, start_bid)} (loop depth "
+        f"{depth_s}) does not dominate end marker "
+        f"{_node_name(graph, end_bid)} (loop depth {depth_e}), and no "
+        f"enclosing cycle legitimizes the bypass: a path reaches the end "
+        f"boundary without ever crossing the start boundary"
+        + (
+            f"; counterexample: {' -> '.join(witness)}"
+            if witness else ""
+        ),
+        witness=witness or None,
+    )
+
+
+def check_marker_dominance(
+    program: "Program",
+    profile: "ProfileData",
+    selection: "SimPointSelection",
+    dcfg: DCFG,
+    thread_graphs: Optional[Sequence[DCFG]] = None,
+) -> List[Finding]:
+    """Rule MARK006: certify each selected region's boundary pair.
+
+    For every cluster representative, the region's start marker block
+    must dominate its end marker block — on the merged graph and, when
+    per-thread graphs are available, on each thread's own subgraph
+    (Sec. III-C: a boundary pair delimits the region on every thread).
+    Program-start/-end boundaries (``None`` markers) are trivially valid.
+
+    Regions whose start and end markers sit at the *same* loop-header PC
+    (the common case: consecutive iterations of one worker loop) are
+    certified by identity.  When the run's phase structure makes the end
+    header reachable around the start header inside an *enclosing* cycle
+    — start and end markers in sibling loops of a repeating outer phase —
+    the dominance claim genuinely fails and the counterexample path shows
+    the bypass.
+    """
+    findings: List[Finding] = []
+    from ..errors import ProgramStructureError
+
+    for cluster in selection.clusters:
+        rep = cluster.representative
+        if rep < 0 or rep >= len(profile.slices):
+            continue  # XAR003's finding, not ours
+        s = profile.slices[rep]
+        if s.start is None or s.end is None:
+            continue
+        try:
+            start_bid = program.block_at(s.start.pc).bid
+            end_bid = program.block_at(s.end.pc).bid
+        except ProgramStructureError:
+            continue  # MARK005's finding, not ours
+        finding = _certify_region_on_graph(
+            dcfg, start_bid, end_bid, rep, "merged graph"
+        )
+        if finding is not None:
+            findings.append(finding)
+            continue  # per-thread refinements would repeat the diagnosis
+        for tid, graph in enumerate(thread_graphs or ()):
+            finding = _certify_region_on_graph(
+                graph, start_bid, end_bid, rep, f"thread {tid}"
+            )
+            if finding is not None:
+                findings.append(finding)
     return findings
 
 

@@ -1,0 +1,405 @@
+"""Incremental, parallel scheduling of lint pass families.
+
+The single-shot runner re-executed every analysis replay on every lint
+invocation, even when nothing about the run had changed.  This engine
+makes lint cheap to re-run:
+
+* **Incremental** — each expensive pass family's findings are cached in
+  the pipeline's content-addressed :class:`~repro.parallel.artifacts.
+  ArtifactCache`, keyed on the stage keys of the artifacts the family
+  actually reads (plus :data:`LINT_SCHEMA_VERSION` and the thresholds
+  that shape its verdicts).  A re-lint of an unchanged run loads every
+  family from cache and executes *no* replay at all; changing an upstream
+  option invalidates exactly the families downstream of it, because the
+  stage keys already chain (profile embeds record, select embeds
+  profile).
+* **Parallel** — the two independent expensive computations (the shared
+  analysis replay and the invariance re-profile) fan out over
+  :func:`~repro.parallel.executor.fanout_map` when ``jobs > 1``, falling
+  back to serial execution on any pool failure.
+* **Skipping** — a family whose rules are all disabled is never
+  computed, never cached, and never consulted from cache: disabling all
+  marker-invariance rules drops the second profiling replay entirely,
+  and disabling every replay-derived family drops the analysis replay.
+
+Cached findings are stored *unfiltered* — ``disable`` is applied at
+report-assembly time — so toggling suppressions never changes what is in
+the cache, only what is shown.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..dcfg.graph import DCFG, DCFGBuilder
+from ..exec_engine.observers import SyncEventLog, TraceCollector
+from ..pinplay.replayer import ConstrainedReplayer
+from .concurrency_passes import (
+    ConcurrencyAnalyzer,
+    check_barrier_divergence,
+    check_gseq_integrity,
+    check_lock_order,
+    check_races,
+)
+from .dcfg_passes import check_marker_dominance, run_dcfg_passes
+from .findings import Finding, finding_from_dict, rule_families
+from .perf_passes import check_trace_truncation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..clustering.simpoint import SimPointSelection
+    from ..config import LintThresholds
+    from ..core.looppoint import LoopPointPipeline
+    from ..isa.image import Program
+    from ..parallel.artifacts import ArtifactCache
+    from ..pinplay.pinball import Pinball
+    from ..profiling.profile_result import ProfileData
+    from .runner import LintOptions
+
+#: Bump whenever any cached family's pass semantics or the finding
+#: serialization change — stale cached verdicts are then never consulted.
+LINT_SCHEMA_VERSION = 1
+
+#: Families whose findings derive from the shared analysis replay.
+REPLAY_FAMILIES: FrozenSet[str] = frozenset(
+    {"dcfg", "concurrency", "perf", "dominance", "xar"}
+)
+
+#: Families expensive enough to cache (everything replay-derived, plus
+#: the invariance re-profile).  ``faultplan``/``markers``/``config`` are
+#: arithmetic over in-memory state and always recompute.
+CACHED_FAMILIES: FrozenSet[str] = REPLAY_FAMILIES | {"invariance"}
+
+#: Report-assembly order; also the order families are marked in
+#: ``passes_run`` so reports stay byte-stable across engine changes.
+FAMILY_ORDER: Tuple[str, ...] = (
+    "faultplan", "dcfg", "concurrency", "perf", "markers",
+    "invariance", "dominance", "config", "xar",
+)
+
+
+def file_digest(path: Optional[str]) -> str:
+    """Content hash of a side-channel input file (manifest, trace).
+
+    These artifacts are not content-addressed by the pipeline — the
+    journal *grows* across runs under one path — so the xar family keys
+    on their bytes directly.  ``"absent"`` (not an error) when there is
+    no file: an absent manifest is a valid state that simply disables
+    XAR004.
+    """
+    if not path:
+        return "absent"
+    try:
+        with open(path, "rb") as fh:
+            return hashlib.sha256(fh.read()).hexdigest()
+    except OSError:
+        return "absent"
+
+
+# -- fan-out tasks ----------------------------------------------------------
+#
+# The expensive work is shaped into picklable task objects executed by a
+# module-level function, so ``fanout_map`` can ship them to pool workers.
+# Findings cross the process boundary as plain dicts (``Finding.as_dict``)
+# — the same form the cache stores — and are rehydrated in the parent.
+
+
+@dataclass(frozen=True)
+class ReplayTask:
+    """One constrained analysis replay feeding every replay family."""
+
+    kind: str
+    program: "Program"
+    pinball: "Pinball"
+    profile: "ProfileData"
+    selection: Optional["SimPointSelection"]
+    trace_limit: Optional[int]
+    want: FrozenSet[str]
+    stage_keys: Dict[str, str]
+    manifest_path: Optional[str]
+    trace_path: Optional[str]
+    cache_dir: Optional[str]
+
+
+@dataclass(frozen=True)
+class InvarianceTask:
+    """The second profiling replay behind MARK004."""
+
+    kind: str
+    program: "Program"
+    pinball: "Pinball"
+    profile: "ProfileData"
+
+
+def _replay_findings(task: ReplayTask) -> Dict[str, List[Finding]]:
+    track = "dominance" in task.want
+    builder = DCFGBuilder(
+        task.program, task.pinball.nthreads, track_threads=track
+    )
+    analyzer = ConcurrencyAnalyzer(task.pinball.nthreads)
+    sync_log = SyncEventLog(task.pinball.nthreads)
+    trace = TraceCollector(limit=task.trace_limit)
+    ConstrainedReplayer(
+        task.program, task.pinball,
+        observers=(builder, analyzer, sync_log, trace),
+    ).run()
+    dcfg = builder.result()
+    out: Dict[str, List[Finding]] = {}
+    if "dcfg" in task.want:
+        out["dcfg"] = run_dcfg_passes(dcfg, task.pinball.nthreads)
+    if "concurrency" in task.want:
+        findings = list(check_lock_order(analyzer))
+        findings.extend(check_barrier_divergence(sync_log))
+        findings.extend(check_races(analyzer))
+        findings.extend(check_gseq_integrity(sync_log))
+        out["concurrency"] = findings
+    if "perf" in task.want:
+        out["perf"] = check_trace_truncation(trace)
+    if "dominance" in task.want and task.selection is not None:
+        out["dominance"] = check_marker_dominance(
+            task.program, task.profile, task.selection, dcfg,
+            thread_graphs=builder.thread_graphs(),
+        )
+    if "xar" in task.want and task.selection is not None:
+        out["xar"] = _xar_findings(task, dcfg)
+    return out
+
+
+def _xar_findings(task: ReplayTask, dcfg: DCFG) -> List[Finding]:
+    from ..parallel.artifacts import ArtifactCache
+    from .xar_passes import read_trace_for_audit, run_xar_passes
+
+    cache: Optional["ArtifactCache"] = (
+        ArtifactCache(task.cache_dir) if task.cache_dir else None
+    )
+    trace_data = (
+        read_trace_for_audit(task.trace_path) if task.trace_path else None
+    )
+    assert task.selection is not None
+    return run_xar_passes(
+        task.profile,
+        task.selection.clusters,
+        dcfg=dcfg,
+        stage_keys=task.stage_keys,
+        manifest_path=task.manifest_path,
+        cache=cache,
+        trace_data=trace_data,
+    )
+
+
+def _invariance_findings(task: InvarianceTask) -> Dict[str, List[Finding]]:
+    from .marker_passes import check_replay_invariance
+
+    return {
+        "invariance": check_replay_invariance(
+            task.program, task.pinball, task.profile.slice_size,
+            task.profile,
+        )
+    }
+
+
+def run_family_task(task: Any) -> Dict[str, List[Dict[str, object]]]:
+    """Pool entry point: compute one task's families, return plain dicts."""
+    if task.kind == "replay":
+        computed = _replay_findings(task)
+    else:
+        computed = _invariance_findings(task)
+    return {
+        family: [f.as_dict() for f in findings]
+        for family, findings in computed.items()
+    }
+
+
+# -- the engine -------------------------------------------------------------
+
+
+class LintEngine:
+    """Schedules pass families incrementally over one pipeline's run."""
+
+    def __init__(
+        self, pipeline: "LoopPointPipeline", options: "LintOptions"
+    ) -> None:
+        self.pipeline = pipeline
+        self.options = options
+        self._families = rule_families()
+        #: family -> (findings, source); filled by :meth:`collect`.
+        self.results: Dict[str, Tuple[List[Finding], str]] = {}
+        #: Analysis replays actually executed by this engine run (the
+        #: quantity the warm-cache speedup test pins to zero).
+        self.replays_run = 0
+
+    # -- family enablement ---------------------------------------------
+
+    def family_enabled(self, family: str) -> bool:
+        """A family runs iff at least one of its rules is not disabled."""
+        rules = self._families.get(family, [])
+        return any(r not in self.options.disable for r in rules)
+
+    def _wants_invariance(self) -> bool:
+        return self.options.check_invariance and self.family_enabled(
+            "invariance"
+        )
+
+    # -- cache keying ----------------------------------------------------
+
+    def _family_material(
+        self, family: str, stage_keys: Dict[str, str]
+    ) -> Dict[str, Any]:
+        """Everything that determines one family's findings.
+
+        Keys chain exactly like the pipeline's own stage keys: families
+        reading later artifacts embed the later key (which embeds all the
+        earlier ones), so upstream changes cascade automatically.
+        """
+        material: Dict[str, Any] = {
+            "kind": "lint-family",
+            "schema": LINT_SCHEMA_VERSION,
+            "family": family,
+        }
+        if family in ("dcfg", "concurrency", "perf"):
+            material["record"] = stage_keys["record"]
+        elif family == "invariance":
+            material["profile"] = stage_keys["profile"]
+        elif family in ("dominance", "xar"):
+            material["select"] = stage_keys["select"]
+        if family == "perf":
+            material["trace_limit"] = self.options.thresholds.trace_limit
+        if family == "xar":
+            material["manifest"] = file_digest(
+                self.pipeline.options.manifest_path
+            )
+            material["trace"] = file_digest(self.pipeline.options.trace_path)
+        return material
+
+    def _cache_stage(self, family: str) -> str:
+        return f"lint-{family}"
+
+    def _load_cached(
+        self, family: str, stage_keys: Dict[str, str]
+    ) -> Optional[List[Finding]]:
+        cache = self.pipeline.artifacts
+        if cache is None or family not in CACHED_FAMILIES:
+            return None
+        payload = cache.load(
+            self._cache_stage(family),
+            self._family_material(family, stage_keys),
+        )
+        if not isinstance(payload, list):
+            return None
+        try:
+            return [finding_from_dict(d) for d in payload]
+        except (KeyError, TypeError, ValueError):
+            # A rule registry or schema drift the version bump missed:
+            # treat as a miss and recompute rather than crash or lie.
+            return None
+
+    def _store_cached(
+        self,
+        family: str,
+        stage_keys: Dict[str, str],
+        findings: Sequence[Finding],
+    ) -> None:
+        cache = self.pipeline.artifacts
+        if cache is None or family not in CACHED_FAMILIES:
+            return
+        cache.store(
+            self._cache_stage(family),
+            self._family_material(family, stage_keys),
+            [f.as_dict() for f in findings],
+        )
+
+    # -- collection ------------------------------------------------------
+
+    def collect(self) -> Dict[str, Tuple[List[Finding], str]]:
+        """Compute/load every enabled expensive family; fills ``results``.
+
+        The cheap families (faultplan/markers/config) stay with the
+        runner — they need no replay, no cache, and no fan-out.
+        """
+        pipeline = self.pipeline
+        options = self.options
+        stage_keys = pipeline.stage_keys()
+
+        expensive = [f for f in FAMILY_ORDER if f in CACHED_FAMILIES]
+        want: List[str] = []
+        for family in expensive:
+            if not self.family_enabled(family):
+                self.results[family] = ([], "skipped")
+                continue
+            if family == "invariance" and not options.check_invariance:
+                self.results[family] = ([], "skipped")
+                continue
+            cached = self._load_cached(family, stage_keys)
+            if cached is not None:
+                self.results[family] = (cached, "cache")
+                continue
+            want.append(family)
+
+        if not want:
+            return self.results
+
+        # Something must be recomputed: materialize the artifacts the
+        # tasks read.  On a warm pipeline cache these come back from disk
+        # without re-recording or re-profiling.
+        program = pipeline.workload.program
+        pinball = pipeline.record()
+        profile = pipeline.profile()
+        needs_selection = bool({"dominance", "xar"} & set(want))
+        selection = pipeline.select() if needs_selection else None
+
+        tasks: List[Any] = []
+        replay_want = frozenset(REPLAY_FAMILIES & set(want))
+        if replay_want:
+            tasks.append(ReplayTask(
+                kind="replay",
+                program=program,
+                pinball=pinball,
+                profile=profile,
+                selection=selection,
+                trace_limit=options.thresholds.trace_limit,
+                want=replay_want,
+                stage_keys=stage_keys,
+                manifest_path=pipeline.options.manifest_path,
+                trace_path=pipeline.options.trace_path,
+                cache_dir=pipeline.options.cache_dir,
+            ))
+        if "invariance" in want:
+            tasks.append(InvarianceTask(
+                kind="invariance",
+                program=program,
+                pinball=pinball,
+                profile=profile,
+            ))
+        self.replays_run = len(tasks)
+
+        if options.jobs > 1 and len(tasks) > 1:
+            from ..parallel.executor import fanout_map
+
+            raw = fanout_map(run_family_task, tasks, workers=options.jobs)
+        else:
+            raw = [run_family_task(t) for t in tasks]
+
+        for result in raw:
+            for family, dicts in result.items():
+                findings = [finding_from_dict(d) for d in dicts]
+                self.results[family] = (findings, "computed")
+                self._store_cached(family, stage_keys, findings)
+        # A wanted family a task could not produce (e.g. dominance with
+        # no selection) degrades to an explicit empty computed result.
+        for family in want:
+            self.results.setdefault(family, ([], "computed"))
+        return self.results
+
+
+__all__ = [
+    "LINT_SCHEMA_VERSION",
+    "REPLAY_FAMILIES",
+    "CACHED_FAMILIES",
+    "FAMILY_ORDER",
+    "LintEngine",
+    "ReplayTask",
+    "InvarianceTask",
+    "run_family_task",
+    "file_digest",
+]

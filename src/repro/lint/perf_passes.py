@@ -18,17 +18,27 @@ from .findings import Finding, make_finding
 
 
 def check_trace_truncation(trace: TraceCollector) -> List[Finding]:
-    """PERF001: the analysis trace overflowed its collector's cap."""
+    """PERF001: the analysis trace overflowed its collector's cap.
+
+    The finding quantifies the loss: events seen versus the configured
+    capacity, and the fraction of the run's block events the collector
+    actually holds — so "how incomplete is the evidence" is answerable
+    from the finding alone.
+    """
     findings: List[Finding] = []
     if trace.truncated:
         kept = len(trace.blocks)
+        seen = kept + trace.dropped_blocks
+        coverage = kept / seen if seen else 0.0
         findings.append(make_finding(
             "PERF001",
             f"trace[limit={trace.limit}]",
-            f"trace collector kept {kept} block events and dropped "
-            f"{trace.dropped_blocks} block / {trace.dropped_syncs} sync "
-            f"events past the cap; block-level evidence covers only a "
-            f"prefix of the run — raise LintThresholds.trace_limit (or set "
-            f"it to None) for full coverage",
+            f"replay produced {seen} block events against a capacity of "
+            f"{trace.limit}: kept {kept} ({coverage:.1%} of the block "
+            f"stream), dropped {trace.dropped_blocks} block / "
+            f"{trace.dropped_syncs} sync events past the cap; block-level "
+            f"evidence covers only a prefix of the run — raise "
+            f"LintThresholds.trace_limit (or set it to None) for full "
+            f"coverage",
         ))
     return findings

@@ -1,36 +1,35 @@
 """Orchestration: run every pass family against one workload or pipeline.
 
-The runner reuses the pipeline's cached stages (recording, profile), adds
-one constrained replay with the analysis observers attached (DCFG builder,
-concurrency analyzer, sync-event log), and aggregates all findings into a
-single :class:`~repro.lint.findings.LintReport`.
+The runner owns the cheap, always-recomputed families (fault-plan
+structure, static marker checks, config arithmetic) and delegates every
+expensive family — the shared analysis replay behind ``dcfg`` /
+``concurrency`` / ``perf`` / ``dominance`` / ``xar`` and the invariance
+re-profile behind ``MARK004`` — to the incremental engine
+(:mod:`repro.lint.incremental`), which caches findings per family on the
+pipeline's content-addressed stage keys and fans independent replays out
+over worker processes.
+
+Rule suppression is resolved *before* passes run: a family whose rules
+are all disabled is never executed (disabling ``MARK004`` alone drops the
+second profiling replay entirely), and partially-disabled families have
+the suppressed rules filtered as findings arrive, never post-hoc on the
+assembled report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, TYPE_CHECKING
+from typing import FrozenSet, Iterable, List, Optional, TYPE_CHECKING
 
 from ..config import DEFAULT_LINT_THRESHOLDS, LintThresholds
-from ..dcfg.graph import DCFGBuilder
-from ..exec_engine.observers import SyncEventLog, TraceCollector
-from ..pinplay.replayer import ConstrainedReplayer
-from .concurrency_passes import (
-    ConcurrencyAnalyzer,
-    check_barrier_divergence,
-    check_gseq_integrity,
-    check_lock_order,
-    check_races,
-)
 from .config_passes import (
     DEFAULT_FLOW_WINDOW,
     check_fault_plan,
     run_config_passes,
 )
-from .dcfg_passes import run_dcfg_passes
-from .findings import LintReport, RULES
-from .marker_passes import run_marker_passes
-from .perf_passes import check_trace_truncation
+from .findings import Finding, LintReport, RULES
+from .incremental import FAMILY_ORDER, LintEngine
+from .marker_passes import check_marker_blocks, check_monotone_counts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.looppoint import LoopPointPipeline
@@ -51,11 +50,23 @@ class LintOptions:
     )
     #: Flow-control window the recording used.
     flow_window: int = DEFAULT_FLOW_WINDOW
+    #: Worker processes for independent expensive families (the analysis
+    #: replay and the invariance re-profile); 1 = serial.
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         unknown = set(self.disable) - set(RULES)
         if unknown:
             raise ValueError(f"unknown rule id(s) in disable: {sorted(unknown)}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+
+def _keep(
+    findings: Iterable[Finding], disable: FrozenSet[str]
+) -> List[Finding]:
+    """Drop suppressed rules at the family boundary (not post-hoc)."""
+    return [f for f in findings if f.rule_id not in disable]
 
 
 def lint_pipeline(
@@ -64,68 +75,62 @@ def lint_pipeline(
 ) -> LintReport:
     """Verify every checked invariant of one pipeline's run."""
     options = options or LintOptions()
+    engine = LintEngine(pipeline, options)
     workload = pipeline.workload
     report = LintReport(
         subject=workload.full_name, disabled=sorted(options.disable)
     )
     if pipeline.options.fault_plan is not None:
-        # Checked first, and without installing the plan: a structurally
-        # invalid plan would make every later stage raise at install time,
-        # so lint reports it as findings and stops instead of crashing.
-        report.extend(check_fault_plan(
-            pipeline.options.fault_plan,
-            job_timeout_s=pipeline.options.job_timeout_s,
-        ))
-        report.mark_pass("faultplan")
-        if report.has_errors:
-            return report
+        if engine.family_enabled("faultplan"):
+            # Checked first, and without installing the plan: a
+            # structurally invalid plan would make every later stage raise
+            # at install time, so lint reports it as findings and stops
+            # instead of crashing.
+            report.extend(_keep(check_fault_plan(
+                pipeline.options.fault_plan,
+                job_timeout_s=pipeline.options.job_timeout_s,
+            ), options.disable))
+            report.mark_pass("faultplan")
+            if report.has_errors:
+                return report
+        else:
+            report.mark_pass("faultplan", source="skipped")
+
+    expensive = engine.collect()
 
     program = workload.program
-    pinball = pipeline.record()
+    profile = None
+    if engine.family_enabled("markers") or engine.family_enabled("config"):
+        profile = pipeline.profile()
 
-    # One constrained replay feeds the DCFG and concurrency analyses; the
-    # bounded trace collector documents how complete that evidence is.
-    dcfg_builder = DCFGBuilder(program, pinball.nthreads)
-    analyzer = ConcurrencyAnalyzer(pinball.nthreads)
-    sync_log = SyncEventLog(pinball.nthreads)
-    trace = TraceCollector(limit=options.thresholds.trace_limit)
-    ConstrainedReplayer(
-        program, pinball, observers=(dcfg_builder, analyzer, sync_log, trace)
-    ).run()
-
-    report.extend(run_dcfg_passes(dcfg_builder.result(), pinball.nthreads))
-    report.mark_pass("dcfg")
-
-    report.extend(check_lock_order(analyzer))
-    report.extend(check_barrier_divergence(sync_log))
-    report.extend(check_races(analyzer))
-    report.extend(check_gseq_integrity(sync_log))
-    report.mark_pass("concurrency")
-
-    report.extend(check_trace_truncation(trace))
-    report.mark_pass("perf")
-
-    profile = pipeline.profile()
-    report.extend(run_marker_passes(
-        program, profile, pinball,
-        check_invariance=options.check_invariance,
-    ))
-    report.mark_pass("markers")
-
-    report.extend(run_config_passes(
-        pipeline.options.resolved_scale(),
-        pipeline.slice_size,
-        pipeline.options.startup_fraction,
-        profile=profile,
-        flow_window=options.flow_window,
-        thresholds=options.thresholds,
-    ))
-    report.mark_pass("config")
-
-    if options.disable:
-        report.findings = [
-            f for f in report.findings if f.rule_id not in options.disable
-        ]
+    for family in FAMILY_ORDER:
+        if family == "faultplan":
+            continue  # handled above, and only when a plan exists
+        if family == "markers":
+            if profile is None or not engine.family_enabled("markers"):
+                report.mark_pass("markers", source="skipped")
+                continue
+            findings = check_marker_blocks(program, profile.marker_pcs)
+            findings.extend(check_monotone_counts(profile.slices))
+            report.extend(_keep(findings, options.disable))
+            report.mark_pass("markers")
+        elif family == "config":
+            if profile is None or not engine.family_enabled("config"):
+                report.mark_pass("config", source="skipped")
+                continue
+            report.extend(_keep(run_config_passes(
+                pipeline.options.resolved_scale(),
+                pipeline.slice_size,
+                pipeline.options.startup_fraction,
+                profile=profile,
+                flow_window=options.flow_window,
+                thresholds=options.thresholds,
+            ), options.disable))
+            report.mark_pass("config")
+        else:
+            findings, source = expensive.get(family, ([], "skipped"))
+            report.extend(_keep(findings, options.disable))
+            report.mark_pass(family, source=source)
     return report
 
 

@@ -1,0 +1,247 @@
+"""SARIF 2.1.0 export of lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+services ingest; exporting it lets ``repro-lint`` findings annotate pull
+requests instead of living in CI logs.  The export maps the rule registry
+to ``tool.driver.rules``, findings to ``results`` with logical locations
+(lint anchors findings to blocks/PCs/slices, not files), witnesses to
+``codeFlows``, and fingerprints to ``partialFingerprints`` so scanning
+services track finding identity across runs the same way the baseline
+does.
+
+``validate_sarif`` is an internal structural checker for the subset of
+the 2.1.0 schema the export uses — the environment ships no JSON-schema
+library, and a generator that validates its own output in tests is the
+next best guarantee that uploads will not be rejected.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .findings import LintReport, RULES, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Finding severity -> SARIF result level.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+#: Stable namespace for :attr:`Finding.fingerprint` values.
+FINGERPRINT_KEY = "reproLint/v1"
+
+
+def _driver_rules() -> List[Dict[str, Any]]:
+    return [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.paper_ref},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+            "properties": {"family": rule.family},
+        }
+        for rule in RULES.values()
+    ]
+
+
+def _result(finding, rule_index: Dict[str, int], subject: str,
+            baselined: bool) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index[finding.rule_id],
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": subject},
+            },
+            "logicalLocations": [{"name": finding.location}],
+        }],
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint},
+    }
+    if baselined:
+        # 2.1.0 §3.27.25: "unchanged" marks results present in a prior
+        # run's baseline.
+        result["baselineState"] = "unchanged"
+    if finding.witness:
+        result["codeFlows"] = [{
+            "threadFlows": [{
+                "locations": [
+                    {
+                        "location": {
+                            "physicalLocation": {
+                                "artifactLocation": {"uri": subject},
+                            },
+                            "logicalLocations": [{"name": step}],
+                        }
+                    }
+                    for step in finding.witness
+                ],
+            }],
+        }]
+    return result
+
+
+def report_to_sarif(report: LintReport, version: str = "") -> Dict[str, Any]:
+    """One SARIF log with a single run holding every finding."""
+    rule_index = {rid: i for i, rid in enumerate(RULES)}
+    results = [
+        _result(f, rule_index, report.subject, baselined=False)
+        for f in report.findings
+    ]
+    results.extend(
+        _result(f, rule_index, report.subject, baselined=True)
+        for f in report.baselined
+    )
+    driver: Dict[str, Any] = {
+        "name": "repro-lint",
+        "informationUri":
+            "https://github.com/paper-repro/looppoint-repro",
+        "rules": _driver_rules(),
+    }
+    if version:
+        driver["version"] = version
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": driver},
+            "results": results,
+            "properties": {
+                "subject": report.subject,
+                "passesRun": list(report.passes_run),
+                "familySources": dict(report.family_sources),
+                "disabled": list(report.disabled),
+            },
+        }],
+    }
+
+
+def write_sarif(report: LintReport, path: str, version: str = "") -> None:
+    doc = report_to_sarif(report, version=version)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# -- internal structural validation ----------------------------------------
+
+_VALID_LEVELS = {"none", "note", "warning", "error"}
+
+
+def _check(problems: List[str], cond: bool, message: str) -> bool:
+    if not cond:
+        problems.append(message)
+    return cond
+
+
+def validate_sarif(doc: Any) -> List[str]:
+    """Structural problems in a SARIF log; empty list means valid.
+
+    Checks every 2.1.0 constraint the export relies on: required
+    top-level members, run/tool/driver shape, rule references resolving
+    through ``ruleIndex``, legal ``level`` values, and
+    location/fingerprint structure.
+    """
+    problems: List[str] = []
+    if not _check(problems, isinstance(doc, dict), "log must be an object"):
+        return problems
+    _check(problems, doc.get("version") == SARIF_VERSION,
+           f"version must be {SARIF_VERSION!r}, got {doc.get('version')!r}")
+    runs = doc.get("runs")
+    if not _check(problems, isinstance(runs, list) and runs,
+                  "runs must be a non-empty array"):
+        return problems
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not _check(problems, isinstance(run, dict),
+                      f"{where} must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if not _check(problems, isinstance(driver, dict),
+                      f"{where}.tool.driver is required"):
+            continue
+        _check(problems, isinstance(driver.get("name"), str)
+               and driver["name"],
+               f"{where}.tool.driver.name is required")
+        rules = driver.get("rules", [])
+        rule_ids: List[str] = []
+        for qi, rule in enumerate(rules):
+            rwhere = f"{where}.tool.driver.rules[{qi}]"
+            if not _check(problems, isinstance(rule, dict)
+                          and isinstance(rule.get("id"), str),
+                          f"{rwhere} needs a string id"):
+                continue
+            rule_ids.append(rule["id"])
+            _check(
+                problems,
+                isinstance(rule.get("shortDescription", {}), dict)
+                and isinstance(
+                    rule.get("shortDescription", {}).get("text"), str
+                ),
+                f"{rwhere}.shortDescription.text is required",
+            )
+        results = run.get("results")
+        if not _check(problems, isinstance(results, list),
+                      f"{where}.results must be an array"):
+            continue
+        for si, result in enumerate(results):
+            swhere = f"{where}.results[{si}]"
+            if not _check(problems, isinstance(result, dict),
+                          f"{swhere} must be an object"):
+                continue
+            message = result.get("message")
+            _check(problems, isinstance(message, dict)
+                   and isinstance(message.get("text"), str),
+                   f"{swhere}.message.text is required")
+            level = result.get("level", "warning")
+            _check(problems, level in _VALID_LEVELS,
+                   f"{swhere}.level {level!r} not in {sorted(_VALID_LEVELS)}")
+            rule_id = result.get("ruleId")
+            index = result.get("ruleIndex", -1)
+            if rule_id is not None:
+                _check(problems, rule_id in rule_ids,
+                       f"{swhere}.ruleId {rule_id!r} not among driver rules")
+            if index != -1:
+                ok = isinstance(index, int) and 0 <= index < len(rule_ids)
+                if _check(problems, ok,
+                          f"{swhere}.ruleIndex {index!r} out of range"):
+                    _check(
+                        problems,
+                        rule_id is None or rule_ids[index] == rule_id,
+                        f"{swhere}.ruleIndex does not resolve to "
+                        f"{rule_id!r}",
+                    )
+            for li, loc in enumerate(result.get("locations", [])):
+                lwhere = f"{swhere}.locations[{li}]"
+                _check(problems, isinstance(loc, dict),
+                       f"{lwhere} must be an object")
+            fingerprints = result.get("partialFingerprints", {})
+            _check(problems, isinstance(fingerprints, dict) and all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in fingerprints.items()
+            ), f"{swhere}.partialFingerprints must map strings to strings")
+            state = result.get("baselineState")
+            _check(problems, state in (
+                None, "new", "unchanged", "updated", "absent"
+            ), f"{swhere}.baselineState {state!r} is not a legal value")
+    return problems
+
+
+__all__ = [
+    "SARIF_VERSION",
+    "SARIF_SCHEMA_URI",
+    "FINGERPRINT_KEY",
+    "report_to_sarif",
+    "write_sarif",
+    "validate_sarif",
+]

@@ -1,0 +1,388 @@
+"""Cross-artifact audit passes (rules ``XAR0xx``).
+
+Five subsystems now emit artifacts about the *same* run — the profile's
+BBV matrix, the DCFG, the SimPoint selection, the resilience run manifest,
+the content-addressed artifact cache, and the obs span trace — and until
+this module nothing validated the *relationships* between them.  A stale
+selection against a regenerated profile, a manifest journaling keys a
+different configuration produced, or a trace whose span counts disagree
+with the metrics registry are all silent wrong answers; these passes turn
+each into a finding.
+
+Every check runs on whatever inputs it is given and degrades to "no
+evidence" (not "no finding") when an artifact is absent — lint's general
+contract that absences are only as good as the evidence collected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..dcfg.graph import DCFG
+from .findings import Finding, make_finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..clustering.simpoint import ClusterInfo
+    from ..obs.trace import TraceData
+    from ..parallel.artifacts import ArtifactCache
+    from ..profiling.profile_result import ProfileData
+
+#: Relative tolerance for instruction-mass reconciliation: the quantities
+#: are integer-derived float sums, so disagreement beyond rounding noise
+#: is corruption, not arithmetic.
+MASS_RTOL = 1e-9
+
+#: How many offending block ids to name individually before aggregating.
+MAX_NAMED_BLOCKS = 5
+
+
+def _close(a: float, b: float, rtol: float = MASS_RTOL) -> bool:
+    scale = max(abs(a), abs(b), 1.0)
+    return abs(a - b) <= rtol * scale
+
+
+def check_bbv_universe(
+    profile: "ProfileData", dcfg: DCFG
+) -> List[Finding]:
+    """XAR001: every block with BBV mass must exist in the DCFG.
+
+    The BBV matrix and the DCFG are two observers of one replay; the BBV
+    additionally filters library code out, so its block universe must be
+    a *subset* of the graph's executed nodes.  Mass attributed to a block
+    the graph never saw means the profile and the graph describe
+    different runs (stale artifact) or one of them is corrupt.
+    """
+    import numpy as np
+
+    findings: List[Finding] = []
+    matrix = profile.bbv_matrix()
+    if matrix.size == 0:
+        return findings
+    nthreads = profile.nthreads
+    dim = matrix.shape[1]
+    if dim % nthreads != 0:
+        findings.append(make_finding(
+            "XAR001", "<bbv>",
+            f"BBV dimension {dim} is not a multiple of the thread count "
+            f"{nthreads}; the per-thread concatenation layout is broken",
+        ))
+        return findings
+    nblocks = dim // nthreads
+    column_mass = np.asarray(matrix).sum(axis=0)
+    bbv_bids = {int(i) % nblocks for i in np.nonzero(column_mass)[0]}
+    graph_bids = dcfg.nodes
+    rogue = sorted(bbv_bids - graph_bids)
+    if rogue:
+        named = ", ".join(str(b) for b in rogue[:MAX_NAMED_BLOCKS])
+        more = (
+            f" (+{len(rogue) - MAX_NAMED_BLOCKS} more)"
+            if len(rogue) > MAX_NAMED_BLOCKS else ""
+        )
+        findings.append(make_finding(
+            "XAR001", f"blocks {named}{more}",
+            f"{len(rogue)} block(s) carry BBV instruction mass but were "
+            f"never executed according to the DCFG — the BBV matrix and "
+            f"the graph describe different runs",
+        ))
+    return findings
+
+
+def check_cluster_weights(
+    profile: "ProfileData",
+    clusters: Sequence["ClusterInfo"],
+    dropped: Sequence[int] = (),
+) -> List[Finding]:
+    """XAR002: cluster masses and multipliers reconcile with the profile.
+
+    Eq. (2) of the paper: a cluster's multiplier is its instruction mass
+    over its representative's own count, and extrapolation weights
+    ``multiplier * rep_count / total`` must sum to 1.  After degradation
+    (dropped regions, ``repro.resilience.renormalize_clusters``) the kept
+    multipliers are uniformly rescaled — so the reconciliation invariants
+    become: the per-cluster rescale factor is *uniform*, it is exactly 1
+    on an undegraded run, and the weights still sum to 1.
+    """
+    findings: List[Finding] = []
+    total = float(profile.filtered_instructions)
+    if total <= 0:
+        findings.append(make_finding(
+            "XAR002", "<profile>",
+            f"profile filtered_instructions is {total}; nothing to weight "
+            f"clusters against",
+        ))
+        return findings
+    factors: Dict[int, float] = {}
+    weight_sum = 0.0
+    for cluster in clusters:
+        rep = cluster.representative
+        loc = f"cluster {cluster.cluster_id} (rep {rep})"
+        if cluster.instruction_mass <= 0:
+            findings.append(make_finding(
+                "XAR002", loc,
+                f"non-positive instruction mass "
+                f"{cluster.instruction_mass}",
+            ))
+            continue
+        if cluster.multiplier <= 0:
+            findings.append(make_finding(
+                "XAR002", loc,
+                f"non-positive multiplier {cluster.multiplier}",
+            ))
+            continue
+        if rep < 0 or rep >= len(profile.slices):
+            continue  # XAR003's finding, not ours
+        rep_count = float(
+            profile.slices[rep].filtered_instructions
+        )
+        if rep_count <= 0:
+            findings.append(make_finding(
+                "XAR002", loc,
+                "representative slice carries zero filtered instructions",
+            ))
+            continue
+        weight_sum += cluster.multiplier * rep_count / total
+        factors[cluster.cluster_id] = (
+            cluster.multiplier * rep_count / cluster.instruction_mass
+        )
+    if factors:
+        lo = min(factors.values())
+        hi = max(factors.values())
+        if not _close(lo, hi):
+            findings.append(make_finding(
+                "XAR002", "<clusters>",
+                f"multiplier/mass rescale factor is not uniform across "
+                f"clusters (min {lo:.12g}, max {hi:.12g}); degradation "
+                f"renormalization scales every kept cluster identically",
+            ))
+        elif not dropped and not _close(hi, 1.0):
+            findings.append(make_finding(
+                "XAR002", "<clusters>",
+                f"run reports no dropped regions but multipliers are "
+                f"rescaled by {hi:.12g}; multiplier must equal "
+                f"mass / representative count exactly (Eq. 2)",
+            ))
+    if not _close(weight_sum, 1.0, rtol=1e-6):
+        findings.append(make_finding(
+            "XAR002", "<clusters>",
+            f"extrapolation weights sum to {weight_sum:.12g}, not 1: the "
+            f"selection does not cover (exactly) the profiled "
+            f"instruction mass",
+        ))
+    return findings
+
+
+def check_selection_boundaries(
+    profile: "ProfileData", clusters: Sequence["ClusterInfo"]
+) -> List[Finding]:
+    """XAR003: the selection indexes real slices on recorded boundaries.
+
+    Representatives must name existing slices, belong to their own member
+    list, the member lists must partition the slice population, and each
+    selected slice's boundary markers must be PCs the profile actually
+    recorded as markers.
+    """
+    findings: List[Finding] = []
+    n = len(profile.slices)
+    marker_pcs = set(profile.marker_pcs)
+    seen: Dict[int, int] = {}
+    for cluster in clusters:
+        rep = cluster.representative
+        loc = f"cluster {cluster.cluster_id} (rep {rep})"
+        if rep < 0 or rep >= n:
+            findings.append(make_finding(
+                "XAR003", loc,
+                f"representative {rep} names no slice (profile has {n})",
+            ))
+            continue
+        if rep not in cluster.members:
+            findings.append(make_finding(
+                "XAR003", loc,
+                "representative is not a member of its own cluster",
+            ))
+        for member in cluster.members:
+            if member < 0 or member >= n:
+                findings.append(make_finding(
+                    "XAR003", loc,
+                    f"member {member} names no slice (profile has {n})",
+                ))
+            elif member in seen:
+                findings.append(make_finding(
+                    "XAR003", loc,
+                    f"slice {member} already belongs to cluster "
+                    f"{seen[member]}; clusters must be disjoint",
+                ))
+            else:
+                seen[member] = cluster.cluster_id
+        s = profile.slices[rep]
+        for which, marker in (("start", s.start), ("end", s.end)):
+            if marker is not None and marker.pc not in marker_pcs:
+                findings.append(make_finding(
+                    "XAR003", loc,
+                    f"selected slice's {which} boundary pc "
+                    f"{marker.pc:#x} is not a recorded marker PC — the "
+                    f"selection was made against a different profile",
+                ))
+    missing = [i for i in range(n) if i not in seen]
+    if clusters and missing:
+        named = ", ".join(str(i) for i in missing[:MAX_NAMED_BLOCKS])
+        more = (
+            f" (+{len(missing) - MAX_NAMED_BLOCKS} more)"
+            if len(missing) > MAX_NAMED_BLOCKS else ""
+        )
+        findings.append(make_finding(
+            "XAR003", f"slices {named}{more}",
+            f"{len(missing)} slice(s) belong to no cluster; every slice's "
+            f"mass must be represented",
+        ))
+    return findings
+
+
+def check_manifest_keys(
+    manifest_path: str,
+    stage_keys: Dict[str, str],
+    cache: Optional["ArtifactCache"] = None,
+) -> List[Finding]:
+    """XAR004: the run journal's stage keys match the current pipeline.
+
+    The manifest's ``done`` events record the content-address each stage's
+    artifact was stored under.  Those keys must equal the keys the current
+    options produce (else the journal describes a different configuration)
+    and, when a cache is attached, the journaled artifacts must actually
+    exist in it (else ``--resume`` would silently recompute what the
+    journal promises is done).
+    """
+    from ..errors import ResumeError
+    from ..resilience.manifest import RunManifest
+
+    findings: List[Finding] = []
+    try:
+        events, corrupt = RunManifest.load(manifest_path)
+    except ResumeError as exc:
+        findings.append(make_finding(
+            "XAR004", manifest_path,
+            f"manifest cannot be read: {exc}",
+        ))
+        return findings
+    if corrupt:
+        findings.append(make_finding(
+            "XAR004", manifest_path,
+            f"{corrupt} corrupt journal line(s) skipped while auditing",
+        ))
+    completed = RunManifest.completed_stages(RunManifest.last_run(events))
+    if not completed:
+        return findings
+    for stage, journaled in sorted(completed.items()):
+        expected = stage_keys.get(stage)
+        if expected is None:
+            continue  # e.g. "simulate": not a cache-backed stage
+        if journaled != expected:
+            findings.append(make_finding(
+                "XAR004", f"stage {stage}",
+                f"manifest records key {journaled[:12]}… but current "
+                f"options produce {expected[:12]}…; the journal belongs "
+                f"to a different configuration",
+            ))
+        elif cache is not None and not cache.has_key(stage, journaled):
+            findings.append(make_finding(
+                "XAR004", f"stage {stage}",
+                f"manifest says stage completed under key "
+                f"{journaled[:12]}… but no such artifact exists in the "
+                f"cache — resume would silently recompute it",
+            ))
+    return findings
+
+
+def check_trace_counters(trace_data: "TraceData") -> List[Finding]:
+    """XAR005: the trace's span records reconcile with its own accounting.
+
+    Two independent observers wrote the trace: the span writer (one
+    record per closed span, plus the ``trace-end`` total) and the metrics
+    registry (cache hit/miss counters).  On an untruncated parse they
+    must agree: the root process's span records match the trace-end
+    count, and stage spans claiming ``cache=hit``/``cache=miss`` cannot
+    outnumber the registry's counters.
+    """
+    findings: List[Finding] = []
+    if trace_data.truncated:
+        return findings  # OBS002's territory; counts are a prefix
+    if trace_data.end is not None:
+        declared = int(trace_data.end.get("spans", -1))
+        root_spans = sum(
+            1 for s in trace_data.spans if s.pid == trace_data.root_pid
+        )
+        if declared >= 0 and declared != root_spans:
+            findings.append(make_finding(
+                "XAR005", trace_data.path,
+                f"trace-end declares {declared} span(s) from the root "
+                f"process but {root_spans} were parsed — records were "
+                f"lost or foreign records merged in",
+            ))
+    counters = trace_data.counters()
+    if counters:
+        claimed_hits = sum(
+            1 for s in trace_data.spans
+            if s.attrs.get("cache") == "hit"
+        )
+        claimed_misses = sum(
+            1 for s in trace_data.spans
+            if s.attrs.get("cache") == "miss"
+        )
+        for label, claimed, counter in (
+            ("hit", claimed_hits, counters.get("cache.hits", 0)),
+            ("miss", claimed_misses, counters.get("cache.misses", 0)),
+        ):
+            if claimed > counter:
+                findings.append(make_finding(
+                    "XAR005", trace_data.path,
+                    f"{claimed} span(s) claim cache={label} but the "
+                    f"metrics registry counted only {counter} "
+                    f"cache.{label}{'es' if label == 'miss' else 's'} — "
+                    f"the two observers disagree about the same run",
+                ))
+    return findings
+
+
+def run_xar_passes(
+    profile: "ProfileData",
+    clusters: Sequence["ClusterInfo"],
+    dcfg: Optional[DCFG] = None,
+    dropped: Sequence[int] = (),
+    stage_keys: Optional[Dict[str, str]] = None,
+    manifest_path: Optional[str] = None,
+    cache: Optional["ArtifactCache"] = None,
+    trace_data: Optional["TraceData"] = None,
+) -> List[Finding]:
+    """All cross-artifact passes over whatever artifacts are present."""
+    findings: List[Finding] = []
+    if dcfg is not None:
+        findings.extend(check_bbv_universe(profile, dcfg))
+    findings.extend(check_cluster_weights(profile, clusters, dropped))
+    findings.extend(check_selection_boundaries(profile, clusters))
+    if manifest_path is not None and stage_keys is not None:
+        findings.extend(
+            check_manifest_keys(manifest_path, stage_keys, cache)
+        )
+    if trace_data is not None:
+        findings.extend(check_trace_counters(trace_data))
+    return findings
+
+
+def read_trace_for_audit(path: str) -> Optional["TraceData"]:
+    """Best-effort bounded trace read for XAR005; ``None`` when unusable."""
+    from ..obs.trace import DEFAULT_LIMITS, TraceError, read_trace
+
+    try:
+        return read_trace(path, DEFAULT_LIMITS)
+    except (TraceError, OSError):
+        return None
+
+
+__all__ = [
+    "check_bbv_universe",
+    "check_cluster_weights",
+    "check_selection_boundaries",
+    "check_manifest_keys",
+    "check_trace_counters",
+    "run_xar_passes",
+    "read_trace_for_audit",
+]

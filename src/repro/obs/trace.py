@@ -199,7 +199,7 @@ def read_trace(
                     data.end = record
                 # Unknown record types are skipped: forward compatibility.
     except OSError as exc:
-        raise TraceError(f"cannot read trace {path!r}: {exc}")
+        raise TraceError(f"cannot read trace {path!r}: {exc}") from exc
     if not seen_start:
         raise TraceError(
             f"{path} contains no trace-start record "

@@ -183,7 +183,8 @@ class Tracer:
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        self._fh = open(self.path, "a", encoding="utf-8")
+        # Long-lived append handle, closed in close() at trace shutdown.
+        self._fh = open(self.path, "a", encoding="utf-8")  # noqa: SIM115
         record = {
             "type": "process" if _continuation else "trace-start",
             "trace_id": self.trace_id,

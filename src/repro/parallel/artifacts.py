@@ -53,7 +53,7 @@ def canonical_key(material: Dict[str, Any]) -> str:
     try:
         blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
     except (TypeError, ValueError) as exc:
-        raise CacheError(f"cache key material is not JSON-able: {exc}")
+        raise CacheError(f"cache key material is not JSON-able: {exc}") from exc
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -76,7 +76,9 @@ class ArtifactCache:
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
-            raise CacheError(f"cannot create cache dir {self.root}: {exc}")
+            raise CacheError(
+                f"cannot create cache dir {self.root}: {exc}"
+            ) from exc
 
     # -- paths ---------------------------------------------------------------
 
@@ -163,6 +165,16 @@ class ArtifactCache:
         size = path.stat().st_size
         with open(path, "r+b") as fh:
             fh.truncate(max(1, size // 2))
+
+    def has_key(self, stage: str, key: str) -> bool:
+        """Whether an artifact file exists under an already-computed key.
+
+        Existence only — no payload verification, no counter movement.
+        This serves *audits* (does the artifact the manifest journaled
+        actually exist?), not loads; a corrupt file still reads back as a
+        miss through :meth:`load`.
+        """
+        return self._path(stage, key).exists()
 
     def invalidate(self, stage: Optional[str] = None) -> None:
         """Drop one stage's artifacts, or the whole versioned cache."""

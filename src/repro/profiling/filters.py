@@ -24,9 +24,7 @@ class FilterPolicy:
         if block.image.is_library:
             return False
         routine = block.routine
-        if routine is not None and routine.name in self.exclude_routines:
-            return False
-        return True
+        return routine is None or routine.name not in self.exclude_routines
 
     def marker_eligible(self, block: BasicBlock) -> bool:
         """True if this block may serve as a region boundary.

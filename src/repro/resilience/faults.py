@@ -165,7 +165,7 @@ class FaultPlan:
 
     def validate(self) -> None:
         """Raise :class:`FaultInjectionError` on the first malformed spec."""
-        for code, where, message in self.iter_problems():
+        for _code, where, message in self.iter_problems():
             raise FaultInjectionError(f"invalid fault plan: {where}: {message}")
 
     # -- serialization -------------------------------------------------------
@@ -216,7 +216,9 @@ class FaultPlan:
             with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
         except (OSError, ValueError) as exc:
-            raise FaultInjectionError(f"cannot read fault plan {path!r}: {exc}")
+            raise FaultInjectionError(
+                f"cannot read fault plan {path!r}: {exc}"
+            ) from exc
         return cls.from_dict(data)
 
 

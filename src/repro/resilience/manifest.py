@@ -85,7 +85,7 @@ class RunManifest:
         try:
             raw = Path(path).read_text(encoding="utf-8")
         except OSError as exc:
-            raise ResumeError(f"cannot read manifest {path}: {exc}")
+            raise ResumeError(f"cannot read manifest {path}: {exc}") from exc
         for line in raw.splitlines():
             if not line.strip():
                 continue

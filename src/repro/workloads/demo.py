@@ -48,7 +48,7 @@ def build_demo_matrix(
     constructs: List[Construct] = [
         Serial(init.work(max(2, trips // 4)), iters=max(2, outer // 4)),
     ]
-    for r in range(repeats):
+    for _ in range(repeats):
         constructs.append(ParallelFor(mul.work(trips), outer))
         if variant >= 2:
             constructs.append(ParallelFor(transpose.work(trips // 2), outer))

@@ -186,7 +186,7 @@ def build_lu(input_class: str, nthreads: int, scale: ReproScale) -> Workload:
     trips = max(4, int(65 * tr_f))
     steps = max(4, int(16 * ts_f))
     constructs: List[Construct] = []
-    for step in range(steps):
+    for _step in range(steps):
         lower = make_trips(trips, "ramp", total_iters=outer,
                            nthreads=nthreads, amplitude=1.6)
         upper = make_trips(trips, "ramp", total_iters=outer,

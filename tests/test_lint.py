@@ -384,8 +384,11 @@ class TestEndToEnd:
         data = json.loads(capsys.readouterr().out)
         assert "demo-matrix-1" in data["subject"]
         assert set(data["passes_run"]) == {
-            "dcfg", "concurrency", "perf", "markers", "config"
+            "dcfg", "concurrency", "perf", "markers", "invariance",
+            "dominance", "config", "xar",
         }
+        # --no-invariance skips the family instead of silently running it.
+        assert data["family_sources"]["invariance"] == "skipped"
 
     def test_cli_list_rules(self, capsys):
         from repro.lint.cli import main

@@ -1,0 +1,321 @@
+"""Cross-artifact audit passes: each XAR rule must fire on a seeded
+corruption and stay silent on the genuine artifacts of a clean run."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import get_scale
+from repro.core.looppoint import LoopPointOptions, LoopPointPipeline
+from repro.dcfg.graph import DCFG, DCFGBuilder
+from repro.lint.xar_passes import (
+    check_bbv_universe,
+    check_cluster_weights,
+    check_manifest_keys,
+    check_selection_boundaries,
+    check_trace_counters,
+    run_xar_passes,
+)
+from repro.obs.trace import SpanRecord, TraceData
+from repro.parallel.artifacts import ArtifactCache
+from repro.pinplay.replayer import ConstrainedReplayer
+from repro.workloads.registry import get_workload
+
+
+def _rules(findings):
+    return {f.rule_id for f in findings}
+
+
+@pytest.fixture(scope="module")
+def run():
+    """One real pipeline run's artifacts (tiny scale), shared per module."""
+    scale = get_scale("tiny")
+    workload = get_workload("demo-matrix-1", None, 4, scale=scale)
+    pipeline = LoopPointPipeline(
+        workload, options=LoopPointOptions(scale=scale)
+    )
+    pinball = pipeline.record()
+    profile = pipeline.profile()
+    selection = pipeline.select()
+    builder = DCFGBuilder(workload.program, pinball.nthreads)
+    ConstrainedReplayer(
+        workload.program, pinball, observers=(builder,)
+    ).run()
+    return {
+        "pipeline": pipeline,
+        "program": workload.program,
+        "profile": profile,
+        "selection": selection,
+        "dcfg": builder.result(),
+    }
+
+
+class TestCleanRun:
+    def test_no_findings_on_genuine_artifacts(self, run):
+        findings = run_xar_passes(
+            run["profile"], run["selection"].clusters, dcfg=run["dcfg"],
+            stage_keys=run["pipeline"].stage_keys(),
+        )
+        assert findings == []
+
+
+class TestXAR001BBVUniverse:
+    def test_clean(self, run):
+        assert check_bbv_universe(run["profile"], run["dcfg"]) == []
+
+    def test_fires_when_graph_misses_bbv_blocks(self, run):
+        # A graph claiming almost nothing executed cannot explain the
+        # BBV's instruction mass.
+        empty = DCFG(run["program"])
+        findings = check_bbv_universe(run["profile"], empty)
+        assert _rules(findings) == {"XAR001"}
+
+    def test_fires_on_single_excised_block(self, run):
+        profile, real = run["profile"], run["dcfg"]
+        import numpy as np
+
+        matrix = np.asarray(profile.bbv_matrix())
+        nblocks = matrix.shape[1] // profile.nthreads
+        hot = int(np.nonzero(matrix.sum(axis=0))[0][0]) % nblocks
+        pruned = DCFG(run["program"])
+        for (src, dst), count in real.edge_counts.items():
+            if hot not in (src, dst):
+                pruned.add_edge(src, dst, count)
+        for bid, count in real.node_counts.items():
+            if bid != hot:
+                pruned.add_node_executions(bid, count)
+        findings = check_bbv_universe(profile, pruned)
+        assert _rules(findings) == {"XAR001"}
+        assert any(str(hot) in f.location for f in findings)
+
+
+class TestXAR002ClusterWeights:
+    def test_clean(self, run):
+        assert check_cluster_weights(
+            run["profile"], run["selection"].clusters
+        ) == []
+
+    def test_fires_on_doubled_multiplier(self, run):
+        clusters = [
+            dataclasses.replace(c, multiplier=c.multiplier * 2)
+            for c in run["selection"].clusters
+        ]
+        findings = check_cluster_weights(run["profile"], clusters)
+        assert "XAR002" in _rules(findings)
+        assert any("sum to" in f.message for f in findings)
+
+    def test_fires_on_non_uniform_rescale(self, run):
+        clusters = list(run["selection"].clusters)
+        if len(clusters) < 2:
+            pytest.skip("needs at least two clusters")
+        clusters[0] = dataclasses.replace(
+            clusters[0], multiplier=clusters[0].multiplier * 1.5
+        )
+        findings = check_cluster_weights(run["profile"], clusters)
+        assert "XAR002" in _rules(findings)
+        assert any("not uniform" in f.message for f in findings)
+
+    def test_fires_on_silent_rescale_without_drops(self, run):
+        # Uniformly rescaled multipliers with no dropped regions violate
+        # Eq. (2) — renormalization without a cause.
+        clusters = [
+            dataclasses.replace(c, multiplier=c.multiplier * 1.25)
+            for c in run["selection"].clusters
+        ]
+        findings = check_cluster_weights(run["profile"], clusters, dropped=())
+        assert "XAR002" in _rules(findings)
+
+    def test_renormalized_degraded_run_is_clean(self, run):
+        # A legitimate degradation: drop one cluster, renormalize the
+        # rest the way the pipeline does.  Weights sum to 1 again and
+        # the rescale factor is uniform, so XAR002 stays quiet.
+        from repro.resilience.health import renormalize_clusters
+
+        clusters = list(run["selection"].clusters)
+        if len(clusters) < 2:
+            pytest.skip("needs at least two clusters")
+        dropped = {clusters[0].representative}
+        kept, coverage = renormalize_clusters(clusters, dropped)
+        assert 0 < coverage < 1
+        findings = check_cluster_weights(
+            run["profile"], kept, dropped=sorted(dropped)
+        )
+        assert findings == []
+
+    def test_fires_on_nonpositive_mass(self, run):
+        clusters = [dataclasses.replace(
+            run["selection"].clusters[0], instruction_mass=0.0
+        )]
+        findings = check_cluster_weights(run["profile"], clusters)
+        assert "XAR002" in _rules(findings)
+
+
+class TestXAR003SelectionBoundaries:
+    def test_clean(self, run):
+        assert check_selection_boundaries(
+            run["profile"], run["selection"].clusters
+        ) == []
+
+    def test_fires_on_out_of_range_representative(self, run):
+        clusters = [dataclasses.replace(
+            run["selection"].clusters[0],
+            representative=run["profile"].num_slices + 7,
+        )]
+        findings = check_selection_boundaries(run["profile"], clusters)
+        assert "XAR003" in _rules(findings)
+
+    def test_fires_when_rep_not_a_member(self, run):
+        first = run["selection"].clusters[0]
+        members = [m for m in first.members if m != first.representative]
+        clusters = [dataclasses.replace(first, members=members)]
+        findings = check_selection_boundaries(run["profile"], clusters)
+        assert "XAR003" in _rules(findings)
+        assert any(
+            "not a member" in f.message for f in findings
+        )
+
+    def test_fires_on_overlapping_clusters(self, run):
+        clusters = list(run["selection"].clusters)
+        if len(clusters) < 2:
+            pytest.skip("needs at least two clusters")
+        stolen = clusters[0].members[0]
+        clusters[1] = dataclasses.replace(
+            clusters[1], members=clusters[1].members + [stolen]
+        )
+        findings = check_selection_boundaries(run["profile"], clusters)
+        assert "XAR003" in _rules(findings)
+        assert any("disjoint" in f.message for f in findings)
+
+    def test_fires_on_unrecorded_boundary_pc(self, run):
+        # A selection made against a different profile: the slices'
+        # boundary markers are not among this profile's marker PCs.
+        stale = dataclasses.replace(run["profile"], marker_pcs=[0x9999])
+        findings = check_selection_boundaries(
+            stale, run["selection"].clusters
+        )
+        assert "XAR003" in _rules(findings)
+        assert any("different profile" in f.message for f in findings)
+
+    def test_fires_on_orphaned_slices(self, run):
+        clusters = [run["selection"].clusters[0]]
+        if len(run["selection"].clusters) < 2:
+            pytest.skip("needs at least two clusters")
+        findings = check_selection_boundaries(run["profile"], clusters)
+        assert any("belong to no cluster" in f.message for f in findings)
+
+
+class TestXAR004ManifestKeys:
+    def _manifest(self, tmp_path, events):
+        path = tmp_path / "manifest.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event) + "\n")
+        return str(path)
+
+    def test_clean_manifest_matches_stage_keys(self, run, tmp_path):
+        keys = run["pipeline"].stage_keys()
+        path = self._manifest(tmp_path, [
+            {"event": "run-start", "keys": keys},
+            {"event": "done", "stage": "record", "key": keys["record"]},
+            {"event": "done", "stage": "profile", "key": keys["profile"]},
+        ])
+        assert check_manifest_keys(path, keys) == []
+
+    def test_fires_on_key_divergence(self, run, tmp_path):
+        keys = run["pipeline"].stage_keys()
+        path = self._manifest(tmp_path, [
+            {"event": "run-start", "keys": keys},
+            {"event": "done", "stage": "record", "key": "f" * 64},
+        ])
+        findings = check_manifest_keys(path, keys)
+        assert _rules(findings) == {"XAR004"}
+        assert any("different configuration" in f.message for f in findings)
+
+    def test_fires_on_journaled_artifact_missing_from_cache(
+        self, run, tmp_path
+    ):
+        keys = run["pipeline"].stage_keys()
+        cache = ArtifactCache(tmp_path / "cache")
+        path = self._manifest(tmp_path, [
+            {"event": "done", "stage": "record", "key": keys["record"]},
+        ])
+        findings = check_manifest_keys(path, keys, cache=cache)
+        assert _rules(findings) == {"XAR004"}
+        assert any("no such artifact" in f.message for f in findings)
+
+    def test_journaled_artifact_present_in_cache_is_clean(
+        self, run, tmp_path
+    ):
+        pipeline = run["pipeline"]
+        keys = pipeline.stage_keys()
+        cache = ArtifactCache(tmp_path / "cache")
+        cache.store("record", pipeline._record_material(), object())
+        path = self._manifest(tmp_path, [
+            {"event": "done", "stage": "record", "key": keys["record"]},
+        ])
+        assert check_manifest_keys(path, keys, cache=cache) == []
+
+    def test_counts_corrupt_lines(self, run, tmp_path):
+        keys = run["pipeline"].stage_keys()
+        path = tmp_path / "manifest.jsonl"
+        path.write_text('{"event": "run-start", "keys": {}}\n{torn', "utf-8")
+        findings = check_manifest_keys(str(path), keys)
+        assert any("corrupt journal line" in f.message for f in findings)
+
+
+def _trace(spans, end, metrics=()):
+    data = TraceData(path="t.trace", root_pid=100)
+    data.spans = list(spans)
+    data.end = end
+    data.metrics = list(metrics)
+    return data
+
+
+def _span(i, pid=100, attrs=None):
+    return SpanRecord(
+        span_id=f"s{i}", name=f"stage:{i}", pid=pid, t0=float(i),
+        dur=0.5, cpu=0.0, parent=None, attrs=attrs or {},
+    )
+
+
+class TestXAR005TraceCounters:
+    def test_clean(self):
+        data = _trace([_span(0), _span(1)], end={"spans": 2})
+        assert check_trace_counters(data) == []
+
+    def test_fires_on_span_count_mismatch(self):
+        data = _trace([_span(0)], end={"spans": 5})
+        findings = check_trace_counters(data)
+        assert _rules(findings) == {"XAR005"}
+
+    def test_worker_spans_do_not_count_against_root(self):
+        data = _trace(
+            [_span(0), _span(1, pid=200)], end={"spans": 1}
+        )
+        assert check_trace_counters(data) == []
+
+    def test_fires_when_hit_spans_exceed_counters(self):
+        data = _trace(
+            [_span(i, attrs={"cache": "hit"}) for i in range(3)],
+            end={"spans": 3},
+            metrics=[{"metrics": {"counters": {"cache.hits": 1}}}],
+        )
+        findings = check_trace_counters(data)
+        assert _rules(findings) == {"XAR005"}
+        assert any("cache=hit" in f.message for f in findings)
+
+    def test_hit_spans_within_counters_are_clean(self):
+        # Restore-time loads increment counters without per-stage spans,
+        # so span-claimed hits may legitimately undershoot the counter.
+        data = _trace(
+            [_span(0, attrs={"cache": "hit"})],
+            end={"spans": 1},
+            metrics=[{"metrics": {"counters": {"cache.hits": 4}}}],
+        )
+        assert check_trace_counters(data) == []
+
+    def test_truncated_parse_is_not_judged(self):
+        data = _trace([_span(0)], end={"spans": 9})
+        data.truncated = True
+        assert check_trace_counters(data) == []
