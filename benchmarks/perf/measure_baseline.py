@@ -106,10 +106,14 @@ def main(argv=None) -> int:
         },
         # Minimum fast-path speedup ratios CI enforces (see bench.py):
         # measured in the same process against the legacy path, so they are
-        # machine-portable, unlike the absolute walls above.
+        # machine-portable, unlike the absolute walls above.  The gate
+        # fires at floor * 0.75 (REGRESSION_MARGIN), and CI measures in
+        # --smoke mode, so each floor must clear smoke-size ratios too —
+        # select's floor stays well under its full-size ratio because the
+        # GEMM advantage shrinks on the smoke-size population.
         "expected_min_ratio": {
-            "engine_fine": 2.0,
-            "engine_coarse": 1.2,
+            "engine_fine": 12.0,
+            "engine_coarse": 3.4,
             "select": 1.5,
         },
     }

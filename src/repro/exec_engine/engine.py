@@ -24,15 +24,19 @@ batched path is just faster.  Select with ``batch_events=`` or the
 from __future__ import annotations
 
 import random
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
-from ..config import default_batch_events
+import numpy as np
+
+from ..config import default_batch_events, default_sched_compile
 from ..errors import DeadlockError, ExecutionError
 from ..obs.tracer import active_metrics
 from ..isa.blocks import BasicBlock
 from ..isa.image import Program
+from ..perf.kernels import VALID_TIERS, get_kernel, select_tier
 from ..perf.ring import DEFAULT_CAPACITY, EventRing
 from ..policy import WaitPolicy
 from .events import (
@@ -44,6 +48,7 @@ from .events import (
     Reduce,
     SingleRequest,
     SYNC_BARRIER,
+    SYNC_BARRIER_REL,
     SYNC_CHUNK,
     SYNC_LOCK_ACQ,
     SYNC_LOCK_REL,
@@ -51,6 +56,20 @@ from .events import (
 )
 from .flowcontrol import FlowControl
 from .observers import Observer
+from .schedcore import (
+    OP_BARRIER,
+    OP_CHUNK,
+    OP_DONE,
+    OP_SINGLE,
+    OP_SYNC,
+    OP_TABLE,
+    OP_TILED,
+    compile_streams,
+)
+
+#: Buffered sync events are flushed to observers in runs of at most this
+#: many (matches the block ring's default capacity; bounds buffer memory).
+SYNC_BUFFER_LIMIT = 8192
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..runtime.omp import OmpRuntime
@@ -117,9 +136,23 @@ class ExecutionEngine:
         max_events: Optional[int] = None,
         batch_events: Optional[bool] = None,
         batch_capacity: int = DEFAULT_CAPACITY,
+        sched_compile: Optional[bool] = None,
+        kernel_tier: Optional[str] = None,
     ) -> None:
         if nthreads < 1:
             raise ExecutionError(f"need at least one thread, got {nthreads}")
+        if kernel_tier is None:
+            kernel_tier = select_tier()
+        elif kernel_tier not in VALID_TIERS:
+            raise ValueError(
+                f"kernel_tier must be one of {VALID_TIERS}, "
+                f"got {kernel_tier!r}"
+            )
+        #: Scheduler-kernel tier (see :mod:`repro.perf.kernels`):
+        #: ``reference`` keeps every configuration test as a runtime
+        #: branch; ``compiled``/``auto`` fold this run's configuration out
+        #: of the hot loop's bytecode.  Bit-identical by construction.
+        self.kernel_tier = kernel_tier
         self.program = program
         self.thread_program = thread_program
         self.omp = omp
@@ -168,8 +201,53 @@ class ExecutionEngine:
         self._rng = random.Random(seed)
         #: Set whenever any thread's state changes; the scheduler only
         #: rebuilds its runnable list (and re-checks completion/deadlock)
-        #: on dirty rounds.
+        #: on dirty rounds.  The cached run-queue (and its numpy mirror for
+        #: columnar flow control, see :meth:`_rebuild_runnable`) is keyed
+        #: off this flag.
         self._sched_dirty = True
+        self._runnable: List[int] = []
+        self._runnable_arr = None
+        #: Observers that actually override ``on_sync``: the per-sync
+        #: dispatch loop skips base-class no-ops.
+        self._sync_obs = [
+            ob for ob in self.observers
+            if type(ob).on_sync is not Observer.on_sync
+            or type(ob).on_sync_batch is not Observer.on_sync_batch
+            or type(ob).on_sync_rows is not Observer.on_sync_rows
+        ]
+        #: Split of ``_sync_obs`` for buffered delivery: observers that
+        #: natively consume row batches get the buffer list itself (no
+        #: transpose); the rest get columns via ``on_sync_batch``.
+        self._sync_obs_rows = [
+            ob for ob in self._sync_obs
+            if type(ob).on_sync_rows is not Observer.on_sync_rows
+        ]
+        self._sync_obs_cols = [
+            ob for ob in self._sync_obs
+            if type(ob).on_sync_rows is Observer.on_sync_rows
+        ]
+        #: Sync-event buffer: ``(tid, kind, obj_id, response, gseq)`` rows,
+        #: unzipped into columns at flush.  Active only when every observer
+        #: declared its final state independent of block/sync interleaving
+        #: (the ring's ``flush_on_sync`` is False): syncs then reach
+        #: observers through ``on_sync_batch`` in gseq-ordered runs instead
+        #: of one Python call per observer per sync.  ``None`` means
+        #: per-event delivery.
+        self._sync_buf = (
+            []
+            if self._ring is not None and not self._ring.flush_on_sync
+            else None
+        )
+        #: Per-thread scheduler tapes (see repro.exec_engine.schedcore),
+        #: compiled when the batched path is active and every construct is
+        #: a known built-in; ``None`` falls back to the generator path.
+        if sched_compile is None:
+            sched_compile = default_sched_compile()
+        self._streams = (
+            compile_streams(thread_program, nthreads)
+            if (self._ring is not None and sched_compile)
+            else None
+        )
 
     # -- shared bookkeeping -------------------------------------------------
 
@@ -191,14 +269,41 @@ class ExecutionEngine:
     def _sync(self, tid: int, kind: str, obj_id: int, response) -> None:
         g = self._gseq
         self._gseq = g + 1
+        buf = self._sync_buf
+        if buf is not None:
+            buf.append((tid, kind, obj_id, response, g))
+            if len(buf) >= SYNC_BUFFER_LIMIT:
+                self._flush_syncs()
+            return
         ring = self._ring
         if ring is not None and ring.flush_on_sync:
             # Some attached observer correlates the block and sync streams
             # (lint concurrency passes, DCFG building): every buffered
             # block event must precede this sync action.
             ring.flush()
-        for ob in self.observers:
+        for ob in self._sync_obs:
             ob.on_sync(tid, kind, obj_id, response, g)
+
+    def _flush_syncs(self) -> None:
+        """Deliver the buffered sync events in one batch per observer.
+
+        The buffer holds rows (one tuple append per sync on the hot path).
+        Row-native observers receive the buffer directly through
+        ``on_sync_rows`` (they copy it; the list is cleared and reused
+        here); the ``zip(*)`` transpose into columns only runs when some
+        attached observer still takes ``on_sync_batch``.
+        """
+        buf = self._sync_buf
+        if not buf:
+            return
+        for ob in self._sync_obs_rows:
+            ob.on_sync_rows(buf)
+        cols_obs = self._sync_obs_cols
+        if cols_obs:
+            tids, kinds, obj_ids, responses, gseqs = zip(*buf)
+            for ob in cols_obs:
+                ob.on_sync_batch(tids, kinds, obj_ids, responses, gseqs)
+        buf.clear()
 
     # -- synchronization handling --------------------------------------------
 
@@ -222,7 +327,7 @@ class ExecutionEngine:
         arrived.append(thread.tid)
         if len(arrived) == self.nthreads:
             for tid2 in arrived:
-                self._sync(tid2, SYNC_BARRIER + "_rel", bid, None)
+                self._sync(tid2, SYNC_BARRIER_REL, bid, None)
                 other = self._threads[tid2]
                 if other is not thread:
                     self._wake_thread(other)
@@ -298,8 +403,68 @@ class ExecutionEngine:
 
     # -- main loop ------------------------------------------------------------
 
+    def _rebuild_runnable(self) -> Optional[List[int]]:
+        """Recompute the cached run-queue; called on dirty rounds only.
+
+        Returns the runnable tid list, or ``None`` when every thread is
+        done.  Raises :class:`DeadlockError` when live threads are all
+        blocked.  With flow control attached, the queue's numpy mirror is
+        rebuilt too — the columnar eligible-selection path reuses it every
+        round until the next invalidation.
+        """
+        threads = self._threads
+        runnable = [
+            t.tid for t in threads if t.state is ThreadState.RUNNABLE
+        ]
+        self._runnable = runnable
+        self._sched_dirty = False
+        if not runnable:
+            if all(t.state is ThreadState.DONE for t in threads):
+                return None
+            blocked = [
+                t.tid for t in threads if t.state is ThreadState.BLOCKED
+            ]
+            raise DeadlockError(
+                f"all live threads blocked: {blocked} "
+                f"(barriers={dict(self._barriers)!r})"
+            )
+        if self.flow_control is not None:
+            self._runnable_arr = np.array(runnable, dtype=np.int64)
+        return runnable
+
+    def _finish_run(self, num_events: int) -> EngineResult:
+        """Common end-of-run tail: counts, observer finish, metrics."""
+        self.num_events = num_events
+        ring = self._ring
+        if ring is not None:
+            self.exec_counts = ring.exec_counts()  # flushes the ring
+        if self._sync_buf is not None:
+            self._flush_syncs()
+        for ob in self.observers:
+            ob.on_finish()
+        reg = active_metrics()
+        if reg is not None:  # once per run, never per event
+            reg.inc("engine.runs")
+            reg.inc("engine.events", num_events)
+            if ring is not None:
+                reg.inc("engine.ring.flushes", ring.flushes)
+                reg.inc("engine.ring.small_flushes", ring.small_flushes)
+                reg.inc("engine.ring.events_flushed", ring.events_flushed)
+        return EngineResult(
+            total_instructions=self.total_instructions,
+            filtered_instructions=self.filtered_instructions,
+            per_thread_total=list(self.per_thread_total),
+            per_thread_filtered=list(self.per_thread_filtered),
+            exec_counts=[list(row) for row in self.exec_counts],
+            num_events=self.num_events,
+            wait_policy=self.wait_policy,
+            seed=self.seed,
+        )
+
     def run(self) -> EngineResult:
         """Execute the program to completion and return the summary."""
+        if self._streams is not None:
+            return self._run_compiled()
         threads = self._threads
         spin_block = self.omp.spin_block
         spin_iters = self.omp.spin.iterations_per_visit
@@ -323,10 +488,9 @@ class ExecutionEngine:
         num_events = 0
         self._sched_dirty = True
         if ring is not None:
-            ring_tids, ring_bids, ring_repeats = ring.buffers()
-            append_tid = ring_tids.append
-            append_bid = ring_bids.append
-            append_repeat = ring_repeats.append
+            ring_rows = ring.buffers()
+            append_row = ring_rows.append
+            ring_encode = ring.encode
             ring_capacity = ring.capacity
             ring_flush = ring.flush
 
@@ -335,22 +499,9 @@ class ExecutionEngine:
             # exit — the runnable list (and the completion/deadlock check)
             # is recomputed only on rounds after such a change.
             if self._sched_dirty:
-                runnable = [
-                    t.tid for t in threads if t.state is runnable_state
-                ]
-                self._sched_dirty = False
-                if not runnable:
-                    if all(t.state is ThreadState.DONE for t in threads):
-                        break
-                    blocked = [
-                        t.tid
-                        for t in threads
-                        if t.state is ThreadState.BLOCKED
-                    ]
-                    raise DeadlockError(
-                        f"all live threads blocked: {blocked} "
-                        f"(barriers={dict(self._barriers)!r})"
-                    )
+                runnable = self._rebuild_runnable()
+                if runnable is None:
+                    break
 
             # Blocked threads under the ACTIVE policy burn spin iterations
             # every scheduling round — host-schedule-dependent instruction
@@ -361,7 +512,9 @@ class ExecutionEngine:
                         self._exec_block(t.tid, spin_block, spin_iters)
 
             if flow is not None:
-                eligible = flow.eligible(per_thread_filtered, runnable)
+                eligible = flow.eligible(
+                    per_thread_filtered, runnable, self._runnable_arr
+                )
             else:
                 eligible = runnable
             # Inlined ``rng.randrange(len(eligible))``: the exact
@@ -405,10 +558,10 @@ class ExecutionEngine:
                         if not event.is_library:
                             filtered_acc += n
                             ptf += n
-                        append_tid(tid)
-                        append_bid(event.bid)
-                        append_repeat(event.repeat)
-                        if len(ring_tids) >= ring_capacity:
+                        append_row(
+                            ring_encode(tid, event.bid, event.repeat)
+                        )
+                        if len(ring_rows) >= ring_capacity:
                             ring_flush()
                     else:
                         per_thread_total[tid] = ptt
@@ -450,26 +603,57 @@ class ExecutionEngine:
                     f"program"
                 )
 
-        self.num_events = num_events
-        if ring is not None:
-            self.exec_counts = ring.exec_counts()  # flushes the ring
-        for ob in self.observers:
-            ob.on_finish()
-        reg = active_metrics()
-        if reg is not None:  # once per run, never per event
-            reg.inc("engine.runs")
-            reg.inc("engine.events", num_events)
-            if ring is not None:
-                reg.inc("engine.ring.flushes", ring.flushes)
-                reg.inc("engine.ring.small_flushes", ring.small_flushes)
-                reg.inc("engine.ring.events_flushed", ring.events_flushed)
-        return EngineResult(
-            total_instructions=self.total_instructions,
-            filtered_instructions=self.filtered_instructions,
-            per_thread_total=list(self.per_thread_total),
-            per_thread_filtered=list(self.per_thread_filtered),
-            exec_counts=[list(row) for row in self.exec_counts],
-            num_events=self.num_events,
-            wait_policy=self.wait_policy,
-            seed=self.seed,
+        return self._finish_run(num_events)
+
+    def _run_compiled(self) -> EngineResult:
+        """The tape-driven hot loop (see :mod:`.schedcore`).
+
+        Bit-identical to :meth:`run`'s generator paths: identical event
+        order, rng-stream consumption, observer state and result.  The
+        differences are purely mechanical — block runs are consumed with
+        one ``bisect_left`` over a cumulative-instruction list per quantum
+        and C-speed slice ``extend``s into the ring buffers; barrier ops
+        are handled inline (columnar sync buffering, direct ring appends)
+        instead of through the per-event handler chain; and the run-queue
+        is maintained incrementally with sorted inserts/removes instead of
+        being rebuilt from thread states on every invalidation.
+
+        The loop itself lives in :mod:`repro.perf.kernels` as a source
+        template rendered per :attr:`kernel_tier`: the ``reference`` tier
+        keeps every configuration test as a runtime branch, the
+        ``compiled`` tier folds this run's configuration (wait policy,
+        flow control, event bounding) out of the bytecode.  Both renders
+        share one statement of the semantics, so they are bit-identical
+        by construction.
+        """
+        kernel = get_kernel(
+            self.kernel_tier,
+            active=self.wait_policy is WaitPolicy.ACTIVE,
+            flow=self.flow_control is not None,
+            bounded=self.max_events is not None,
+            namespace=_KERNEL_NAMESPACE,
         )
+        return kernel(self)
+
+#: Globals for the rendered scheduler kernels (see
+#: :func:`repro.perf.kernels.get_kernel`): everything the template
+#: references that is not reachable from the engine instance.  Passed in
+#: by the engine so the kernels module never imports this one.
+_KERNEL_NAMESPACE = {
+    "np": np,
+    "bisect_left": bisect_left,
+    "ThreadState": ThreadState,
+    "WaitPolicy": WaitPolicy,
+    "DeadlockError": DeadlockError,
+    "ExecutionError": ExecutionError,
+    "SYNC_BARRIER": SYNC_BARRIER,
+    "SYNC_BARRIER_REL": SYNC_BARRIER_REL,
+    "SYNC_BUFFER_LIMIT": SYNC_BUFFER_LIMIT,
+    "OP_TILED": OP_TILED,
+    "OP_TABLE": OP_TABLE,
+    "OP_SYNC": OP_SYNC,
+    "OP_CHUNK": OP_CHUNK,
+    "OP_SINGLE": OP_SINGLE,
+    "OP_BARRIER": OP_BARRIER,
+    "OP_DONE": OP_DONE,
+}

@@ -126,6 +126,9 @@ class Reduce(Event):
 
 #: Sync-event kind tags used by the recorder / replayer.
 SYNC_BARRIER = "barrier"
+#: The release half of a barrier: one per participating thread, emitted by
+#: the engine when the last arrival opens the barrier.
+SYNC_BARRIER_REL = SYNC_BARRIER + "_rel"
 SYNC_LOCK_ACQ = "lock_acq"
 SYNC_LOCK_REL = "lock_rel"
 SYNC_CHUNK = "chunk"

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple, TYPE_CHECKING
 import numpy as np
 
 from ..isa.blocks import BasicBlock
+from ..perf.ring import FLAG_LIBRARY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..perf.ring import EventBatch
@@ -37,6 +38,15 @@ class Observer:
     #: logs — set this False so sync-dense programs can amortize batches
     #: across syncs.
     needs_flush_before_sync = True
+
+    #: Whether this observer reads ``EventBatch.start_index``.  True (the
+    #: safe default) because the base ``on_block_batch`` shim replays
+    #: batches through ``on_block(tid, block, repeat, start_index)``.
+    #: Observers that override ``on_block_batch`` without touching the
+    #: column set this False; when every attached observer does, the ring
+    #: skips the argsort-based start-index reconstruction at flush time
+    #: and advances its count table with a cheap scatter-add instead.
+    needs_start_index = True
 
     def on_block(
         self, tid: int, block: BasicBlock, repeat: int, start_index: int
@@ -65,49 +75,135 @@ class Observer:
     ) -> None:
         """A synchronization action with global sequence number ``gseq``."""
 
+    def on_sync_batch(
+        self,
+        tids: List[int],
+        kinds: List[str],
+        obj_ids: List[int],
+        responses: list,
+        gseqs: List[int],
+    ) -> None:
+        """A run of buffered synchronization actions, in gseq order.
+
+        Drivers may buffer sync events (only when every attached observer
+        cleared ``needs_flush_before_sync``, i.e. declared its final state
+        independent of the block/sync interleaving) and deliver them here
+        in bulk.  The default replays through :meth:`on_sync` per event, so
+        per-event observers see identical calls.  The columns are parallel
+        sequences owned by the driver and only valid during the call —
+        copy, don't keep references.
+        """
+        on_sync = self.on_sync
+        for i in range(len(tids)):
+            on_sync(tids[i], kinds[i], obj_ids[i], responses[i], gseqs[i])
+
+    def on_sync_rows(self, rows) -> None:
+        """A run of buffered sync actions as ``(tid, kind, obj_id,
+        response, gseq)`` row tuples, in gseq order.
+
+        The row-oriented twin of :meth:`on_sync_batch`: drivers buffering
+        syncs as rows deliver through this method to observers that
+        override it (skipping the row→column transpose) and through
+        :meth:`on_sync_batch` otherwise.  The ``rows`` list is owned by the
+        driver and reused after the call — copy the rows (they are
+        immutable tuples), never keep the list itself.
+        """
+        on_sync = self.on_sync
+        for tid, kind, obj_id, response, gseq in rows:
+            on_sync(tid, kind, obj_id, response, gseq)
+
     def on_finish(self) -> None:
         """Execution completed."""
 
 
 class InstructionCounter(Observer):
-    """Counts instructions, split by image and by thread."""
+    """Counts instructions, split by image and by thread.
+
+    Batch deliveries are accepted as column references and reduced only on
+    the first counter read: the ring allocates fresh column arrays per
+    flush (never reused), so keeping the references is safe, and a run
+    whose counters nobody inspects pays five list appends per flush.
+    """
 
     needs_flush_before_sync = False  # pure accumulator; order-independent
+    needs_start_index = False  # batch reduction never reads start_index
 
     def __init__(self, nthreads: int) -> None:
         self.nthreads = nthreads
-        self.total = 0
-        self.filtered = 0  # application (non-library) instructions
-        self.per_thread_total = [0] * nthreads
-        self.per_thread_filtered = [0] * nthreads
-        self.per_block: Counter = Counter()
+        self._total = 0
+        self._filtered = 0  # application (non-library) instructions
+        self._per_thread_total = [0] * nthreads
+        self._per_thread_filtered = [0] * nthreads
+        self._per_block: Counter = Counter()
+        self._pending: List[tuple] = []
 
     def on_block(
         self, tid: int, block: BasicBlock, repeat: int, start_index: int
     ) -> None:
+        if self._pending:
+            self._drain()
         n = block.n_instr * repeat
-        self.total += n
-        self.per_thread_total[tid] += n
-        self.per_block[block.bid] += repeat
+        self._total += n
+        self._per_thread_total[tid] += n
+        self._per_block[block.bid] += repeat
         if not block.image.is_library:
-            self.filtered += n
-            self.per_thread_filtered[tid] += n
+            self._filtered += n
+            self._per_thread_filtered[tid] += n
 
     def on_block_batch(self, batch: "EventBatch") -> None:
-        n = batch.instructions
-        self.total += int(n.sum())
-        app = ~batch.is_library
-        self.filtered += int(n[app].sum())
-        by_thread = np.bincount(batch.tid, weights=n, minlength=self.nthreads)
-        by_thread_app = np.bincount(
-            batch.tid[app], weights=n[app], minlength=self.nthreads
+        self._pending.append(
+            (batch.tid, batch.bid, batch.repeat, batch.n_instr, batch.flags)
         )
-        for t in range(self.nthreads):
-            self.per_thread_total[t] += int(by_thread[t])
-            self.per_thread_filtered[t] += int(by_thread_app[t])
-        by_bid = np.bincount(batch.bid, weights=batch.repeat)
-        for b in np.flatnonzero(by_bid):
-            self.per_block[int(b)] += int(by_bid[b])
+
+    def _drain(self) -> None:
+        nthreads = self.nthreads
+        for tid, bid, repeat, n_instr, flags in self._pending:
+            n = n_instr * repeat
+            self._total += int(n.sum())
+            app = (flags & FLAG_LIBRARY) == 0
+            self._filtered += int(n[app].sum())
+            by_thread = np.bincount(tid, weights=n, minlength=nthreads)
+            by_thread_app = np.bincount(
+                tid[app], weights=n[app], minlength=nthreads
+            )
+            for t in range(nthreads):
+                self._per_thread_total[t] += int(by_thread[t])
+                self._per_thread_filtered[t] += int(by_thread_app[t])
+            by_bid = np.bincount(bid, weights=repeat)
+            for b in np.flatnonzero(by_bid):
+                self._per_block[int(b)] += int(by_bid[b])
+        self._pending.clear()
+
+    @property
+    def total(self) -> int:
+        if self._pending:
+            self._drain()
+        return self._total
+
+    @property
+    def filtered(self) -> int:
+        """Application (non-library) instructions."""
+        if self._pending:
+            self._drain()
+        return self._filtered
+
+    @property
+    def per_thread_total(self) -> List[int]:
+        if self._pending:
+            self._drain()
+        return self._per_thread_total
+
+    @property
+    def per_thread_filtered(self) -> List[int]:
+        if self._pending:
+            self._drain()
+        return self._per_thread_filtered
+
+    @property
+    def per_block(self) -> Counter:
+        if self._pending:
+            self._drain()
+        return self._per_block
 
     @property
     def library_instructions(self) -> int:
@@ -126,6 +222,7 @@ class SyncEventLog(Observer):
     # Records only the sync stream (gseq values come from the driver), so
     # block-batch flush timing cannot affect its final state.
     needs_flush_before_sync = False
+    needs_start_index = False  # block batches are ignored entirely
 
     def on_block_batch(self, batch: "EventBatch") -> None:
         """No-op: block events carry nothing this log records.
@@ -136,18 +233,51 @@ class SyncEventLog(Observer):
 
     def __init__(self, nthreads: int) -> None:
         self.nthreads = nthreads
-        #: Per-thread ``(kind, obj_id, gseq)`` sequences, in observed order.
-        self.per_thread: List[List[Tuple[str, int, int]]] = [
+        self._per_thread: List[List[Tuple[str, int, int]]] = [
             [] for _ in range(nthreads)
         ]
-        #: Every gseq value in observation order.
-        self.gseq_order: List[int] = []
+        self._gseq_order: List[int] = []
+        # Row batches accepted but not yet split per thread.  Splitting is
+        # deferred to the first read: a run that never inspects the log
+        # (perf harness, replay-only paths) pays one tuple copy per flush.
+        self._pending: List[tuple] = []
 
     def on_sync(
         self, tid: int, kind: str, obj_id: int, response, gseq: int
     ) -> None:
-        self.per_thread[tid].append((kind, obj_id, gseq))
-        self.gseq_order.append(gseq)
+        if self._pending:
+            self._drain()
+        self._per_thread[tid].append((kind, obj_id, gseq))
+        self._gseq_order.append(gseq)
+
+    def on_sync_rows(self, rows) -> None:
+        self._pending.append(tuple(rows))
+
+    def on_sync_batch(self, tids, kinds, obj_ids, responses, gseqs) -> None:
+        self._pending.append(tuple(zip(tids, kinds, obj_ids, responses, gseqs)))
+
+    def _drain(self) -> None:
+        per_thread = self._per_thread
+        order = self._gseq_order
+        for rows in self._pending:
+            for tid, kind, obj_id, _response, gseq in rows:
+                per_thread[tid].append((kind, obj_id, gseq))
+                order.append(gseq)
+        self._pending.clear()
+
+    @property
+    def per_thread(self) -> List[List[Tuple[str, int, int]]]:
+        """Per-thread ``(kind, obj_id, gseq)`` sequences, in observed order."""
+        if self._pending:
+            self._drain()
+        return self._per_thread
+
+    @property
+    def gseq_order(self) -> List[int]:
+        """Every gseq value in observation order."""
+        if self._pending:
+            self._drain()
+        return self._gseq_order
 
     def barrier_sequence(self, tid: int, kind: str = "barrier") -> List[int]:
         """Barrier object ids thread ``tid`` arrived at, in order."""
@@ -168,6 +298,8 @@ class TraceCollector(Observer):
     would misrepresent the run.
     """
 
+    needs_start_index = False  # stores only (tid, bid, repeat) columns
+
     def __init__(self, limit: Optional[int] = 5_000_000) -> None:
         # The block and sync streams are stored separately, so interleaving
         # only matters when a cap can clip them mid-run: truncation must
@@ -184,7 +316,15 @@ class TraceCollector(Observer):
         self._n_blocks = 0
         self._blocks_cache: Optional[List[Tuple[int, int, int]]] = None
         self._blocks_cache_n = -1
-        self.syncs: List[Tuple[int, str, int, object, int]] = []
+        # The sync trace mirrors the block trace's parts/tail layout:
+        # per-event appends land in the tail, batched row deliveries are
+        # kept as whole tuples and only concatenated when :attr:`syncs`
+        # is read.
+        self._sync_parts: List[tuple] = []
+        self._sync_tail: List[Tuple[int, str, int, object, int]] = []
+        self._n_syncs = 0
+        self._syncs_cache: Optional[List] = None
+        self._syncs_cache_n = -1
         self.limit = limit
         #: True once any event was dropped because the cap was reached.
         self.truncated = False
@@ -236,6 +376,18 @@ class TraceCollector(Observer):
             )
             self._n_blocks += take
 
+    @property
+    def syncs(self) -> List[Tuple[int, str, int, object, int]]:
+        """The recorded sync stream, in observed order."""
+        if self._syncs_cache_n != self._n_syncs:
+            out: List[Tuple[int, str, int, object, int]] = []
+            for part in self._sync_parts:
+                out.extend(part)
+            out.extend(self._sync_tail)
+            self._syncs_cache = out
+            self._syncs_cache_n = self._n_syncs
+        return self._syncs_cache
+
     def on_sync(
         self, tid: int, kind: str, obj_id: int, response, gseq: int
     ) -> None:
@@ -244,4 +396,21 @@ class TraceCollector(Observer):
             # meaningless for replay alignment; stop recording both.
             self.dropped_syncs += 1
             return
-        self.syncs.append((tid, kind, obj_id, response, gseq))
+        self._sync_tail.append((tid, kind, obj_id, response, gseq))
+        self._n_syncs += 1
+
+    def on_sync_rows(self, rows) -> None:
+        # Batched sync delivery only happens when this collector is
+        # unbounded (a finite limit sets needs_flush_before_sync, which
+        # disables sync buffering), so the truncation guard is for safety.
+        if self.truncated:
+            self.dropped_syncs += len(rows)
+            return
+        if self._sync_tail:
+            self._sync_parts.append(tuple(self._sync_tail))
+            self._sync_tail = []
+        self._sync_parts.append(tuple(rows))
+        self._n_syncs += len(rows)
+
+    def on_sync_batch(self, tids, kinds, obj_ids, responses, gseqs) -> None:
+        self.on_sync_rows(tuple(zip(tids, kinds, obj_ids, responses, gseqs)))

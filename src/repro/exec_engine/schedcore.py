@@ -1,0 +1,408 @@
+"""Compiled thread streams: columnar tapes for the scheduler hot loop.
+
+ROADMAP item 4: after the batched observer path landed, the wall clock of a
+functional execution is the *scheduler* — per-round Python work plus one
+generator ``send`` per event.  This module removes the per-event half.  A
+:class:`~repro.runtime.thread.ThreadProgram` whose constructs are all
+built-ins compiles into per-thread **tapes**: flat op lists whose block
+runs are columnar (``bids``, ``repeats``, cumulative instruction prefix
+sums), so the engine consumes a whole scheduling quantum with one
+``bisect`` over a prefix-sum list and C-speed slice ``extend``s into the
+:class:`~repro.perf.ring.EventRing` buffers, instead of resuming a
+generator once per event.
+
+Two block-run encodings exist:
+
+* ``OP_TILED`` — a constant-trip worker loop (the common case): one
+  iteration's event pattern plus per-iteration instruction totals.  The
+  engine replays ``n_iters`` copies arithmetically — compile cost is
+  ``O(events per iteration)``, independent of the iteration count, which
+  matters because engines are constructed per run.
+* ``OP_TABLE`` — an explicit event table with prefix sums, used where the
+  per-iteration pattern varies (iteration-dependent trip counts, atomic
+  interleavings, critical-section fragments, dynamic-schedule chunks
+  sliced via ``iter_off``).
+
+Synchronization stays event-at-a-time: ``OP_SYNC`` carries the *interned*
+sync event (one instance per construct, shared with the generator path)
+and dispatches through the engine's existing handlers, so barrier/lock
+semantics, gseq numbering and observer callbacks are untouched.
+
+Bit-identity contract: consuming a tape produces the exact event sequence,
+rng-stream consumption, observer callbacks and
+:class:`~repro.exec_engine.engine.EngineResult` of the generator path.
+Compilation is conservative: any construct subclass or combination this
+module does not understand makes :func:`compile_streams` return ``None``
+and the engine falls back to the generator fast path unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+#: Tape op codes.  Block runs (`OP_TILED`/`OP_TABLE`) are consumed by the
+#: engine's bisect loop; the rest dispatch one event through the engine's
+#: sync handlers.
+OP_TILED = 0   # (0, bids, reps, pre_t, pre_f, m, iter_t, iter_f, n_iters)
+OP_TABLE = 1   # (1, bids, reps, pre_t, pre_f, i0, i1)
+OP_SYNC = 2    # (2, event)
+OP_CHUNK = 3   # (3, event, bids, reps, pre_t, pre_f, iter_off)
+OP_SINGLE = 4  # (4, event, run_or_None)  run = (bids, reps, pre_t, pre_f)
+OP_BARRIER = 5  # (5, event)  a BarrierWait, inlined by the engine when the
+#                ring does not demand per-sync flushes
+OP_DONE = 6    # (6,)  end-of-tape sentinel appended to every stream, so the
+#                hot loop never compares the op index against a length
+
+#: The shared end-of-tape sentinel instance (``streams[tid][-1]`` always).
+DONE_OP = (OP_DONE,)
+
+
+class _Uncompilable(Exception):
+    """This program contains a construct the tape compiler cannot encode."""
+
+
+def _pattern_key(work) -> Optional[Tuple]:
+    """A structural identity for a constant-trip pattern, or ``None``.
+
+    Two :class:`LoopWork` instances over the same header and body blocks
+    with equal constant trip counts compile to identical pattern columns —
+    workload builders routinely construct hundreds of such clones (one per
+    phase repetition), and compilation happens per engine construction, so
+    recognizing them matters.  Keys hold ``id()``s of blocks that are alive
+    for the duration of the memo (one :func:`compile_streams` call), never
+    longer.
+    """
+    body_key = []
+    for block, trip in work.body:
+        if callable(trip):
+            return None
+        body_key.append((id(block), trip))
+    return (id(work.header), tuple(body_key))
+
+
+def _pattern_cols(work, memo: Optional[dict] = None) -> Optional[Tuple]:
+    """One iteration's event pattern as columns, or ``None`` (callable
+    trips).
+
+    Returns ``(bids, reps, pre_t, pre_f, m, iter_t, iter_f)`` where
+    ``pre_t[i]``/``pre_f[i]`` are total/filtered instructions of pattern
+    events ``[0, i)`` (length ``m + 1``) and ``iter_t``/``iter_f`` the full
+    iteration's totals.  Cached on the :class:`LoopWork` — the pattern is
+    range-independent — and, when ``memo`` is given, shared across
+    structurally identical works within one compilation.
+    """
+    cached = getattr(work, "_sched_pattern", None)
+    if cached is not None:
+        return cached or None
+    key = _pattern_key(work) if memo is not None else None
+    if key is not None:
+        hit = memo.get(key)
+        if hit is not None:
+            object.__setattr__(work, "_sched_pattern", hit)
+            return hit
+    if not work._plan_built:
+        work._build_plan()
+    plan = work._iter_plan
+    if plan is None:
+        # Iteration-dependent trip counts: no constant pattern.  Cache the
+        # negative result too (an empty tuple, distinguished from None).
+        object.__setattr__(work, "_sched_pattern", ())
+        return None
+    bids: List[int] = []
+    reps: List[int] = []
+    pre_t: List[int] = [0]
+    pre_f: List[int] = [0]
+    t = 0
+    f = 0
+    for ev in plan:
+        bids.append(ev.bid)
+        reps.append(ev.repeat)
+        t += ev.n_total
+        if not ev.is_library:
+            f += ev.n_total
+        pre_t.append(t)
+        pre_f.append(f)
+    cols = (bids, reps, pre_t, pre_f, len(bids), t, f)
+    object.__setattr__(work, "_sched_pattern", cols)
+    if key is not None:
+        memo[key] = cols
+    return cols
+
+
+class _Rows:
+    """An event-table builder tracking prefix sums and iteration offsets."""
+
+    __slots__ = ("bids", "reps", "pre_t", "pre_f", "iter_off")
+
+    def __init__(self) -> None:
+        self.bids: List[int] = []
+        self.reps: List[int] = []
+        self.pre_t: List[int] = [0]
+        self.pre_f: List[int] = [0]
+        self.iter_off: List[int] = []
+
+    def append(self, block, rep: int) -> None:
+        n = block.n_instr * rep
+        self.bids.append(block.bid)
+        self.reps.append(rep)
+        self.pre_t.append(self.pre_t[-1] + n)
+        self.pre_f.append(
+            self.pre_f[-1] + (0 if block.image.is_library else n)
+        )
+
+    def expand(self, block, n: int, batch_limit: int) -> None:
+        """The exact expansion :meth:`LoopWork.emit` performs."""
+        while n > batch_limit:
+            self.append(block, batch_limit)
+            n -= batch_limit
+        if n > 0:
+            self.append(block, n)
+
+    def __len__(self) -> int:
+        return len(self.bids)
+
+    def table_op(self) -> Optional[Tuple]:
+        if not self.bids:
+            return None
+        return (
+            OP_TABLE, self.bids, self.reps, self.pre_t, self.pre_f,
+            0, len(self.bids),
+        )
+
+
+def _emit_iteration(rows: _Rows, work, i: int, batch_limit: int) -> None:
+    """Append iteration ``i``'s events — header then expanded body blocks —
+    matching :meth:`LoopWork.emit` event for event."""
+    rows.append(work.header, 1)
+    for block, trip in work.body:
+        rows.expand(block, trip(i) if callable(trip) else trip, batch_limit)
+
+
+def _work_ops(
+    work, lo: int, hi: int, batch_limit: int,
+    memo: Optional[dict] = None,
+) -> List[Tuple]:
+    """Ops for plain iterations ``[lo, hi)`` of ``work`` (no crit/atomic)."""
+    if hi <= lo:
+        return []
+    pat = _pattern_cols(work, memo)
+    if pat is not None:
+        bids, reps, pre_t, pre_f, m, iter_t, iter_f = pat
+        if m == 0:
+            return []
+        return [(OP_TILED, bids, reps, pre_t, pre_f, m, iter_t, iter_f,
+                 hi - lo)]
+    rows = _Rows()
+    for i in range(lo, hi):
+        _emit_iteration(rows, work, i, batch_limit)
+    op = rows.table_op()
+    return [op] if op is not None else []
+
+
+def _crit_row(spec) -> Tuple:
+    """A one-event table op for a critical-section body block."""
+    rows = _Rows()
+    rows.append(spec.block, 1)
+    return rows.table_op()
+
+
+# Lazily-bound references into runtime.constructs (imported at first use;
+# a module-level import would be circular).  _compile_parallel_for runs
+# hundreds of times per compilation, so the per-call import machinery —
+# cheap but not free — is hoisted out of it.
+_SCHEDULE_STATIC = None
+_static_chunk = None
+
+
+def _compile_parallel_for(pf, nthreads: int, batch_limit: int, memo=None):
+    global _SCHEDULE_STATIC, _static_chunk
+    if _static_chunk is None:
+        from ..runtime.constructs import SCHEDULE_STATIC, static_chunk
+        _SCHEDULE_STATIC = SCHEDULE_STATIC
+        _static_chunk = static_chunk
+
+    work = pf.work
+    crit = pf.critical
+    atom = pf.atomic
+    tail: List[Tuple] = []
+    if pf.reduction:
+        tail.append((OP_SYNC, pf._reduce_event()))
+    if not pf.nowait:
+        tail.append((OP_BARRIER, pf._barrier_event()))
+
+    if pf.schedule == _SCHEDULE_STATIC:
+        # Constant-pattern chunks with no lock traffic compile to the same
+        # op list whenever their chunk *sizes* match (the tiled op rolls
+        # iterations arithmetically, so only ``hi - lo`` matters) — build
+        # each distinct size once and share the list across threads.
+        # Compilation happens per engine construction, so this is hot.
+        shared = (
+            {}
+            if crit is None and atom is None
+            and _pattern_cols(work, memo) is not None
+            else None
+        )
+        # Chunk boundaries depend only on (total_iters, nthreads): share
+        # them across the hundreds of same-shape constructs one compile
+        # sees (phase repetitions all split the same iteration space).
+        chunks = None
+        if memo is not None:
+            chunk_key = ("chunks", pf.total_iters, nthreads)
+            chunks = memo.get(chunk_key)
+        if chunks is None:
+            chunks = [
+                _static_chunk(pf.total_iters, nthreads, t)
+                for t in range(nthreads)
+            ]
+            if memo is not None:
+                memo[chunk_key] = chunks
+        per_tid = []
+        for tid in range(nthreads):
+            start, stop = chunks[tid]
+            if shared is not None:
+                ops = shared.get(stop - start)
+                if ops is None:
+                    ops = (
+                        _work_ops(work, start, stop, batch_limit, memo)
+                        + tail
+                    )
+                    shared[stop - start] = ops
+                per_tid.append(ops)
+                continue
+            if crit is None and atom is None:
+                ops = _work_ops(work, start, stop, batch_limit, memo)
+            elif crit is None:
+                # Atomic updates are plain block events: fold them into
+                # the iteration table in _iteration_events order.
+                rows = _Rows()
+                for i in range(start, stop):
+                    _emit_iteration(rows, work, i, batch_limit)
+                    if i % atom.every == 0:
+                        rows.append(atom.block, 1)
+                op = rows.table_op()
+                ops = [op] if op is not None else []
+            else:
+                # Critical sections interleave lock syncs mid-stream:
+                # flush the pending table at each lock boundary.
+                acq = pf._lock_acq_event()
+                rel = pf._lock_rel_event()
+                crit_op = _crit_row(crit)
+                ops = []
+                rows = _Rows()
+                for i in range(start, stop):
+                    _emit_iteration(rows, work, i, batch_limit)
+                    if i % crit.every == 0:
+                        op = rows.table_op()
+                        if op is not None:
+                            ops.append(op)
+                        rows = _Rows()
+                        ops.append((OP_SYNC, acq))
+                        ops.append(crit_op)
+                        ops.append((OP_SYNC, rel))
+                    if atom is not None and i % atom.every == 0:
+                        rows.append(atom.block, 1)
+                op = rows.table_op()
+                if op is not None:
+                    ops.append(op)
+            per_tid.append(ops + tail)
+        return per_tid
+
+    # Dynamic schedule: one shared table over the whole iteration space,
+    # sliced per granted chunk via iter_off.  Lock syncs cannot be placed
+    # inside a chunk-granted run, so dynamic + critical falls back.
+    if crit is not None:
+        raise _Uncompilable("dynamic schedule with critical section")
+    rows = _Rows()
+    for i in range(pf.total_iters):
+        rows.iter_off.append(len(rows))
+        _emit_iteration(rows, work, i, batch_limit)
+        if atom is not None and i % atom.every == 0:
+            rows.append(atom.block, 1)
+    rows.iter_off.append(len(rows))
+    op = (OP_CHUNK, pf._chunk_event(), rows.bids, rows.reps,
+          rows.pre_t, rows.pre_f, rows.iter_off)
+    ops = [op] + tail
+    return [ops] * nthreads
+
+
+def _compile_serial(c, nthreads: int, batch_limit: int, memo=None):
+    barrier = (OP_BARRIER, c._barrier_event())
+    master_ops = _work_ops(c.work, 0, c.iters, batch_limit, memo) + [barrier]
+    waiter_ops = [barrier]
+    return [master_ops] + [waiter_ops] * (nthreads - 1)
+
+
+def _compile_barrier(c, nthreads: int):
+    ops = [(OP_BARRIER, c._barrier_event())]
+    return [ops] * nthreads
+
+
+def _compile_single(c, nthreads: int, batch_limit: int, memo=None):
+    rows = _Rows()
+    for i in range(c.iters):
+        _emit_iteration(rows, c.work, i, batch_limit)
+    run = (rows.bids, rows.reps, rows.pre_t, rows.pre_f) if rows.bids else None
+    ops = [(OP_SINGLE, c._single_event(), run),
+           (OP_BARRIER, c._barrier_event())]
+    return [ops] * nthreads
+
+
+def _compile_master(c, nthreads: int, batch_limit: int, memo=None):
+    master_ops = _work_ops(c.work, 0, c.iters, batch_limit, memo)
+    return [master_ops if tid == 0 else [] for tid in range(nthreads)]
+
+
+def compile_streams(thread_program, nthreads: int) -> Optional[List[List]]:
+    """Compile every construct for every thread into per-thread tapes.
+
+    Returns ``streams[tid] -> [op, ...]``, or ``None`` when any construct
+    is not compilable (unknown subclass, dynamic schedule with a critical
+    section) — the caller falls back to the generator path.  Per-construct
+    results are cached on the construct instance keyed by ``nthreads``, so
+    repeated engine construction over the same workload pays compilation
+    once.
+    """
+    from ..runtime.constructs import (
+        BATCH_LIMIT,
+        Barrier,
+        Master,
+        ParallelFor,
+        Serial,
+        Single,
+    )
+
+    # Pattern memo shared across this compilation: workloads that repeat a
+    # phase build hundreds of structurally identical LoopWork clones, and
+    # all of them compile to the same columns (see :func:`_pattern_key`).
+    memo: dict = {}
+    compilers = {
+        ParallelFor: lambda c: _compile_parallel_for(
+            c, nthreads, BATCH_LIMIT, memo
+        ),
+        Serial: lambda c: _compile_serial(c, nthreads, BATCH_LIMIT, memo),
+        Barrier: lambda c: _compile_barrier(c, nthreads),
+        Single: lambda c: _compile_single(c, nthreads, BATCH_LIMIT, memo),
+        Master: lambda c: _compile_master(c, nthreads, BATCH_LIMIT, memo),
+    }
+    streams: List[List] = [[] for _ in range(nthreads)]
+    for construct in thread_program.constructs:
+        compiler = compilers.get(type(construct))
+        if compiler is None:
+            # Exact type match only: a subclass may override run() with
+            # semantics the tape cannot represent.
+            return None
+        cache = getattr(construct, "_sched_tape_cache", None)
+        if cache is None:
+            cache = construct._sched_tape_cache = {}
+        per_tid = cache.get(nthreads)
+        if per_tid is None:
+            try:
+                per_tid = compiler(construct)
+            except _Uncompilable:
+                return None
+            cache[nthreads] = per_tid
+        for tid in range(nthreads):
+            streams[tid].extend(per_tid[tid])
+    for tape in streams:
+        tape.append(DONE_OP)
+    return streams

@@ -42,7 +42,13 @@ class BenchError(ReproError):
 
 
 #: Fraction of a recorded ``expected_min_ratio`` a measured ratio may lose
-#: before ``--check`` fails: >25% regression is a build failure.
+#: before ``--check`` fails: >25% regression is a build failure.  The gate
+#: therefore fires at ``floor * (1 - REGRESSION_MARGIN)`` = ``floor * 0.75``
+#: — which is why a floor of 1.2 historically showed up as the mysterious
+#: ``0.8999999999999999`` threshold in committed reports: that is just
+#: ``1.2 * 0.75`` in binary floating point.  Thresholds are now rounded
+#: before being reported (the comparison itself is unaffected: a honest
+#: floor is never set within 1e-9 of a measured ratio).
 REGRESSION_MARGIN = 0.25
 
 
@@ -239,13 +245,25 @@ def run_bench(
     }
 
 
-def check_report(report: Dict, baseline: Dict) -> Dict:
+def check_report(
+    report: Dict,
+    baseline: Dict,
+    *,
+    require_fresh_baseline: bool = False,
+) -> Dict:
     """Gate the in-process ratios against the baseline's recorded floors.
 
     A scenario fails when its measured legacy/fast ratio falls more than
     :data:`REGRESSION_MARGIN` below ``expected_min_ratio`` — i.e. the fast
     path regressed by >25% relative to what was recorded when the
-    optimization landed.
+    optimization landed (the threshold is ``floor * 0.75``).
+
+    The verdict also audits provenance: a report whose ``baseline_sha``
+    differs from the baseline's ``sha`` was recorded against a *different*
+    baseline than the one now in the tree — its ratios may gate against
+    floors that no longer exist.  Such a report is flagged ``stale``; with
+    ``require_fresh_baseline`` the staleness is a failure (CI checks
+    committed evidence this way), without it a warning.
     """
     expected = baseline.get("expected_min_ratio", {})
     checks = []
@@ -257,7 +275,7 @@ def check_report(report: Dict, baseline: Dict) -> Dict:
                 "reason": "scenario missing from this run",
             })
             continue
-        threshold = floor * (1.0 - REGRESSION_MARGIN)
+        threshold = round(floor * (1.0 - REGRESSION_MARGIN), 9)
         ok = data["ratio"] >= threshold
         checks.append({
             "scenario": name,
@@ -266,6 +284,20 @@ def check_report(report: Dict, baseline: Dict) -> Dict:
             "threshold": threshold,
             "pass": ok,
         })
+    recorded_sha = report.get("baseline_sha")
+    current_sha = baseline.get("sha")
+    stale = (
+        recorded_sha is not None
+        and current_sha is not None
+        and recorded_sha != current_sha
+    )
+    checks.append({
+        "scenario": "baseline_sha",
+        "recorded": recorded_sha,
+        "current": current_sha,
+        "stale": stale,
+        "pass": not (stale and require_fresh_baseline),
+    })
     return {"checks": checks, "pass": all(c["pass"] for c in checks)}
 
 
@@ -293,13 +325,20 @@ def format_summary(report: Dict) -> str:
     return "\n".join(lines)
 
 
-def main_check(report: Dict, baseline_path: Path) -> int:
+def main_check(
+    report: Dict,
+    baseline_path: Path,
+    *,
+    require_fresh_baseline: bool = False,
+) -> int:
     baseline = load_baseline(baseline_path)
     if baseline is None:
         print(f"no baseline at {baseline_path}; nothing to check",
               file=sys.stderr)
         return 2
-    verdict = check_report(report, baseline)
+    verdict = check_report(
+        report, baseline, require_fresh_baseline=require_fresh_baseline
+    )
     report["check"] = verdict
     for c in verdict["checks"]:
         status = "ok" if c["pass"] else "FAIL"
@@ -310,6 +349,20 @@ def main_check(report: Dict, baseline_path: Path) -> int:
                 f"threshold {c['threshold']:.2f}x)",
                 file=sys.stderr,
             )
+        elif c["scenario"] == "baseline_sha":
+            if c["stale"]:
+                print(
+                    f"  [{status}] baseline_sha: report was recorded "
+                    f"against {c['recorded']!r} but the tree's baseline "
+                    f"is {c['current']!r} (stale evidence — re-run "
+                    f"repro-bench)",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"  [{status}] baseline_sha: {c['current']!r}",
+                    file=sys.stderr,
+                )
         else:
             print(f"  [{status}] {c['scenario']}: {c['reason']}",
                   file=sys.stderr)

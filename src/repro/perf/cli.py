@@ -7,12 +7,19 @@ Modes:
 * ``--smoke`` — shrunken scenarios for CI (seconds of wall time); ratios
   only, no seed-speedup comparison (sizes differ from the baseline's).
 * ``--check`` — exit non-zero if any scenario's ratio regressed more than
-  25% below the baseline's recorded ``expected_min_ratio`` floor.
+  25% below the baseline's recorded ``expected_min_ratio`` floor (the
+  gate threshold is ``floor * 0.75``).
+* ``--report PATH`` — check a previously recorded report (the committed
+  ``BENCH_perf.json``) instead of re-measuring; implies ``--check``.
+* ``--strict-baseline`` — fail when the report's ``baseline_sha`` does
+  not match the tree's ``baseline.json``: evidence recorded against a
+  different baseline is stale and must be re-recorded.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -35,7 +42,13 @@ def main(argv=None) -> int:
                     help="shrunken CI scenarios (seconds, not minutes)")
     ap.add_argument("--check", action="store_true",
                     help="fail if ratios regress >25%% below the baseline "
-                         "floors")
+                         "floors (threshold = floor * 0.75)")
+    ap.add_argument("--report", type=Path, default=None,
+                    help="check this previously recorded report instead "
+                         "of re-measuring (implies --check)")
+    ap.add_argument("--strict-baseline", action="store_true",
+                    help="fail when the report's baseline_sha does not "
+                         "match the tree's baseline.json")
     ap.add_argument("--reps", type=int, default=5,
                     help="repetitions per measurement (median wins)")
     ap.add_argument("--baseline", type=Path, default=None,
@@ -47,6 +60,25 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     baseline_path = args.baseline or default_baseline_path()
+    if args.report is not None:
+        try:
+            report = json.loads(args.report.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"repro-bench: cannot read report {args.report}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if report.get("schema") != "repro-bench/1":
+            print(
+                f"repro-bench: unrecognized report schema in "
+                f"{args.report}: {report.get('schema')!r}",
+                file=sys.stderr,
+            )
+            return 2
+        return main_check(
+            report, baseline_path,
+            require_fresh_baseline=args.strict_baseline,
+        )
+
     try:
         report = run_bench(
             smoke=args.smoke, reps=args.reps, baseline_path=baseline_path,
@@ -57,7 +89,10 @@ def main(argv=None) -> int:
 
     status = 0
     if args.check:
-        status = main_check(report, baseline_path)
+        status = main_check(
+            report, baseline_path,
+            require_fresh_baseline=args.strict_baseline,
+        )
 
     output = args.output
     if output is None and not args.smoke:

@@ -61,6 +61,8 @@ class EventBatch:
     ``start_index[i]`` is thread ``tid[i]``'s execution count of block
     ``bid[i]`` *before* event ``i`` — the same value the per-event path
     passes to ``on_block`` — reconstructed vectorially at flush time.
+    When no attached observer declares ``needs_start_index``, the ring
+    skips the reconstruction and ``start_index`` is ``None``.
     ``blocks`` is the program's block table so shims (and observers that
     need block attributes not carried by a column) can resolve ``bid``.
     """
@@ -145,9 +147,11 @@ class EventRing:
     """Fixed-capacity block-event ring shared by the engine and replayer.
 
     :meth:`append` is the per-event hot path and does the minimum possible
-    work (three list appends and a capacity check); the derived columns —
-    ``n_instr``, ``flags`` from per-block tables, ``start_index`` from the
-    running execution-count table — materialize vectorially at flush.
+    work (one interning lookup, one list append and a capacity check); the
+    per-event columns — ``tid``/``bid``/``repeat`` decoded through per-code
+    tables, ``n_instr``/``flags`` from per-block tables, ``start_index``
+    from the running execution-count table — materialize vectorially at
+    flush.
 
     The ring owns the authoritative execution-count table while batching is
     active: drivers read it back through :meth:`exec_counts` after the final
@@ -175,6 +179,15 @@ class EventRing:
             getattr(ob, "needs_flush_before_sync", True)
             for ob in self.observers
         )
+        #: Whether any observer reads ``EventBatch.start_index``.  When
+        #: none does (every built-in batch consumer stores or reduces the
+        #: raw columns), flush skips the argsort-based reconstruction and
+        #: advances the count table with a scatter-add; the batch then
+        #: carries ``start_index=None``.
+        self.need_start_index = any(
+            getattr(ob, "needs_start_index", True)
+            for ob in self.observers
+        )
         nblocks = len(blocks)
         self._nblocks = nblocks
         self._n_instr_by_bid = np.array(
@@ -192,9 +205,18 @@ class EventRing:
                 raise ValueError("initial_exec_counts shape mismatch")
         else:
             self._flat_counts = np.zeros(nthreads * nblocks, dtype=np.int64)
-        self._tids: List[int] = []
-        self._bids: List[int] = []
-        self._repeats: List[int] = []
+        # Row interning: the event stream is massively repetitive (a
+        # handful of distinct ``(tid, bid, repeat)`` rows cover a whole
+        # run), so the buffer holds small integer *codes* instead of
+        # tuples and the per-event columns decode at flush time through
+        # tiny per-code lookup tables — one ``np.fromiter`` over the
+        # codes instead of three over raw columns.
+        self._codes: List[int] = []
+        self._code_of: dict = {}
+        self._code_rows: List[tuple] = []
+        self._tab_len = 0
+        self._tab_tid = self._tab_bid = self._tab_rep = None
+        self._tab_key = self._tab_ninstr = self._tab_flags = None
         # Flush accounting (plain ints: incremented once per *flush*, never
         # per event, so the hot path stays inside the perf-smoke floors).
         # Drivers report these to repro.obs's active registry at end of run.
@@ -202,28 +224,59 @@ class EventRing:
         self.small_flushes = 0
         self.events_flushed = 0
 
+    def encode(self, tid: int, bid: int, repeat: int) -> int:
+        """The interning code for one ``(tid, bid, repeat)`` row.
+
+        Codes are assigned densely in first-seen order; the decode
+        tables grow lazily and the cached numpy views are rebuilt at
+        the next flush that observes growth.
+        """
+        key = (tid, bid, repeat)
+        code = self._code_of.get(key)
+        if code is None:
+            code = len(self._code_rows)
+            self._code_of[key] = code
+            self._code_rows.append(key)
+        return code
+
     def append(self, tid: int, bid: int, repeat: int) -> None:
         """Buffer one block event; flushes automatically at capacity."""
-        self._tids.append(tid)
-        self._bids.append(bid)
-        self._repeats.append(repeat)
-        if len(self._tids) >= self.capacity:
+        self._codes.append(self.encode(tid, bid, repeat))
+        if len(self._codes) >= self.capacity:
             self.flush()
 
     def buffers(self):
-        """The three column buffers ``(tids, bids, repeats)``.
+        """The event buffer: one interned row *code* per event.
 
-        Hot loops (the engine's inner quantum loop) bind these lists'
-        ``append`` methods directly and check ``len() >= capacity``
-        themselves, skipping the :meth:`append` call overhead per event.
-        The lists are cleared in place by :meth:`flush`, so bound methods
-        stay valid across flushes.
+        Hot loops (the engine's inner quantum loop, the replayer) bind
+        this list's ``append``/``extend`` directly and check
+        ``len() >= capacity`` themselves, skipping the :meth:`append`
+        call overhead per event.  Codes come from :meth:`encode`; the
+        tape scheduler interns a whole pattern's code list once per
+        ``(pattern, tid)`` and emits a consume window with a single
+        ``extend`` — one C call per window, and flush decodes columns
+        through per-code tables instead of converting three raw
+        columns event by event.  The list is cleared in place by
+        :meth:`flush`, so bound methods stay valid across flushes.
         """
-        return self._tids, self._bids, self._repeats
+        return self._codes
+
+    def _rebuild_tables(self) -> None:
+        rows = self._code_rows
+        n = len(rows)
+        tids, bids, reps = zip(*rows)
+        self._tab_tid = np.fromiter(tids, np.int64, n)
+        self._tab_bid = np.fromiter(bids, np.int64, n)
+        self._tab_rep = np.fromiter(reps, np.int64, n)
+        self._tab_key = self._tab_tid * self._nblocks + self._tab_bid
+        self._tab_ninstr = self._n_instr_by_bid[self._tab_bid]
+        self._tab_flags = self._flags_by_bid[self._tab_bid]
+        self._tab_len = n
 
     def flush(self) -> None:
         """Deliver all buffered events to the observers as one batch."""
-        size = len(self._tids)
+        codes = self._codes
+        size = len(codes)
         if size == 0:
             return
         if size < SMALL_BATCH_THRESHOLD:
@@ -231,22 +284,34 @@ class EventRing:
             return
         self.flushes += 1
         self.events_flushed += size
-        tid = np.array(self._tids, dtype=np.int64)
-        bid = np.array(self._bids, dtype=np.int64)
-        repeat = np.array(self._repeats, dtype=np.int64)
-        self._tids.clear()
-        self._bids.clear()
-        self._repeats.clear()
-        start = batch_start_indices(
-            tid, bid, repeat, self._flat_counts, self._nblocks
-        )
+        if self._tab_len != len(self._code_rows):
+            self._rebuild_tables()
+        arr = np.fromiter(codes, np.int64, size)
+        codes.clear()
+        tid = self._tab_tid[arr]
+        bid = self._tab_bid[arr]
+        repeat = self._tab_rep[arr]
+        if self.need_start_index:
+            start = batch_start_indices(
+                tid, bid, repeat, self._flat_counts, self._nblocks
+            )
+        else:
+            # No attached observer reads per-event start indices: advance
+            # the count table directly (bit-identical post-batch counts).
+            # Per-code histogram first: the scatter-add then runs over
+            # the handful of distinct codes, not the whole batch.
+            hist = np.bincount(arr, minlength=self._tab_len)
+            np.add.at(
+                self._flat_counts, self._tab_key, hist * self._tab_rep
+            )
+            start = None
         batch = EventBatch(
             size=size,
             tid=tid,
             bid=bid,
             repeat=repeat,
-            n_instr=self._n_instr_by_bid[bid],
-            flags=self._flags_by_bid[bid],
+            n_instr=self._tab_ninstr[arr],
+            flags=self._tab_flags[arr],
             start_index=start,
             blocks=self.blocks,
         )
@@ -262,26 +327,21 @@ class EventRing:
         """
         self.small_flushes += 1
         self.events_flushed += size
-        tids = self._tids
-        bids = self._bids
-        repeats = self._repeats
+        codes = self._codes
+        rows = self._code_rows
         blocks = self.blocks
         counts = self._flat_counts
         nblocks = self._nblocks
         observers = self.observers
-        for i in range(size):
-            t = tids[i]
-            b = bids[i]
-            r = repeats[i]
+        for c in codes:
+            t, b, r = rows[c]
             idx = t * nblocks + b
             start = int(counts[idx])
             counts[idx] = start + r
             block = blocks[b]
             for ob in observers:
                 ob.on_block(t, block, r, start)
-        tids.clear()
-        bids.clear()
-        repeats.clear()
+        codes.clear()
 
     def exec_counts(self) -> List[List[int]]:
         """The execution-count table as nested lists (flushes first)."""

@@ -17,13 +17,27 @@ legacy per-event path remains for ``batch_events=False`` and is forced
 whenever an ``entry_hook`` is set: hooks observe (and read
 ``exec_counts``) *between* events, which a batch by definition cannot
 honor.
+
+Marker-to-marker replay: :meth:`ConstrainedReplayer.fast_forward_to`
+jumps the replay to a ``(PC, count)`` marker's cut without delivering
+any event — the functional analogue of restoring a gem5 checkpoint at a
+region boundary instead of simulating up to it — and
+``run(until=end_marker)`` stops exactly at the end boundary.  The skip
+reproduces the deterministic schedule bit-exactly, so observers attached
+for the region see precisely the events a full replay delivers between
+the two markers.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import (
+    Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING,
+)
+
+import numpy as np
 
 from ..config import default_batch_events
+from ..dcfg.graph import ENTRY as DCFG_ENTRY
 from ..errors import ReplayError
 from ..exec_engine.engine import EngineResult
 from ..obs.tracer import active_metrics
@@ -32,6 +46,9 @@ from ..isa.image import Program
 from ..perf.ring import DEFAULT_CAPACITY, EventRing
 from ..policy import WaitPolicy
 from .pinball import Pinball
+
+if TYPE_CHECKING:  # pragma: no cover - profiling imports pinplay at runtime
+    from ..profiling.markers import Marker
 
 
 class ConstrainedReplayer:
@@ -82,6 +99,21 @@ class ConstrainedReplayer:
         self.per_thread_total = [0] * nthreads
         self.per_thread_filtered = [0] * nthreads
         self.num_events = 0
+        #: Global sync-order cursor; persistent so :meth:`run` continues
+        #: exactly where :meth:`fast_forward_to` left the recorded order.
+        self._next_gseq = 0
+        #: Global ``pc -> execution count`` for marker PCs this replay
+        #: has tracked (the ``count`` coordinate of ``(PC, count)``
+        #: markers is global, so a post-fast-forward ``run(until=...)``
+        #: must start from the prefix's counts, not from zero).
+        self._marker_counts: Dict[int, int] = {}
+        self._fast_forwarded = False
+        #: ``(tid, remaining_instructions)`` of the scheduling quantum
+        #: that was in flight when a marker cut stopped the replay.  A
+        #: cut generally lands mid-quantum; resuming must finish that
+        #: thread's quantum (not grant a fresh one) or the interleaving
+        #: diverges from an uninterrupted replay's.
+        self._quantum_resume: Optional[tuple] = None
 
     def _exec_block(self, tid: int, bid: int, repeat: int) -> None:
         block = self.program.blocks[bid]
@@ -96,13 +128,293 @@ class ConstrainedReplayer:
         for ob in self.observers:
             ob.on_block(tid, block, repeat, start)
 
-    def run(self) -> EngineResult:
-        """Replay to completion, feeding observers; returns the summary."""
+    def fast_forward_to(
+        self,
+        marker: Marker,
+        *,
+        dcfg=None,
+        track_pcs: Iterable[int] = (),
+    ) -> int:
+        """Fast-forward to ``marker``'s cut without re-executing blocks.
+
+        The moral analogue of a gem5 checkpoint restore: replay state —
+        per-thread log positions, execution counts, instruction
+        counters, the recorded sync-order cursor — advances to the
+        exact cut a full replay reaches just before the ``count``-th
+        execution of ``marker.pc``, but no block or sync event is
+        delivered to the attached observers and runs of block entries
+        between stops are consumed whole by bisecting per-thread
+        instruction prefix sums instead of being walked one entry at a
+        time.  Scheduling decisions (least-filtered-first, quantum
+        boundaries, the ``gseq`` gate) are reproduced exactly, so the
+        cut is bit-identical to the one :meth:`run` would reach.
+
+        ``track_pcs`` names additional marker PCs whose global
+        execution counts must stay known across the skip — pass the end
+        marker's PC here when the plan is ``fast_forward_to(start)``
+        followed by ``run(until=end)``, because ``until`` counts are
+        global from program start.
+
+        ``dcfg``, when given, validates the jump against the dynamic
+        control-flow graph first: a marker block the DCFG cannot reach
+        from its entry can never trigger, and failing fast beats
+        silently replaying to the end of the logs.
+
+        Returns the number of log entries skipped.  Raises
+        :class:`ReplayError` if the marker never triggers, falls inside
+        a batched entry, or is unreachable per the DCFG.
+        """
+        if self.entry_hook is not None:
+            raise ReplayError(
+                "fast_forward_to is incompatible with entry_hook: hooks "
+                "observe every entry, which a skip by definition omits"
+            )
+        program = self.program
+        pcs = {marker.pc: program.block_at(marker.pc).bid}
+        for pc in track_pcs:
+            pcs[pc] = program.block_at(pc).bid
+        target_bid = pcs[marker.pc]
+        target_count = marker.count
+        if dcfg is not None:
+            reachable = dcfg.reachable_from(DCFG_ENTRY)
+            for pc, bid in pcs.items():
+                if bid not in reachable:
+                    raise ReplayError(
+                        f"marker pc {pc:#x} (bid {bid}) is unreachable "
+                        f"in the DCFG: the fast-forward target would "
+                        f"never trigger"
+                    )
+        counts = self._marker_counts
+        for pc in pcs:
+            counts.setdefault(pc, 0)
+        pc_of = {bid: pc for pc, bid in pcs.items()}
+        stop_bids = set(pc_of)
+        self._fast_forwarded = True
+
+        logs = self.pinball.logs
+        nthreads = self.pinball.nthreads
+        pos = self.positions
+        quantum = self.quantum_instructions
+        blocks = program.blocks
+        nblocks = program.num_blocks
+        n_by_bid = [b.n_instr for b in blocks]
+        f_by_bid = [
+            0 if b.image.is_library else b.n_instr for b in blocks
+        ]
+
+        # Per-thread skip tables: instruction prefix sums over the log
+        # (sync entries contribute zero), the sorted positions that must
+        # be handled individually (syncs and tracked marker blocks, with
+        # an end-of-log sentinel), and the block entries' (index, bid,
+        # repeat) columns for the bulk execution-count update.
+        cum_t: List[np.ndarray] = []
+        cum_f: List[np.ndarray] = []
+        stops: List[np.ndarray] = []
+        blk_idx: List[np.ndarray] = []
+        blk_bid: List[np.ndarray] = []
+        blk_rep: List[np.ndarray] = []
+        for tid in range(nthreads):
+            log = logs[tid]
+            n = len(log)
+            ent_t = [0] * n
+            ent_f = [0] * n
+            s_list: List[int] = []
+            b_idx: List[int] = []
+            b_bid: List[int] = []
+            b_rep: List[int] = []
+            for i, entry in enumerate(log):
+                if entry[0] == "b":
+                    bid = entry[1]
+                    rep = entry[2]
+                    ent_t[i] = n_by_bid[bid] * rep
+                    ent_f[i] = f_by_bid[bid] * rep
+                    b_idx.append(i)
+                    b_bid.append(bid)
+                    b_rep.append(rep)
+                    if bid in stop_bids:
+                        s_list.append(i)
+                else:
+                    s_list.append(i)
+            s_list.append(n)
+            cum_t.append(np.cumsum(np.array(ent_t, dtype=np.int64)))
+            cum_f.append(np.cumsum(np.array(ent_f, dtype=np.int64)))
+            stops.append(np.array(s_list, dtype=np.int64))
+            blk_idx.append(np.array(b_idx, dtype=np.int64))
+            blk_bid.append(np.array(b_bid, dtype=np.int64))
+            blk_rep.append(np.array(b_rep, dtype=np.int64))
+
+        ptt = list(self.per_thread_total)
+        ptf = list(self.per_thread_filtered)
+        next_gseq = self._next_gseq
+        ends = [len(log) for log in logs]
+        start_pos = list(pos)
+        live = set(t for t in range(nthreads) if pos[t] < ends[t])
+        searchsorted = np.searchsorted
+        found = False
+        resume = self._quantum_resume
+        self._quantum_resume = None
+
+        while live and not found:
+            if resume is not None and resume[0] in live:
+                candidates = [resume[0]]
+                resume_round = True
+            else:
+                resume = None
+                candidates = sorted(live, key=lambda t: (ptf[t], t))
+                resume_round = False
+            progressed = False
+            for tid in candidates:
+                log = logs[tid]
+                p = pos[tid]
+                end = ends[tid]
+                t_cum = cum_t[tid]
+                f_cum = cum_f[tid]
+                t_stops = stops[tid]
+                tt = ptt[tid]
+                tf = ptf[tid]
+                if resume is not None:
+                    stop_at = tt + resume[1]
+                    resume = None
+                else:
+                    stop_at = tt + quantum
+                while tt < stop_at and p < end:
+                    s = int(t_stops[searchsorted(t_stops, p)])
+                    if s > p:
+                        # Plain block entries up to the next stop: the
+                        # quantum admits every entry whose pre-entry
+                        # total is below ``stop_at`` (the per-event
+                        # loop's exact rule), found by one bisect.
+                        base = int(t_cum[p - 1]) if p else 0
+                        j = int(searchsorted(t_cum, stop_at - tt + base))
+                        new_p = j + 1
+                        if new_p > s:
+                            new_p = s
+                        tt += int(t_cum[new_p - 1]) - base
+                        tf += int(f_cum[new_p - 1]) - (
+                            int(f_cum[p - 1]) if p else 0
+                        )
+                        p = new_p
+                        progressed = True
+                        continue
+                    entry = log[p]
+                    if entry[0] == "b":
+                        bid = entry[1]
+                        rep = entry[2]
+                        pc = pc_of[bid]
+                        c = counts[pc]
+                        if bid == target_bid and c + rep > target_count:
+                            if c != target_count:
+                                raise ReplayError(
+                                    f"fast-forward marker {marker} "
+                                    f"falls inside a batched entry "
+                                    f"(repeat {rep} spans counts "
+                                    f"{c}..{c + rep})"
+                                )
+                            found = True
+                            self._quantum_resume = (tid, stop_at - tt)
+                            break
+                        counts[pc] = c + rep
+                        base = int(t_cum[p - 1]) if p else 0
+                        tt += int(t_cum[p]) - base
+                        tf += int(f_cum[p]) - (
+                            int(f_cum[p - 1]) if p else 0
+                        )
+                        p += 1
+                        progressed = True
+                    else:
+                        gseq = entry[4]
+                        if gseq != next_gseq:
+                            break  # not this thread's turn at the order
+                        next_gseq += 1
+                        p += 1
+                        progressed = True
+                pos[tid] = p
+                ptt[tid] = tt
+                ptf[tid] = tf
+                if p >= end:
+                    live.discard(tid)
+                if found or progressed:
+                    break
+            if not progressed and not found and live:
+                if resume_round:
+                    continue  # blocked mid-quantum: fall back to the sort
+                waiting = {
+                    t: logs[t][pos[t]][4] for t in live
+                    if logs[t][pos[t]][0] == "s"
+                }
+                raise ReplayError(
+                    f"replay stuck during fast-forward: "
+                    f"next_gseq={next_gseq}, thread sync heads "
+                    f"{waiting} — corrupt or truncated pinball"
+                )
+        if not found:
+            raise ReplayError(
+                f"fast-forward target {marker} never reached "
+                f"(global count stopped at {counts[marker.pc]})"
+            )
+
+        flat = np.asarray(self.exec_counts, dtype=np.int64).reshape(-1)
+        skipped = 0
+        for tid in range(nthreads):
+            lo = int(searchsorted(blk_idx[tid], start_pos[tid]))
+            hi = int(searchsorted(blk_idx[tid], pos[tid]))
+            np.add.at(
+                flat,
+                blk_bid[tid][lo:hi] + tid * nblocks,
+                blk_rep[tid][lo:hi],
+            )
+            skipped += pos[tid] - start_pos[tid]
+        self.exec_counts = flat.reshape(nthreads, nblocks).tolist()
+        self.total_instructions += sum(ptt) - sum(self.per_thread_total)
+        self.filtered_instructions += sum(ptf) - sum(
+            self.per_thread_filtered
+        )
+        self.per_thread_total = ptt
+        self.per_thread_filtered = ptf
+        self.num_events += skipped
+        self._next_gseq = next_gseq
+        reg = active_metrics()
+        if reg is not None:
+            reg.inc("replay.fast_forward.runs")
+            reg.inc("replay.fast_forward.entries", skipped)
+        return skipped
+
+    def run(self, until: Optional[Marker] = None) -> EngineResult:
+        """Replay, feeding observers; returns the summary.
+
+        With ``until`` the replay stops exactly at the end marker's cut
+        — just before the ``count``-th global execution of ``until.pc``
+        — instead of at the end of the logs; combined with
+        :meth:`fast_forward_to` this is marker-to-marker replay.  The
+        ``count`` coordinate is global from program start, so after a
+        fast-forward the PC must have been named in ``track_pcs``.
+        """
         logs = self.pinball.logs
         nthreads = self.pinball.nthreads
         pos = self.positions
         hook = self.entry_hook
         blocks = self.program.blocks
+        until_bid = -1
+        until_count = -1
+        until_c = 0
+        if until is not None:
+            until_bid = self.program.block_at(until.pc).bid
+            base = self._marker_counts.get(until.pc)
+            if base is None:
+                if self._fast_forwarded:
+                    raise ReplayError(
+                        f"until marker pc {until.pc:#x} was not tracked "
+                        f"across fast_forward_to (pass it via track_pcs): "
+                        f"its global count at the cut is unknown"
+                    )
+                base = 0
+            if base > until.count:
+                raise ReplayError(
+                    f"until marker {until} already passed: global count "
+                    f"is {base} at the start of this run"
+                )
+            until_count = until.count
+            until_c = base
         # The batch/legacy decision happens here, not at construction:
         # callers (region extraction) may assign entry_hook after __init__,
         # and hooks read per-event state (positions, exec_counts) between
@@ -115,26 +427,43 @@ class ConstrainedReplayer:
                 initial_exec_counts=self.exec_counts,
             )
         if ring is not None:
-            ring_tids, ring_bids, ring_repeats = ring.buffers()
-            ring_append_tid = ring_tids.append
-            ring_append_bid = ring_bids.append
-            ring_append_repeat = ring_repeats.append
+            ring_rows = ring.buffers()
+            ring_append_row = ring_rows.append
+            ring_encode = ring.encode
             ring_capacity = ring.capacity
             ring_flush = ring.flush
             flush_on_sync = ring.flush_on_sync
         ends = [len(log) for log in logs]
-        next_gseq = 0
+        next_gseq = self._next_gseq
         live = set(tid for tid in range(nthreads) if pos[tid] < ends[tid])
+        stopped = False
+        resume = self._quantum_resume
+        self._quantum_resume = None
 
-        while live:
-            # Deterministic balance: least filtered progress first.
-            candidates = sorted(
-                live, key=lambda t: (self.per_thread_filtered[t], t)
-            )
+        while live and not stopped:
+            if resume is not None and resume[0] in live:
+                # A marker cut interrupted this thread mid-quantum:
+                # finish that quantum first, exactly as an uninterrupted
+                # replay would have.
+                candidates = [resume[0]]
+                resume_round = True
+            else:
+                resume = None
+                # Deterministic balance: least filtered progress first.
+                candidates = sorted(
+                    live, key=lambda t: (self.per_thread_filtered[t], t)
+                )
+                resume_round = False
             progressed = False
             for tid in candidates:
                 log = logs[tid]
-                stop_at = self.per_thread_total[tid] + self.quantum_instructions
+                if resume is not None:
+                    stop_at = self.per_thread_total[tid] + resume[1]
+                    resume = None
+                else:
+                    stop_at = (
+                        self.per_thread_total[tid] + self.quantum_instructions
+                    )
                 if ring is not None:
                     ptt = self.per_thread_total[tid]
                     ptf = self.per_thread_filtered[tid]
@@ -143,6 +472,19 @@ class ConstrainedReplayer:
                         if entry[0] == "b":
                             bid = entry[1]
                             repeat = entry[2]
+                            if bid == until_bid:
+                                if until_c + repeat > until_count:
+                                    if until_c != until_count:
+                                        raise ReplayError(
+                                            f"until marker {until} falls "
+                                            f"inside a batched entry"
+                                        )
+                                    stopped = True
+                                    self._quantum_resume = (
+                                        tid, stop_at - ptt
+                                    )
+                                    break
+                                until_c += repeat
                             block = blocks[bid]
                             n = block.n_instr * repeat
                             ptt += n
@@ -150,10 +492,8 @@ class ConstrainedReplayer:
                                 ptf += n
                                 self.filtered_instructions += n
                             self.total_instructions += n
-                            ring_append_tid(tid)
-                            ring_append_bid(bid)
-                            ring_append_repeat(repeat)
-                            if len(ring_tids) >= ring_capacity:
+                            ring_append_row(ring_encode(tid, bid, repeat))
+                            if len(ring_rows) >= ring_capacity:
                                 ring_flush()
                         else:
                             _, kind, obj_id, response, gseq = entry
@@ -176,6 +516,21 @@ class ConstrainedReplayer:
                     ):
                         entry = log[pos[tid]]
                         if entry[0] == "b":
+                            if entry[1] == until_bid:
+                                repeat = entry[2]
+                                if until_c + repeat > until_count:
+                                    if until_c != until_count:
+                                        raise ReplayError(
+                                            f"until marker {until} falls "
+                                            f"inside a batched entry"
+                                        )
+                                    stopped = True
+                                    self._quantum_resume = (
+                                        tid,
+                                        stop_at - self.per_thread_total[tid],
+                                    )
+                                    break
+                                until_c += repeat
                             if hook is not None:
                                 hook(tid, pos[tid], entry)
                             self._exec_block(tid, entry[1], entry[2])
@@ -193,9 +548,11 @@ class ConstrainedReplayer:
                         progressed = True
                 if pos[tid] >= ends[tid]:
                     live.discard(tid)
-                if progressed:
+                if stopped or progressed:
                     break
-            if not progressed and live:
+            if not progressed and not stopped and live:
+                if resume_round:
+                    continue  # blocked mid-quantum: fall back to the sort
                 waiting = {
                     t: logs[t][pos[t]][4] for t in live
                     if logs[t][pos[t]][0] == "s"
@@ -205,6 +562,9 @@ class ConstrainedReplayer:
                     f"{waiting} — corrupt or truncated pinball"
                 )
 
+        self._next_gseq = next_gseq
+        if until is not None:
+            self._marker_counts[until.pc] = until_c
         if ring is not None:
             self.exec_counts = ring.exec_counts()  # flushes the ring
         for ob in self.observers:

@@ -166,10 +166,28 @@ class Construct:
     counter, single ticket).  Each construct instance executes exactly once
     per program run; workloads unroll outer timestep loops into the construct
     list.
+
+    Sync events are *interned* per construct (built lazily, since the
+    derived ids need ``uid``): every ``run`` — and the scheduler tapes of
+    :mod:`~repro.exec_engine.schedcore` — yields the same immutable
+    instance instead of allocating per arrival.  Drivers never mutate or
+    key on event identity, so this is observably identical.
     """
 
     def __init__(self) -> None:
         self.uid: int = -1
+
+    def _barrier_event(self) -> BarrierWait:
+        ev = self.__dict__.get("_ev_barrier")
+        if ev is None:
+            ev = self._ev_barrier = BarrierWait(self.implicit_barrier_id)
+        return ev
+
+    def _single_event(self) -> SingleRequest:
+        ev = self.__dict__.get("_ev_single")
+        if ev is None:
+            ev = self._ev_single = SingleRequest(self.single_id)
+        return ev
 
     # Derived sync-object ids (valid once uid is assigned).
     @property
@@ -229,19 +247,55 @@ class ParallelFor(Construct):
         self.atomic = atomic
         self.reduction = reduction
 
+    def _chunk_event(self) -> ChunkRequest:
+        ev = self.__dict__.get("_ev_chunk")
+        if ev is None:
+            ev = self._ev_chunk = ChunkRequest(
+                self.loop_id, self.chunk, self.total_iters
+            )
+        return ev
+
+    def _reduce_event(self) -> Reduce:
+        ev = self.__dict__.get("_ev_reduce")
+        if ev is None:
+            ev = self._ev_reduce = Reduce()
+        return ev
+
+    def _lock_acq_event(self) -> LockAcquire:
+        ev = self.__dict__.get("_ev_lock_acq")
+        if ev is None:
+            ev = self._ev_lock_acq = LockAcquire(self.critical.lock_id)
+        return ev
+
+    def _lock_rel_event(self) -> LockRelease:
+        ev = self.__dict__.get("_ev_lock_rel")
+        if ev is None:
+            ev = self._ev_lock_rel = LockRelease(self.critical.lock_id)
+        return ev
+
     def _iteration_events(self, tid: int, start: int, stop: int) -> Iterator[Event]:
         crit, atom = self.critical, self.atomic
         if crit is None and atom is None:
             yield from self.work.emit(tid, start, stop)
             return
+        if crit is not None:
+            acq = self._lock_acq_event()
+            rel = self._lock_rel_event()
+            crit_ev = self.__dict__.get("_ev_crit_block")
+            if crit_ev is None:
+                crit_ev = self._ev_crit_block = BlockExec(crit.block, 1)
+        if atom is not None:
+            atom_ev = self.__dict__.get("_ev_atom_block")
+            if atom_ev is None:
+                atom_ev = self._ev_atom_block = BlockExec(atom.block, 1)
         for i in range(start, stop):
             yield from self.work.emit(tid, i, i + 1)
             if crit is not None and i % crit.every == 0:
-                yield LockAcquire(crit.lock_id)
-                yield BlockExec(crit.block, 1)
-                yield LockRelease(crit.lock_id)
+                yield acq
+                yield crit_ev
+                yield rel
             if atom is not None and i % atom.every == 0:
-                yield BlockExec(atom.block, 1)
+                yield atom_ev
 
     def run(self, tid: int, nthreads: int) -> Iterator[Event]:
         # The critical/atomic-free case delegates straight to the work's
@@ -254,8 +308,9 @@ class ParallelFor(Construct):
             else:
                 yield from self._iteration_events(tid, start, stop)
         else:
+            request = self._chunk_event()
             while True:
-                start = yield ChunkRequest(self.loop_id, self.chunk, self.total_iters)
+                start = yield request
                 if start is None or start < 0:
                     break
                 stop = min(start + self.chunk, self.total_iters)
@@ -264,9 +319,9 @@ class ParallelFor(Construct):
                 else:
                     yield from self._iteration_events(tid, start, stop)
         if self.reduction:
-            yield Reduce()
+            yield self._reduce_event()
         if not self.nowait:
-            yield BarrierWait(self.implicit_barrier_id)
+            yield self._barrier_event()
 
     def total_instructions(self, nthreads: int) -> int:
         total = 0
@@ -290,7 +345,7 @@ class Serial(Construct):
     def run(self, tid: int, nthreads: int) -> Iterator[Event]:
         if tid == 0:
             yield from self.work.emit(tid, 0, self.iters)
-        yield BarrierWait(self.implicit_barrier_id)
+        yield self._barrier_event()
 
     def total_instructions(self, nthreads: int) -> int:
         return sum(
@@ -302,7 +357,7 @@ class Barrier(Construct):
     """An explicit ``#pragma omp barrier``."""
 
     def run(self, tid: int, nthreads: int) -> Iterator[Event]:
-        yield BarrierWait(self.implicit_barrier_id)
+        yield self._barrier_event()
 
     def total_instructions(self, nthreads: int) -> int:
         return 0
@@ -317,10 +372,10 @@ class Single(Construct):
         self.iters = iters
 
     def run(self, tid: int, nthreads: int) -> Iterator[Event]:
-        granted = yield SingleRequest(self.single_id)
+        granted = yield self._single_event()
         if granted:
             yield from self.work.emit(tid, 0, self.iters)
-        yield BarrierWait(self.implicit_barrier_id)
+        yield self._barrier_event()
 
     def total_instructions(self, nthreads: int) -> int:
         return sum(

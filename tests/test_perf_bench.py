@@ -102,3 +102,72 @@ class TestBaselineAndChecks:
         """The CI gate end-to-end: current code vs committed floors."""
         baseline = load_baseline(default_baseline_path())
         assert check_report(smoke_report, baseline)["pass"]
+
+    def test_threshold_is_rounded(self):
+        """floor * 0.75 in binary floating point gave the historical
+        0.8999999999999999; reported thresholds are rounded."""
+        report = {"scenarios": {"engine_coarse": {"ratio": 1.0}}}
+        baseline = {"expected_min_ratio": {"engine_coarse": 1.2}}
+        verdict = check_report(report, baseline)
+        assert verdict["checks"][0]["threshold"] == 0.9
+
+
+class TestBaselineShaStaleness:
+    def _pair(self, recorded, current):
+        report = {
+            "scenarios": {"engine_fine": {"ratio": 99.0}},
+            "baseline_sha": recorded,
+        }
+        baseline = {
+            "expected_min_ratio": {"engine_fine": 2.0},
+            "sha": current,
+        }
+        return report, baseline
+
+    def _sha_check(self, verdict):
+        return next(
+            c for c in verdict["checks"] if c["scenario"] == "baseline_sha"
+        )
+
+    def test_matching_sha_is_fresh(self):
+        report, baseline = self._pair("abc123", "abc123")
+        verdict = check_report(report, baseline)
+        c = self._sha_check(verdict)
+        assert not c["stale"] and c["pass"] and verdict["pass"]
+
+    def test_stale_sha_reported_but_passes_by_default(self):
+        report, baseline = self._pair("abc123", "def456")
+        verdict = check_report(report, baseline)
+        c = self._sha_check(verdict)
+        assert c["stale"] and c["pass"] and verdict["pass"]
+
+    def test_stale_sha_fails_when_strict(self):
+        report, baseline = self._pair("abc123", "def456")
+        verdict = check_report(
+            report, baseline, require_fresh_baseline=True
+        )
+        c = self._sha_check(verdict)
+        assert c["stale"] and not c["pass"] and not verdict["pass"]
+
+    def test_unknown_sha_never_stale(self):
+        report, baseline = self._pair(None, "def456")
+        verdict = check_report(
+            report, baseline, require_fresh_baseline=True
+        )
+        assert not self._sha_check(verdict)["stale"]
+        assert verdict["pass"]
+
+    def test_committed_report_is_fresh_against_committed_baseline(self):
+        """The anchor of this PR: the committed BENCH_perf.json evidence
+        must have been recorded against the baseline now in the tree."""
+        import json as _json
+        from repro.perf.bench import repo_root
+
+        bench_path = repo_root() / "BENCH_perf.json"
+        report = _json.loads(bench_path.read_text())
+        baseline = load_baseline(default_baseline_path())
+        verdict = check_report(
+            report, baseline, require_fresh_baseline=True
+        )
+        assert not self._sha_check(verdict)["stale"]
+        assert verdict["pass"]

@@ -1,0 +1,138 @@
+"""Run-queue invalidation: every runnable/unrunnable transition is dirty.
+
+The scheduler caches its run-queue and only rebuilds it on rounds after
+``_sched_dirty`` is raised (the kernel tier additionally maintains the
+queue in-line at its own transition sites).  A transition that forgets to
+invalidate silently schedules from a stale queue — threads run after
+blocking, or stay invisible after waking — which corrupts the recorded
+interleaving without crashing.  These tests pin every transition:
+barrier arrival/release, lock contention handoff, and thread completion,
+both as direct flag assertions and as schedule bit-identity between the
+cached-queue paths and the legacy per-event path.
+"""
+
+import pytest
+
+from repro.exec_engine.engine import ExecutionEngine, ThreadState
+from repro.exec_engine.events import BarrierWait, LockAcquire, LockRelease
+from repro.exec_engine.observers import (
+    InstructionCounter,
+    SyncEventLog,
+    TraceCollector,
+)
+from repro.policy import WaitPolicy
+
+from conftest import build_toy
+
+
+def _engine(**kwargs):
+    program, tp, omp = build_toy(
+        with_critical=kwargs.pop("with_critical", False)
+    )
+    return ExecutionEngine(program, tp, omp, 4, **kwargs)
+
+
+class TestDirtyFlagPerTransition:
+    """Each transition helper must raise the flag, observed directly."""
+
+    def test_block_thread_sets_dirty(self):
+        eng = _engine()
+        eng._sched_dirty = False
+        eng._block_thread(eng._threads[1])
+        assert eng._sched_dirty
+        assert eng._threads[1].state is ThreadState.BLOCKED
+
+    def test_wake_thread_sets_dirty(self):
+        eng = _engine()
+        eng._block_thread(eng._threads[1])
+        eng._sched_dirty = False
+        eng._wake_thread(eng._threads[1])
+        assert eng._sched_dirty
+        assert eng._threads[1].state is ThreadState.RUNNABLE
+
+    def test_barrier_arrival_blocks_and_sets_dirty(self):
+        eng = _engine()
+        eng._sched_dirty = False
+        eng._handle_barrier(eng._threads[0], BarrierWait(9))
+        assert eng._sched_dirty
+        assert eng._threads[0].state is ThreadState.BLOCKED
+
+    def test_barrier_release_wakes_all_and_sets_dirty(self):
+        eng = _engine()
+        for tid in range(3):
+            eng._handle_barrier(eng._threads[tid], BarrierWait(9))
+        eng._sched_dirty = False
+        eng._handle_barrier(eng._threads[3], BarrierWait(9))  # release
+        assert eng._sched_dirty
+        for tid in range(4):
+            assert eng._threads[tid].state is ThreadState.RUNNABLE
+        assert 9 not in eng._barriers
+
+    def test_contended_lock_acquire_blocks_and_sets_dirty(self):
+        eng = _engine()
+        eng._handle_lock_acquire(eng._threads[0], LockAcquire(5))
+        assert eng._threads[0].state is ThreadState.RUNNABLE  # uncontended
+        eng._sched_dirty = False
+        eng._handle_lock_acquire(eng._threads[1], LockAcquire(5))
+        assert eng._sched_dirty
+        assert eng._threads[1].state is ThreadState.BLOCKED
+
+    def test_lock_handoff_wakes_waiter_and_sets_dirty(self):
+        eng = _engine()
+        eng._handle_lock_acquire(eng._threads[0], LockAcquire(5))
+        eng._handle_lock_acquire(eng._threads[1], LockAcquire(5))
+        eng._sched_dirty = False
+        eng._handle_lock_release(eng._threads[0], LockRelease(5))
+        assert eng._sched_dirty
+        assert eng._threads[1].state is ThreadState.RUNNABLE
+        assert eng._locks[5].owner == 1  # direct handoff
+
+    def test_rebuild_clears_flag_and_reflects_states(self):
+        eng = _engine()
+        eng._block_thread(eng._threads[2])
+        assert eng._sched_dirty
+        runnable = eng._rebuild_runnable()
+        assert not eng._sched_dirty
+        assert runnable == [0, 1, 3]
+
+    def test_thread_completion_drops_from_queue(self):
+        """The degrade path: a finished thread must leave the queue on
+        the very next rebuild, or the scheduler spins on a dead
+        generator."""
+        eng = _engine()
+        result = eng.run()
+        assert result.num_events > 0
+        assert all(t.state is ThreadState.DONE for t in eng._threads)
+        assert eng._rebuild_runnable() is None  # all done: clean finish
+
+
+class TestScheduleIdentityAcrossPaths:
+    """A missed invalidation shows up as schedule divergence between the
+    cached-queue paths (batched kernel, fallback loop) and the legacy
+    per-event loop.  Lock-handoff traffic (criticals) exercises the
+    out-of-line dirty resync inside the kernel."""
+
+    def _run(self, *, batch, tier="auto", policy=WaitPolicy.PASSIVE):
+        program, tp, omp = build_toy(with_critical=True)
+        obs = (
+            InstructionCounter(4),
+            SyncEventLog(4),
+            TraceCollector(limit=None),
+        )
+        engine = ExecutionEngine(
+            program, tp, omp, 4, wait_policy=policy, seed=11,
+            observers=obs, batch_events=batch, kernel_tier=tier,
+        )
+        return engine.run(), obs
+
+    @pytest.mark.parametrize("policy", [WaitPolicy.PASSIVE, WaitPolicy.ACTIVE])
+    @pytest.mark.parametrize("tier", ["reference", "compiled"])
+    def test_lock_handoff_schedule_identical(self, policy, tier):
+        result_l, obs_l = self._run(batch=False, policy=policy)
+        result_b, obs_b = self._run(batch=True, tier=tier, policy=policy)
+        assert result_l == result_b
+        assert obs_l[0].per_thread_total == obs_b[0].per_thread_total
+        assert obs_l[1].per_thread == obs_b[1].per_thread
+        assert obs_l[1].gseq_order == obs_b[1].gseq_order
+        assert obs_l[2].blocks == obs_b[2].blocks
+        assert obs_l[2].syncs == obs_b[2].syncs
