@@ -16,8 +16,9 @@ Stages, each cached on first use:
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -32,6 +33,7 @@ from ..config import (
     GAINESTOWN_8CORE,
     ReproScale,
     SystemConfig,
+    default_cache_max_bytes,
     default_jobs,
     get_scale,
 )
@@ -53,6 +55,7 @@ from ..parallel.executor import (
 from ..parallel.jobs import RegionJob, WorkloadSpec
 from ..resilience import (
     PIPELINE_ABORT,
+    STORE_LOCK_DEATH,
     DegradePolicy,
     FailureRecord,
     FaultPlan,
@@ -63,6 +66,7 @@ from ..resilience import (
     maybe_inject,
     renormalize_clusters,
 )
+from ..store import DEFAULT_LOCK_POLICY, SharedArtifactStore
 from ..pinplay.pinball import Pinball, RegionPinball
 from ..pinplay.recorder import record_execution
 from ..pinplay.region import extract_region_pinballs
@@ -104,6 +108,10 @@ class LoopPointOptions:
     #: Persistent artifact cache directory for the record/profile/select
     #: stage outputs; ``None`` disables on-disk caching.
     cache_dir: Optional[str] = None
+    #: Size budget (bytes) for the shared artifact store; exceeding it
+    #: evicts least-recently-used unpinned artifacts after each store.
+    #: ``None`` honours ``REPRO_CACHE_MAX_BYTES`` (unset = unbounded).
+    cache_max_bytes: Optional[int] = None
     #: Per-region wall-clock budget in a worker before the job is retried
     #: and, past the retry budget, re-run serially in the parent.
     job_timeout_s: float = DEFAULT_JOB_TIMEOUT_S
@@ -135,6 +143,11 @@ class LoopPointOptions:
 
     def resolved_jobs(self) -> int:
         return self.jobs if self.jobs is not None else default_jobs()
+
+    def resolved_cache_max_bytes(self) -> Optional[int]:
+        if self.cache_max_bytes is not None:
+            return self.cache_max_bytes or None  # explicit 0 = unbounded
+        return default_cache_max_bytes()
 
     def retry_policy(self) -> RetryPolicy:
         return RetryPolicy(
@@ -249,8 +262,19 @@ class LoopPointPipeline:
         self._profile: Optional[ProfileData] = None
         self._selection: Optional[SimPointSelection] = None
         #: Persistent stage-artifact cache (None when no cache_dir is set).
+        #: A SharedArtifactStore: safe to point many concurrent pipelines
+        #: at one directory (single-flight per-key locks, crash-consistent
+        #: publishes).  ``pin_touched`` pins every key this run touches so
+        #: a size budget can never evict an artifact out from under us.
         self.artifacts: Optional[ArtifactCache] = (
-            ArtifactCache(self.options.cache_dir)
+            SharedArtifactStore(
+                self.options.cache_dir,
+                max_bytes=self.options.resolved_cache_max_bytes(),
+                lock_policy=replace(
+                    DEFAULT_LOCK_POLICY, seed=os.getpid()
+                ),
+                pin_touched=True,
+            )
             if self.options.cache_dir
             else None
         )
@@ -404,24 +428,53 @@ class LoopPointPipeline:
                 maybe_inject(PIPELINE_ABORT, f"after:{stage}")
                 return cached
             span.set("cache", "miss")
-            if stage in self._resume_stages:
-                # The journal says this stage completed, but its artifact is
-                # gone (wiped cache, corrupt file evicted on load).  Recompute
-                # loudly rather than fail the resume.
-                self.health.record(FailureRecord(
-                    stage=stage,
-                    error="resume: cached artifact missing or corrupt",
-                    action="recomputed",
-                ))
-            if self._manifest is not None:
-                self._manifest.begin(stage, key)
-            artifact = self._with_stage_retry(stage, key, compute)
-            if self.artifacts is not None:
-                self.artifacts.store(stage, material, artifact)
+            if isinstance(self.artifacts, SharedArtifactStore):
+                # Single-flight: serialize concurrent pipelines missing on
+                # the same key.  Whoever wins the lock computes; everyone
+                # else finds the published artifact in the under-lock
+                # re-check and reads it (one computation store-wide).
+                with self.artifacts.key_lock(stage, key):
+                    maybe_inject(STORE_LOCK_DEATH, f"{stage}:{key}")
+                    cached = self.artifacts.load(
+                        stage, material, count_miss=False
+                    )
+                    if isinstance(cached, kind):
+                        span.set("cache", "flight")
+                        self.artifacts.single_flight_hits += 1
+                        reg = active_metrics()
+                        if reg is not None:
+                            reg.inc("store.single_flight")
+                        if self._manifest is not None:
+                            self._manifest.done(stage, key, source="cache")
+                        maybe_inject(PIPELINE_ABORT, f"after:{stage}")
+                        return cached
+                    artifact = self._compute_stage(stage, key, compute)
+                    self.artifacts.store(stage, material, artifact)
+            else:
+                artifact = self._compute_stage(stage, key, compute)
+                if self.artifacts is not None:
+                    self.artifacts.store(stage, material, artifact)
             if self._manifest is not None:
                 self._manifest.done(stage, key, source="computed")
             maybe_inject(PIPELINE_ABORT, f"after:{stage}")
             return artifact
+
+    def _compute_stage(
+        self, stage: str, key: str, compute: Callable[[], Any]
+    ) -> Any:
+        """Journal-begin and (retrying) compute one stage artifact."""
+        if stage in self._resume_stages:
+            # The journal says this stage completed, but its artifact is
+            # gone (wiped cache, corrupt file evicted on load).  Recompute
+            # loudly rather than fail the resume.
+            self.health.record(FailureRecord(
+                stage=stage,
+                error="resume: cached artifact missing or corrupt",
+                action="recomputed",
+            ))
+        if self._manifest is not None:
+            self._manifest.begin(stage, key)
+        return self._with_stage_retry(stage, key, compute)
 
     def _compute_record(self) -> Pinball:
         w = self.workload
@@ -934,6 +987,8 @@ class LoopPointPipeline:
 
             with tracer.span("stage:lint", stage="lint"):
                 lint_report = lint_pipeline(self)
+        if isinstance(self.artifacts, SharedArtifactStore):
+            self.health.cache_evictions = self.artifacts.lru_evictions
         if self._manifest is not None:
             self._manifest.complete_run({
                 "predicted_cycles": predicted.cycles,

@@ -26,6 +26,8 @@ Pass families (the scheduling and caching unit of the incremental engine,
   block universes, cluster-weight reconciliation, selection/slice
   boundary agreement, manifest vs cache keys, trace vs metrics counters.
 * :mod:`~repro.lint.obs_passes` — span-trace well-formedness.
+* :mod:`~repro.lint.store_passes` — shared-artifact-store hygiene
+  (crash debris, stale locks, checksum-sidecar mismatches).
 
 Reporting: findings baselines (:mod:`~repro.lint.baseline`) let CI fail
 only on *new* findings; :mod:`~repro.lint.sarif` exports SARIF 2.1.0 for

@@ -220,6 +220,14 @@ RULES: Dict[str, Rule] = _registry([
          "metrics registry's cache counters are independent observers of "
          "one run — disagreement means a torn trace or lost metrics",
          family="xar"),
+    # -- shared-store hygiene passes ----------------------------------------
+    Rule("CACHE001", Severity.WARNING,
+         "artifact store carries crash debris or corruption",
+         "store design: orphaned temp files and never-released locks are "
+         "breadcrumbs of crashed writers (self-healing, but a crash worth "
+         "knowing about); a payload whose bytes mismatch its checksum "
+         "sidecar is corruption the next load will evict and recompute",
+         family="store"),
 ])
 
 

@@ -73,9 +73,13 @@ CACHED_FAMILIES: FrozenSet[str] = REPLAY_FAMILIES | {"invariance"}
 
 #: Report-assembly order; also the order families are marked in
 #: ``passes_run`` so reports stay byte-stable across engine changes.
+#: ``store`` stays OUT of ``CACHED_FAMILIES`` by design: its findings
+#: describe the cache directory's *current* on-disk state (orphans, stale
+#: locks, torn payloads), so a cached verdict would report the state of a
+#: previous scan, not this one.
 FAMILY_ORDER: Tuple[str, ...] = (
     "faultplan", "dcfg", "concurrency", "perf", "markers",
-    "invariance", "dominance", "config", "xar",
+    "invariance", "dominance", "config", "xar", "store",
 )
 
 

@@ -30,6 +30,7 @@ from .config_passes import (
 from .findings import Finding, LintReport, RULES
 from .incremental import FAMILY_ORDER, LintEngine
 from .marker_passes import check_marker_blocks, check_monotone_counts
+from .store_passes import run_store_passes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.looppoint import LoopPointPipeline
@@ -127,6 +128,20 @@ def lint_pipeline(
                 thresholds=options.thresholds,
             ), options.disable))
             report.mark_pass("config")
+        elif family == "store":
+            # Cheap directory walk, never cached: hygiene findings
+            # describe the cache dir's *current* state (see incremental's
+            # FAMILY_ORDER note), so a remembered verdict would lie.
+            if not pipeline.options.cache_dir or not engine.family_enabled(
+                "store"
+            ):
+                report.mark_pass("store", source="skipped")
+                continue
+            report.extend(_keep(
+                run_store_passes(pipeline.options.cache_dir),
+                options.disable,
+            ))
+            report.mark_pass("store")
         else:
             findings, source = expensive.get(family, ([], "skipped"))
             report.extend(_keep(findings, options.disable))

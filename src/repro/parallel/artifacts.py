@@ -15,11 +15,26 @@ material itself is stored alongside the payload and re-verified on load,
 so a hash collision or a stale layout degrades to a cache miss, never a
 wrong artifact.
 
+Crash consistency: a store is write-to-temp → fsync(temp) → publish the
+checksum sidecar → ``os.replace`` → fsync(directory).  The temp fsync
+makes the rename actually durable (without it ``os.replace`` can publish
+a name whose *bytes* are still only in the page cache — the classic
+"atomic but not crash-durable" rename); the directory fsync persists the
+rename itself.  Every artifact carries a ``<name>.sha256`` sidecar whose
+digest is of the *intended* bytes, verified on load — a torn or
+bit-rotted payload therefore reads back as a miss, never as a wrong
+artifact.  Temp files are pid-tagged (``.tmp-<pid>-*``) and orphans left
+by crashed writers are swept when a cache is opened.
+
 Versioning and invalidation: artifacts live under ``<dir>/v<N>/<stage>/``.
 Bump :data:`CACHE_VERSION` whenever recording, profiling, or selection
 semantics change — old artifacts are simply never looked at again.
 :meth:`ArtifactCache.invalidate` wipes a stage (or everything) explicitly;
 wiping the directory by hand is always safe.
+
+Multi-process sharing (single-flight locking, bounded LRU eviction,
+pinning) lives in :class:`repro.store.SharedArtifactStore`, which builds
+on this class.
 """
 
 from __future__ import annotations
@@ -31,13 +46,21 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 from collections import Counter
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Union
 
 from ..errors import CacheError
 from ..obs.tracer import active_metrics
-from ..resilience import CACHE_CORRUPT, should_fire
+from ..resilience import (
+    CACHE_CORRUPT,
+    STORE_CRASH_REPLACE,
+    STORE_TORN_WRITE,
+    maybe_inject,
+    should_fire,
+)
 
 #: Bump when any cached stage's semantics change.
 CACHE_VERSION = 1
@@ -47,6 +70,13 @@ _MAGIC = "repro-artifact-v1"
 #: The cacheable pipeline stages, in pipeline order.
 STAGES = ("record", "profile", "select")
 
+#: Suffix of the per-artifact checksum sidecar.
+SIDECAR_SUFFIX = ".sha256"
+
+#: A temp file that cannot be attributed to a pid is only swept once it
+#: is at least this old — it might belong to a writer mid-write.
+ORPHAN_AGE_S = 300.0
+
 
 def canonical_key(material: Dict[str, Any]) -> str:
     """SHA-256 over the canonical JSON form of the key material."""
@@ -55,6 +85,77 @@ def canonical_key(material: Dict[str, Any]) -> str:
     except (TypeError, ValueError) as exc:
         raise CacheError(f"cache key material is not JSON-able: {exc}") from exc
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def tmp_file_pid(name: str) -> Optional[int]:
+    """The pid embedded in a ``.tmp-<pid>-*`` temp-file name, or ``None``."""
+    if not name.startswith(".tmp-"):
+        return None
+    rest = name[len(".tmp-"):]
+    head = rest.split("-", 1)[0]
+    try:
+        return int(head)
+    except ValueError:
+        return None
+
+
+class _TeeHash:
+    """Write-through file wrapper that folds every byte into a digest.
+
+    Lets :meth:`ArtifactCache.store` know the checksum of the bytes it
+    *intended* to publish without re-reading the temp file — which is
+    exactly what makes the sidecar a torn-write detector: damage between
+    the write and the publish leaves on-disk bytes that no longer match.
+    """
+
+    def __init__(self, raw: Any, digest: "hashlib._Hash") -> None:
+        self._raw = raw
+        self._digest = digest
+
+    def write(self, data: bytes) -> int:
+        self._digest.update(data)
+        return self._raw.write(data)
+
+    def flush(self) -> None:
+        self._raw.flush()
+
+
+@dataclass(frozen=True)
+class ArtifactEntry:
+    """One on-disk artifact, as enumerated by :meth:`ArtifactCache.iter_artifacts`."""
+
+    stage: str
+    key: str
+    path: Path
+    size: int
+    mtime: float
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-completed rename survives a crash."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms without O_RDONLY dirs; rename still atomic
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class ArtifactCache:
@@ -71,6 +172,8 @@ class ArtifactCache:
         self.misses: Counter = Counter()
         self.stores: Counter = Counter()
         self.evictions: Counter = Counter()
+        #: Orphaned temp files removed when this cache was opened.
+        self.orphans_swept = 0
         #: Last load outcome per stage ("hit"/"miss"), for the stats line.
         self.last_outcome: Dict[str, str] = {}
         try:
@@ -79,6 +182,7 @@ class ArtifactCache:
             raise CacheError(
                 f"cannot create cache dir {self.root}: {exc}"
             ) from exc
+        self.orphans_swept = self.sweep_orphans()
 
     # -- paths ---------------------------------------------------------------
 
@@ -86,25 +190,55 @@ class ArtifactCache:
         # Two-level fan-out keeps directories small for big caches.
         return self.root / stage / key[:2] / f"{key}.pkl.gz"
 
+    @staticmethod
+    def _sidecar(path: Path) -> Path:
+        return Path(str(path) + SIDECAR_SUFFIX)
+
     # -- load/store ----------------------------------------------------------
 
-    def load(self, stage: str, material: Dict[str, Any]) -> Optional[Any]:
+    def load(
+        self,
+        stage: str,
+        material: Dict[str, Any],
+        count_miss: bool = True,
+    ) -> Optional[Any]:
         """Return the cached artifact, or ``None`` on a miss.
 
-        Corrupt or mismatched files are treated as misses (and removed) —
-        the pipeline then recomputes and overwrites them.
+        Corrupt or checksum-mismatched files are treated as misses (and
+        removed) — the pipeline then recomputes and overwrites them.
+        ``count_miss=False`` keeps a miss out of the counters and the
+        stats line; the single-flight store uses it for its under-lock
+        re-check so one logical miss is not accounted twice.
         """
         key = canonical_key(material)
         path = self._path(stage, key)
-        if not path.exists():
-            self._miss(stage)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            if count_miss:
+                self._miss(stage)
+            return None
+        except OSError:
+            # Vanished or unreadable mid-read (e.g. concurrently evicted):
+            # a miss, not corruption.
+            if count_miss:
+                self._miss(stage)
+            return None
+        sidecar = self._read_sidecar(path)
+        if sidecar is not None and hashlib.sha256(data).hexdigest() != sidecar:
+            reg = active_metrics()
+            if reg is not None:
+                reg.inc("cache.sidecar_mismatches")
+            self._evict_corrupt(stage, path)
+            if count_miss:
+                self._miss(stage)
             return None
         try:
-            with gzip.open(path, "rb") as fh:
-                payload = pickle.load(fh)
+            payload = pickle.loads(gzip.decompress(data))
         except Exception:
             self._evict_corrupt(stage, path)
-            self._miss(stage)
+            if count_miss:
+                self._miss(stage)
             return None
         if (
             not isinstance(payload, tuple)
@@ -114,29 +248,60 @@ class ArtifactCache:
             or payload[2] != material
         ):
             self._evict_corrupt(stage, path)
-            self._miss(stage)
+            if count_miss:
+                self._miss(stage)
             return None
         self.hits[stage] += 1
         self.last_outcome[stage] = "hit"
+        self._touch(stage, key)
         reg = active_metrics()
         if reg is not None:
             reg.inc("cache.hits")
         return payload[3]
 
+    def _read_sidecar(self, path: Path) -> Optional[str]:
+        try:
+            text = self._sidecar(path).read_text(encoding="utf-8").strip()
+        except OSError:
+            return None  # legacy artifact without a sidecar: accept
+        return text or None
+
     def store(self, stage: str, material: Dict[str, Any], artifact: Any) -> None:
-        """Persist an artifact atomically (write-to-temp + rename)."""
+        """Persist an artifact crash-consistently.
+
+        Write-to-temp, **fsync the temp file**, publish the checksum
+        sidecar, ``os.replace`` into place, then **fsync the parent
+        directory**.  A crash at any instant leaves either the old
+        artifact, no artifact, or a torn file that the sidecar check
+        rejects on load — never a silently wrong artifact.
+        """
         key = canonical_key(material)
         path = self._path(stage, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = (_MAGIC, CACHE_VERSION, material, artifact)
         fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".pkl.gz"
+            dir=str(path.parent), prefix=f".tmp-{os.getpid()}-",
+            suffix=".pkl.gz",
         )
+        digest = hashlib.sha256()
         try:
             with os.fdopen(fd, "wb") as raw:
-                with gzip.open(raw, "wb") as fh:
+                with gzip.open(_TeeHash(raw, digest), "wb") as fh:
                     pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                raw.flush()
+                os.fsync(raw.fileno())
+            site_key = f"{stage}:{key}"
+            torn = should_fire(STORE_TORN_WRITE, site_key)
+            if torn is not None:
+                self._damage(Path(tmp), torn.mode)
+            # The sidecar carries the digest of the *intended* bytes and is
+            # published first: a crash (or injected torn write) between here
+            # and the payload replace leaves a mismatch, which load() treats
+            # as corruption — degrade to recompute, never a wrong artifact.
+            self._write_sidecar(path, digest.hexdigest())
+            maybe_inject(STORE_CRASH_REPLACE, site_key)
             os.replace(tmp, path)
+            _fsync_dir(path.parent)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -144,12 +309,41 @@ class ArtifactCache:
                 pass
             raise
         self.stores[stage] += 1
+        self._touch(stage, key)
         reg = active_metrics()
         if reg is not None:
             reg.inc("cache.stores")
         spec = should_fire(CACHE_CORRUPT, f"{stage}:{key}")
         if spec is not None:
             self._damage(path, spec.mode)
+        self._after_store(stage, key)
+
+    def _write_sidecar(self, path: Path, hexdigest: str) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".tmp-{os.getpid()}-",
+            suffix=SIDECAR_SUFFIX,
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(hexdigest + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self._sidecar(path))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # Hooks for :class:`repro.store.SharedArtifactStore` (LRU accounting,
+    # eviction, pinning).  No-ops here.
+
+    def _touch(self, stage: str, key: str) -> None:
+        pass
+
+    def _after_store(self, stage: str, key: str) -> None:
+        pass
 
     @staticmethod
     def _damage(path: Path, mode: str) -> None:
@@ -183,6 +377,98 @@ class ArtifactCache:
             shutil.rmtree(target)
         self.root.mkdir(parents=True, exist_ok=True)
 
+    # -- enumeration / hygiene ----------------------------------------------
+
+    def iter_artifacts(self) -> Iterator[ArtifactEntry]:
+        """Every published artifact payload on disk, with size and mtime."""
+        try:
+            stages = sorted(
+                e.name for e in os.scandir(self.root) if e.is_dir()
+            )
+        except OSError:
+            return
+        for stage in stages:
+            stage_dir = self.root / stage
+            try:
+                fans = sorted(
+                    e.name for e in os.scandir(stage_dir) if e.is_dir()
+                )
+            except OSError:
+                continue
+            for fan in fans:
+                try:
+                    entries = sorted(
+                        os.scandir(stage_dir / fan), key=lambda e: e.name
+                    )
+                except OSError:
+                    continue
+                for entry in entries:
+                    name = entry.name
+                    if name.startswith(".") or name.endswith(SIDECAR_SUFFIX):
+                        continue
+                    if not name.endswith(".pkl.gz"):
+                        continue
+                    try:
+                        stat = entry.stat()
+                    except OSError:
+                        continue
+                    yield ArtifactEntry(
+                        stage=stage,
+                        key=name[: -len(".pkl.gz")],
+                        path=Path(entry.path),
+                        size=stat.st_size,
+                        mtime=stat.st_mtime,
+                    )
+
+    def total_bytes(self) -> int:
+        """Total payload bytes currently published in the store."""
+        return sum(entry.size for entry in self.iter_artifacts())
+
+    def sweep_orphans(self) -> int:
+        """Remove debris left by crashed writers; returns files removed.
+
+        * ``.tmp-<pid>-*`` files whose pid is dead (a writer that died in
+          the crash window before ``os.replace``);
+        * un-attributable temp files older than :data:`ORPHAN_AGE_S`;
+        * checksum sidecars whose payload never got published.
+
+        Live writers' temp files (pid alive, or too recent to judge) are
+        left alone, so sweeping is always safe to run concurrently.
+        """
+        removed = 0
+        now = time.time()
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                full = Path(dirpath) / name
+                if name.startswith(".tmp-"):
+                    pid = tmp_file_pid(name)
+                    if pid is not None:
+                        stale = not pid_alive(pid)
+                    else:
+                        try:
+                            stale = now - full.stat().st_mtime > ORPHAN_AGE_S
+                        except OSError:
+                            continue
+                    if stale:
+                        try:
+                            full.unlink()
+                            removed += 1
+                        except OSError:
+                            pass
+                elif name.endswith(".pkl.gz" + SIDECAR_SUFFIX):
+                    payload = Path(str(full)[: -len(SIDECAR_SUFFIX)])
+                    if not payload.exists():
+                        try:
+                            full.unlink()
+                            removed += 1
+                        except OSError:
+                            pass
+        if removed:
+            reg = active_metrics()
+            if reg is not None:
+                reg.inc("store.orphans_swept", removed)
+        return removed
+
     # -- accounting ----------------------------------------------------------
 
     def _miss(self, stage: str) -> None:
@@ -197,10 +483,11 @@ class ArtifactCache:
         reg = active_metrics()
         if reg is not None:
             reg.inc("cache.evictions")
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        for target in (path, self._sidecar(path)):
+            try:
+                target.unlink()
+            except OSError:
+                pass
 
     def stats_line(self) -> str:
         """One grep-able line: per-stage outcome plus aggregate counters."""

@@ -14,6 +14,9 @@ from .faults import (
     PROFILE_DIVERGENCE,
     REGION_EXTRACT,
     SITES,
+    STORE_CRASH_REPLACE,
+    STORE_LOCK_DEATH,
+    STORE_TORN_WRITE,
     WORKER_CRASH,
     WORKER_ERROR,
     WORKER_HANG,
@@ -44,6 +47,9 @@ __all__ = [
     "PROFILE_DIVERGENCE",
     "REGION_EXTRACT",
     "SITES",
+    "STORE_CRASH_REPLACE",
+    "STORE_LOCK_DEATH",
+    "STORE_TORN_WRITE",
     "WORKER_CRASH",
     "WORKER_ERROR",
     "WORKER_HANG",

@@ -35,6 +35,18 @@ Site catalogue (the ``site`` strings a :class:`FaultSpec` can name):
 ``pipeline.abort``        the process dies between pipeline stages —
                           ``mode="kill"`` sends SIGKILL to itself (the
                           resume test's "power cut"), otherwise ``os._exit``
+``store.torn_write``      the artifact store's temp file is damaged after
+                          the payload fsync but before publication —
+                          ``os.replace`` then publishes a torn file whose
+                          checksum sidecar no longer matches
+                          (``mode="truncate"``/``"garbage"``)
+``store.crash_replace``   the writing process dies (``os._exit``) between
+                          fsyncing the temp file and the ``os.replace``
+                          that publishes it — the classic crash window
+                          that leaves a ``.tmp-*`` orphan behind
+``store.lock_death``      the process dies (``os._exit``) while holding a
+                          shared-store key lock — the kernel releases the
+                          ``flock`` and waiters must recover and compute
 ========================  ====================================================
 """
 
@@ -66,6 +78,9 @@ PROFILE_DIVERGENCE = "profile.divergence"
 REGION_EXTRACT = "region.extract"
 KMEANS_DIVERGE = "kmeans.diverge"
 PIPELINE_ABORT = "pipeline.abort"
+STORE_TORN_WRITE = "store.torn_write"
+STORE_CRASH_REPLACE = "store.crash_replace"
+STORE_LOCK_DEATH = "store.lock_death"
 
 #: Every site a spec may name, with the ``mode`` values it understands
 #: (the empty string is the site's default behavior).
@@ -79,6 +94,9 @@ SITES: Dict[str, Tuple[str, ...]] = {
     REGION_EXTRACT: ("",),
     KMEANS_DIVERGE: ("",),
     PIPELINE_ABORT: ("", "exit", "kill"),
+    STORE_TORN_WRITE: ("", "truncate", "garbage"),
+    STORE_CRASH_REPLACE: ("",),
+    STORE_LOCK_DEATH: ("",),
 }
 
 
@@ -306,6 +324,14 @@ def perform(spec: FaultSpec, site: str, key: str) -> None:
         if spec.mode == "kill":
             os.kill(os.getpid(), signal.SIGKILL)
         os._exit(137)
+    if site == STORE_TORN_WRITE:
+        # Behavioral seam: the store damages its own temp file via
+        # should_fire.  A perform() call means a spec was misrouted here.
+        raise FaultInjectionError(f"injected fault at {site} ({key})")
+    if site == STORE_CRASH_REPLACE:
+        os._exit(5)
+    if site == STORE_LOCK_DEATH:
+        os._exit(6)
     raise FaultInjectionError(f"injected fault at unknown site {site} ({key})")
 
 

@@ -1,0 +1,27 @@
+"""Concurrency-safe shared artifact store.
+
+Public surface of the store layer: the multi-process
+:class:`SharedArtifactStore` (single-flight key locks, bounded LRU
+eviction with pinning, crash-consistent publishes), the
+:class:`~repro.store.locks.KeyLock` primitive, the hygiene scanner behind
+the ``CACHE001`` lint rule, and the chaos soak harness
+(``python -m repro.store.soak``).
+"""
+
+from .hygiene import StoreHygieneReport, scan_store
+from .locks import DEFAULT_LOCK_POLICY, KeyLock, flock_supported, probe_stale_lock
+from .shared import SharedArtifactStore
+from .soak import SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "DEFAULT_LOCK_POLICY",
+    "KeyLock",
+    "SharedArtifactStore",
+    "SoakConfig",
+    "SoakReport",
+    "StoreHygieneReport",
+    "flock_supported",
+    "probe_stale_lock",
+    "run_soak",
+    "scan_store",
+]

@@ -1,0 +1,419 @@
+"""Multi-process shared artifact store: single-flight, bounded, pinned.
+
+:class:`SharedArtifactStore` extends the crash-consistent
+:class:`repro.parallel.artifacts.ArtifactCache` with the three properties
+a *shared* store needs (ROADMAP item 2: many concurrent ``repro-serve``
+requests over one cache directory):
+
+* **Single-flight computation** — :meth:`get_or_compute` (and the
+  pipeline's equivalent seam) takes a per-key :class:`~.locks.KeyLock`
+  around the miss path, so N concurrent requests for one stage key cost
+  one computation; the other N-1 block briefly and then read the
+  published artifact.  The under-lock re-check loads with
+  ``count_miss=False`` so one logical miss is not double-counted.
+
+* **Bounded size (LRU with pinning)** — when ``max_bytes`` is set, every
+  store may trigger an eviction pass.  Access recency comes from an
+  append-only journal (``lru.jsonl``; ``O_APPEND`` single-write lines are
+  atomic across processes), least-recently-touched unpinned payloads are
+  unlinked until the store fits.  Keys *pinned* by a live process — via
+  per-pid pin files that the evictor probes and sweeps — are never
+  evicted, so a running pipeline cannot lose an artifact it already
+  loaded and plans to reuse.  Eviction counts surface in
+  ``result.health.cache_evictions`` and the ``cache.lru_evictions``
+  metric.
+
+* **Self-repair** — opening a store sweeps dead writers' temp files
+  (inherited from the base class); the eviction pass compacts an
+  oversized journal and clears dead pids' pin files.
+
+The store stays a drop-in ``ArtifactCache``: with ``max_bytes=None`` and
+no concurrent writers its observable behavior (counters, stats line,
+layout) is identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Set, Tuple, Union
+
+from ..obs.tracer import active_metrics
+from ..parallel.artifacts import (
+    ArtifactCache,
+    canonical_key,
+    pid_alive,
+)
+from ..resilience import STORE_LOCK_DEATH, maybe_inject
+from ..resilience.retry import RetryPolicy
+from .locks import KeyLock
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+#: Journal files beyond this size get compacted during an eviction pass.
+JOURNAL_COMPACT_BYTES = 512 * 1024
+
+#: A payload with *no* journal entry younger than this is left alone —
+#: it may be another process's just-published store whose journal append
+#: has not landed yet.  Journaled entries are evictable at any age.
+UNJOURNALED_GRACE_S = 10.0
+
+#: Reserved top-level names under the versioned root that are not stages.
+RESERVED_DIRS = ("locks", "pins")
+JOURNAL_NAME = "lru.jsonl"
+
+
+def _qualify(stage: str, key: str) -> str:
+    return f"{stage}/{key}"
+
+
+class SharedArtifactStore(ArtifactCache):
+    """A concurrency-safe, optionally size-bounded artifact cache.
+
+    ``pin_touched=True`` (the pipeline's setting) pins every key this
+    process loads or stores, guaranteeing warm-cache reuse within a run
+    even under a tiny ``max_bytes``.  Explicit :meth:`pin` marks keys
+    other processes must not evict either (e.g. a soak driver protecting
+    designated artifacts).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        max_bytes: Optional[int] = None,
+        lock_policy: Optional[RetryPolicy] = None,
+        pin_touched: bool = False,
+    ) -> None:
+        self.max_bytes = max_bytes
+        self.lock_policy = lock_policy
+        self.pin_touched = pin_touched
+        self.lru_evictions = 0
+        self.single_flight_hits = 0
+        self._pins: Set[str] = set()
+        self._journal_fd: Optional[int] = None
+        super().__init__(cache_dir)
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def locks_dir(self) -> Path:
+        return self.root / "locks"
+
+    @property
+    def pins_dir(self) -> Path:
+        return self.root / "pins"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / JOURNAL_NAME
+
+    def _pin_file(self) -> Path:
+        return self.pins_dir / f"{os.getpid()}.json"
+
+    # -- single-flight -------------------------------------------------------
+
+    def key_lock(self, stage: str, key: str) -> KeyLock:
+        """The advisory lock guarding one stage key's compute-and-store."""
+        return KeyLock(
+            self.locks_dir / stage / f"{key}.lock",
+            policy=self.lock_policy,
+            name=f"{stage}:{key}",
+        )
+
+    def get_or_compute(
+        self,
+        stage: str,
+        material: Dict[str, Any],
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Load the artifact, or compute-and-store it exactly once.
+
+        Concurrent callers with the same key serialize on the key lock;
+        whoever wins computes, the rest find the published artifact in
+        their under-lock re-check (counted as ``single_flight_hits``, not
+        as a second miss).
+        """
+        artifact = self.load(stage, material)
+        if artifact is not None:
+            return artifact
+        key = canonical_key(material)
+        with self.key_lock(stage, key):
+            maybe_inject(STORE_LOCK_DEATH, f"{stage}:{key}")
+            artifact = self.load(stage, material, count_miss=False)
+            if artifact is not None:
+                self.single_flight_hits += 1
+                reg = active_metrics()
+                if reg is not None:
+                    reg.inc("store.single_flight")
+                return artifact
+            artifact = compute()
+            self.store(stage, material, artifact)
+            return artifact
+
+    # -- pinning -------------------------------------------------------------
+
+    def pin(self, stage: str, key: str) -> None:
+        """Protect one key from eviction while this process lives."""
+        qualified = _qualify(stage, key)
+        if qualified in self._pins:
+            return
+        self._pins.add(qualified)
+        self._publish_pins()
+
+    def pinned(self) -> Set[str]:
+        """This process's pinned ``stage/key`` names."""
+        return set(self._pins)
+
+    def _publish_pins(self) -> None:
+        """Atomically update this pid's pin file for other processes.
+
+        Merged, not rewritten: several store handles in one process (e.g.
+        two pipelines over one cache dir) share the pid file, and one
+        handle must not clobber another's pins.
+        """
+        self.pins_dir.mkdir(parents=True, exist_ok=True)
+        merged = set(self._pins)
+        try:
+            recorded = json.loads(
+                self._pin_file().read_text(encoding="utf-8")
+            )
+            if isinstance(recorded, list):
+                merged.update(str(item) for item in recorded)
+        except (OSError, ValueError):
+            pass
+        tmp = self.pins_dir / f".tmp-{os.getpid()}-pins"
+        try:
+            tmp.write_text(json.dumps(sorted(merged)), encoding="utf-8")
+            os.replace(tmp, self._pin_file())
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def _live_pins(self) -> Set[str]:
+        """Union of all live processes' pins; sweeps dead pids' files."""
+        pins: Set[str] = set(self._pins)
+        try:
+            entries = list(os.scandir(self.pins_dir))
+        except OSError:
+            return pins
+        for entry in entries:
+            if not entry.name.endswith(".json"):
+                continue
+            try:
+                pid = int(entry.name[: -len(".json")])
+            except ValueError:
+                continue
+            if pid != os.getpid() and not pid_alive(pid):
+                try:
+                    os.unlink(entry.path)
+                except OSError:
+                    pass
+                continue
+            try:
+                recorded = json.loads(
+                    Path(entry.path).read_text(encoding="utf-8")
+                )
+            except (OSError, ValueError):
+                continue
+            if isinstance(recorded, list):
+                pins.update(str(item) for item in recorded)
+        return pins
+
+    # -- LRU journal ---------------------------------------------------------
+
+    def _journal_append(self, op: str, stage: str, key: str) -> None:
+        line = (
+            json.dumps({"op": op, "s": stage, "k": key},
+                       separators=(",", ":"))
+            + "\n"
+        ).encode("utf-8")
+        try:
+            if self._journal_fd is None:
+                self._journal_fd = os.open(
+                    str(self.journal_path),
+                    os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                    0o644,
+                )
+            os.write(self._journal_fd, line)
+        except OSError:
+            self._journal_fd = None  # reopen on next touch
+
+    def _recency(self) -> Dict[str, int]:
+        """``stage/key`` → sequence of its *latest* journal touch."""
+        latest: Dict[str, int] = {}
+        try:
+            with open(self.journal_path, "r", encoding="utf-8") as fh:
+                for seq, line in enumerate(fh):
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if not isinstance(record, dict):
+                        continue
+                    if record.get("op") == "touch":
+                        latest[
+                            _qualify(str(record.get("s")), str(record.get("k")))
+                        ] = seq
+        except OSError:
+            pass
+        return latest
+
+    def _compact_journal(self, recency: Dict[str, int]) -> None:
+        """Rewrite the journal with one latest-touch line per key."""
+        tmp = Path(str(self.journal_path) + f".tmp-{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for qualified, _seq in sorted(
+                    recency.items(), key=lambda item: item[1]
+                ):
+                    stage, _slash, key = qualified.partition("/")
+                    fh.write(
+                        json.dumps(
+                            {"op": "touch", "s": stage, "k": key},
+                            separators=(",", ":"),
+                        )
+                        + "\n"
+                    )
+            os.replace(tmp, self.journal_path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        # Concurrent appends between read and replace lose at worst some
+        # recency ordering, never artifacts; drop the fd so future touches
+        # append to the new inode.
+        if self._journal_fd is not None:
+            try:
+                os.close(self._journal_fd)
+            except OSError:
+                pass
+            self._journal_fd = None
+
+    # -- ArtifactCache hooks -------------------------------------------------
+
+    def _touch(self, stage: str, key: str) -> None:
+        self._journal_append("touch", stage, key)
+        if self.pin_touched:
+            self.pin(stage, key)
+
+    def _after_store(self, stage: str, key: str) -> None:
+        if self.max_bytes is not None:
+            self._maybe_evict(protect=_qualify(stage, key))
+
+    # -- eviction ------------------------------------------------------------
+
+    def _maybe_evict(self, protect: str = "") -> None:
+        """Evict least-recently-touched unpinned payloads over budget.
+
+        Runs under a global non-blocking eviction lock: if another
+        process is already evicting, this store simply skips its turn —
+        the other pass is operating on the same directory.
+        """
+        budget = self.max_bytes or 0
+        entries = list(self.iter_artifacts())
+        total = sum(entry.size for entry in entries)
+        if total <= budget:
+            return
+        lock_fd = self._try_evict_lock()
+        if lock_fd is None:
+            return
+        try:
+            recency = self._recency()
+            pinned = self._live_pins()
+            now = time.time()
+            ranked = sorted(
+                entries,
+                key=lambda e: (
+                    recency.get(_qualify(e.stage, e.key), -1),
+                    e.mtime,
+                ),
+            )
+            for entry in ranked:
+                if total <= budget:
+                    break
+                qualified = _qualify(entry.stage, entry.key)
+                if qualified == protect or qualified in pinned:
+                    continue
+                if (
+                    qualified not in recency
+                    and now - entry.mtime < UNJOURNALED_GRACE_S
+                ):
+                    continue  # possibly mid-publish by another process
+                removed = self._evict_entry(entry)
+                if removed:
+                    total -= entry.size
+                    self.lru_evictions += 1
+                    self._journal_append("evict", entry.stage, entry.key)
+                    reg = active_metrics()
+                    if reg is not None:
+                        reg.inc("cache.lru_evictions")
+            try:
+                if self.journal_path.stat().st_size > JOURNAL_COMPACT_BYTES:
+                    self._compact_journal(self._recency())
+            except OSError:
+                pass
+        finally:
+            self._release_evict_lock(lock_fd)
+
+    def _evict_entry(self, entry: Any) -> bool:
+        removed = False
+        for target in (entry.path, self._sidecar(entry.path)):
+            try:
+                target.unlink()
+                removed = removed or target == entry.path
+            except OSError:
+                pass
+        return removed
+
+    def _try_evict_lock(self) -> Optional[int]:
+        if fcntl is None:
+            return None
+        self.locks_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(
+                str(self.locks_dir / ".evict.lock"),
+                os.O_RDWR | os.O_CREAT,
+                0o644,
+            )
+        except OSError:
+            return None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return None
+        return fd
+
+    @staticmethod
+    def _release_evict_lock(fd: int) -> None:
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats_line(self) -> str:
+        line = super().stats_line()
+        if self.max_bytes is not None:
+            line += f" lru_evicted={self.lru_evictions}"
+        return line
+
+    def close(self) -> None:
+        if self._journal_fd is not None:
+            try:
+                os.close(self._journal_fd)
+            except OSError:
+                pass
+            self._journal_fd = None

@@ -1,0 +1,447 @@
+"""Chaos soak harness for the shared artifact store.
+
+Hammers one :class:`~.shared.SharedArtifactStore` directory from many
+*processes* at once — mixed duplicate/distinct keys, optional size budget,
+optional seeded fault plan firing the store's crash seams
+(``store.torn_write``, ``store.crash_replace``, ``store.lock_death``) —
+then audits the wreckage:
+
+* **zero corrupt loads**: every artifact any worker ever got back must be
+  byte-identical to the deterministic payload for its key, and every
+  artifact still on disk must verify at the end;
+* **single-flight**: workers append one line to a shared ``O_APPEND`` log
+  per actual computation; duplicate computations beyond what the injected
+  faults and evictions can explain fail the soak (with no faults and no
+  budget the bound is *exactly one computation per key*);
+* **self-repair**: after the dust settles a fresh store open must sweep
+  every temp file dead writers left behind;
+* **pinning**: keys the parent pinned must survive every eviction pass.
+
+Invocable from tests via :func:`run_soak` or standalone::
+
+    python -m repro.store.soak --processes 6 --ops 80 --keys 12 \
+        --max-bytes 20000 --fault-plan ci/fault-plans/store-torn.json
+
+Exit status 1 on any violated guarantee.  All randomness is seeded: the
+same config and fault plan replay the same op sequence per worker (actual
+interleaving varies, which is the point of a soak — the *guarantees* must
+hold under every interleaving).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..errors import StoreLockTimeout
+from ..parallel.artifacts import canonical_key
+from ..resilience import STORE_TORN_WRITE, FaultPlan, install_fault_plan
+from ..resilience.retry import RetryPolicy
+from .hygiene import scan_store
+from .shared import SharedArtifactStore
+
+#: Exit codes the fault seams die with (see resilience.faults.perform).
+FAULT_EXIT_CODES = (5, 6)
+
+_STAGE = "record"
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak run's shape.  Everything is seeded and deterministic."""
+
+    processes: int = 6
+    ops_per_worker: int = 50
+    distinct_keys: int = 12
+    value_bytes: int = 2048
+    seed: int = 0
+    #: Fault plan as a dict (:meth:`FaultPlan.to_dict`), or ``None``.
+    fault_plan: Optional[Dict[str, Any]] = None
+    max_bytes: Optional[int] = None
+    #: First N keys are pinned by the parent before workers start.
+    pinned: int = 0
+    lock_deadline_s: float = 60.0
+
+    def material(self, key_index: int) -> Dict[str, Any]:
+        return {"soak": True, "key": key_index, "seed": self.seed}
+
+    def payload(self, key_index: int) -> bytes:
+        """The one true artifact for a key: a seeded sha256 byte stream."""
+        out = bytearray()
+        block = 0
+        while len(out) < self.value_bytes:
+            out += hashlib.sha256(
+                f"{self.seed}:{key_index}:{block}".encode("utf-8")
+            ).digest()
+            block += 1
+        return bytes(out[: self.value_bytes])
+
+    def key_for_op(self, worker_id: int, op: int) -> int:
+        """Which key op ``op`` of worker ``worker_id`` targets.
+
+        The first ``distinct_keys`` ops cycle through every key (coverage),
+        later ops pick hash-pseudo-randomly (duplicate contention).
+        """
+        if op < self.distinct_keys:
+            return (worker_id + op) % self.distinct_keys
+        digest = hashlib.sha256(
+            f"{self.seed}:{worker_id}:{op}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % self.distinct_keys
+
+
+@dataclass
+class SoakReport:
+    """Audited outcome of one soak run."""
+
+    config: SoakConfig
+    worker_exits: List[int] = field(default_factory=list)
+    deaths: int = 0
+    corrupt_loads: int = 0
+    lock_timeouts: int = 0
+    total_computations: int = 0
+    distinct_computed: int = 0
+    duplicate_computations: int = 0
+    fault_allowance: Optional[int] = None
+    lru_evictions: int = 0
+    pinned_evicted: List[int] = field(default_factory=list)
+    orphan_tmps_after_sweep: int = 0
+    stale_locks: int = 0
+    final_bad_artifacts: List[str] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "processes": self.config.processes,
+            "ops_per_worker": self.config.ops_per_worker,
+            "distinct_keys": self.config.distinct_keys,
+            "worker_exits": self.worker_exits,
+            "deaths": self.deaths,
+            "corrupt_loads": self.corrupt_loads,
+            "lock_timeouts": self.lock_timeouts,
+            "total_computations": self.total_computations,
+            "distinct_computed": self.distinct_computed,
+            "duplicate_computations": self.duplicate_computations,
+            "fault_allowance": self.fault_allowance,
+            "lru_evictions": self.lru_evictions,
+            "pinned_evicted": self.pinned_evicted,
+            "orphan_tmps_after_sweep": self.orphan_tmps_after_sweep,
+            "stale_locks": self.stale_locks,
+            "final_bad_artifacts": self.final_bad_artifacts,
+            "problems": self.problems,
+        }
+
+
+# -- worker -------------------------------------------------------------------
+
+
+def _worker_main(
+    worker_id: int, config: SoakConfig, store_dir: str, control_dir: str
+) -> None:
+    """One hammer process: wait for the start gate, then run its ops."""
+    if config.fault_plan is not None:
+        install_fault_plan(FaultPlan.from_dict(config.fault_plan))
+    control = Path(control_dir)
+    store = SharedArtifactStore(
+        store_dir,
+        max_bytes=config.max_bytes,
+        lock_policy=RetryPolicy(
+            base_delay_s=0.002,
+            max_delay_s=0.05,
+            seed=config.seed + worker_id,
+            deadline_s=config.lock_deadline_s,
+        ),
+    )
+    gate = control / "gate"
+    deadline = time.monotonic() + 30.0
+    while not gate.exists():
+        if time.monotonic() > deadline:
+            os._exit(7)
+        time.sleep(0.002)
+    stats = {"ops": 0, "corrupt": 0, "lock_timeouts": 0}
+    log_fd = os.open(
+        str(control / "computations.log"),
+        os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+        0o644,
+    )
+    for op in range(config.ops_per_worker):
+        key_index = config.key_for_op(worker_id, op)
+
+        def compute(idx: int = key_index) -> bytes:
+            # Log *before* returning: a crash in the publish window must
+            # still count as a computation the audit can see.
+            os.write(
+                log_fd, f"{worker_id} {idx}\n".encode("utf-8")
+            )
+            return config.payload(idx)
+
+        try:
+            artifact = store.get_or_compute(
+                _STAGE, config.material(key_index), compute
+            )
+        except StoreLockTimeout:
+            stats["lock_timeouts"] += 1
+            continue
+        if artifact != config.payload(key_index):
+            stats["corrupt"] += 1
+        stats["ops"] += 1
+    tmp = control / f".stats-{worker_id}.tmp"
+    tmp.write_text(json.dumps(stats), encoding="utf-8")
+    os.replace(tmp, control / f"worker-{worker_id}.json")
+    os._exit(0)
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def _torn_write_allowance(config: SoakConfig) -> Optional[int]:
+    """Upper bound on torn-write fires, or ``None`` if unbounded.
+
+    ``max_fires`` counters are process-local, so the store-wide bound is
+    the per-plan sum times the number of workers (each installs its own
+    plan instance).
+    """
+    if config.fault_plan is None:
+        return 0
+    total = 0
+    for spec in config.fault_plan.get("faults", []):
+        if spec.get("site") != STORE_TORN_WRITE:
+            continue
+        bound = int(spec.get("max_fires", -1))
+        if bound < 0:
+            return None
+        total += bound
+    return total * config.processes
+
+
+def run_soak(config: SoakConfig, root: Optional[Path] = None) -> SoakReport:
+    """Run one full soak (spawned processes) and audit the store."""
+    if config.fault_plan is not None:
+        FaultPlan.from_dict(config.fault_plan).validate()
+    base = Path(root) if root is not None else Path(tempfile.mkdtemp(prefix="soak-"))
+    store_dir = base / "store"
+    control = base / "control"
+    control.mkdir(parents=True, exist_ok=True)
+    report = SoakReport(config=config)
+
+    # The parent opens the store first (it will also run the audit) and
+    # pins the designated keys before any worker can evict them.
+    parent_store = SharedArtifactStore(str(store_dir), max_bytes=config.max_bytes)
+    pinned_keys = {
+        idx: canonical_key(config.material(idx))
+        for idx in range(min(config.pinned, config.distinct_keys))
+    }
+    for key in pinned_keys.values():
+        parent_store.pin(_STAGE, key)
+
+    ctx = multiprocessing.get_context("spawn")
+    workers = [
+        ctx.Process(
+            target=_worker_main,
+            args=(wid, config, str(store_dir), str(control)),
+        )
+        for wid in range(config.processes)
+    ]
+    for proc in workers:
+        proc.start()
+    (control / "gate").write_text("go\n", encoding="utf-8")
+    for proc in workers:
+        proc.join(timeout=300)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join()
+            report.problems.append("worker hung past the soak timeout")
+    report.worker_exits = [int(proc.exitcode or 0) for proc in workers]
+    report.deaths = sum(
+        1 for code in report.worker_exits if code in FAULT_EXIT_CODES
+    )
+    bad_exits = [
+        code
+        for code in report.worker_exits
+        if code != 0 and code not in FAULT_EXIT_CODES
+    ]
+    if bad_exits:
+        report.problems.append(f"unexpected worker exit codes: {bad_exits}")
+
+    for stats_file in sorted(control.glob("worker-*.json")):
+        try:
+            stats = json.loads(stats_file.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        report.corrupt_loads += int(stats.get("corrupt", 0))
+        report.lock_timeouts += int(stats.get("lock_timeouts", 0))
+    if report.corrupt_loads:
+        report.problems.append(
+            f"{report.corrupt_loads} corrupt load(s) observed by workers"
+        )
+    if report.lock_timeouts:
+        report.problems.append(
+            f"{report.lock_timeouts} lock timeout(s) — flock not recovering"
+        )
+
+    # Fill pass: keys whose every computer died mid-publish (or that got
+    # evicted) are recomputed by the parent, fault-free, through the same
+    # single-flight path — so the final verification always has bytes to
+    # check and legitimate recomputes land in the same computation log.
+    install_fault_plan(None)
+    log_path = control / "computations.log"
+    log_fd = os.open(
+        str(log_path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+    )
+    try:
+        for idx in range(config.distinct_keys):
+            def compute(i: int = idx) -> bytes:
+                os.write(log_fd, f"parent {i}\n".encode("utf-8"))
+                return config.payload(i)
+
+            artifact = parent_store.get_or_compute(
+                _STAGE, config.material(idx), compute
+            )
+            if artifact != config.payload(idx):
+                report.final_bad_artifacts.append(f"key {idx}")
+    finally:
+        os.close(log_fd)
+    if report.final_bad_artifacts:
+        report.problems.append(
+            f"final verification failed for {report.final_bad_artifacts}"
+        )
+
+    # Single-flight audit from the computation log.
+    per_key: Dict[int, int] = {}
+    try:
+        for line in log_path.read_text(encoding="utf-8").splitlines():
+            parts = line.split()
+            if len(parts) == 2:
+                per_key[int(parts[1])] = per_key.get(int(parts[1]), 0) + 1
+    except (OSError, ValueError):
+        report.problems.append("computation log unreadable")
+    report.total_computations = sum(per_key.values())
+    report.distinct_computed = len(per_key)
+    report.duplicate_computations = (
+        report.total_computations - report.distinct_computed
+    )
+
+    # Evictions and pin integrity from the LRU journal.
+    evicted_keys: List[str] = []
+    journal = parent_store.journal_path
+    try:
+        for line in journal.read_text(encoding="utf-8").splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and record.get("op") == "evict":
+                evicted_keys.append(str(record.get("k")))
+    except OSError:
+        pass
+    report.lru_evictions = len(evicted_keys)
+    for idx, key in pinned_keys.items():
+        if key in evicted_keys:
+            report.pinned_evicted.append(idx)
+    if report.pinned_evicted:
+        report.problems.append(
+            f"pinned keys evicted: {report.pinned_evicted}"
+        )
+
+    torn = _torn_write_allowance(config)
+    if torn is None:
+        report.fault_allowance = None  # unbounded plan: skip the bound
+    else:
+        report.fault_allowance = report.deaths + torn + report.lru_evictions
+        if report.duplicate_computations > report.fault_allowance:
+            report.problems.append(
+                f"{report.duplicate_computations} duplicate computation(s) "
+                f"exceed the fault allowance {report.fault_allowance} — "
+                "single-flight is leaking"
+            )
+
+    # Self-repair: a fresh open sweeps dead writers' temp files; nothing
+    # may remain afterwards (live pids are gone — workers have exited).
+    SharedArtifactStore(str(store_dir))
+    hygiene = scan_store(str(store_dir))
+    leftovers = len(hygiene.orphan_tmps) + len(hygiene.live_tmps)
+    report.orphan_tmps_after_sweep = leftovers
+    if leftovers:
+        report.problems.append(
+            f"{leftovers} temp file(s) survived the orphan sweep"
+        )
+    report.stale_locks = len(hygiene.stale_locks)
+    if hygiene.checksum_mismatches:
+        report.problems.append(
+            f"{len(hygiene.checksum_mismatches)} checksum mismatch(es) "
+            "on disk after the soak"
+        )
+    parent_store.close()
+    return report
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store.soak",
+        description="Hammer one shared artifact store from many processes "
+        "under a seeded fault plan and audit its guarantees.",
+    )
+    parser.add_argument("--root", type=Path, default=None,
+                        help="soak directory (default: fresh temp dir)")
+    parser.add_argument("--processes", type=int, default=6)
+    parser.add_argument("--ops", type=int, default=50,
+                        help="operations per worker")
+    parser.add_argument("--keys", type=int, default=12,
+                        help="distinct artifact keys")
+    parser.add_argument("--value-bytes", type=int, default=2048)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--fault-plan", type=Path, default=None,
+                        help="JSON fault plan file (FaultPlan schema)")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        help="store size budget (forces LRU eviction)")
+    parser.add_argument("--pinned", type=int, default=0,
+                        help="pin the first N keys against eviction")
+    parser.add_argument("--deadline", type=float, default=60.0,
+                        help="per-lock wall-clock deadline, seconds")
+    args = parser.parse_args(argv)
+
+    plan_dict: Optional[Dict[str, Any]] = None
+    if args.fault_plan is not None:
+        plan_dict = FaultPlan.from_json_file(str(args.fault_plan)).to_dict()
+    config = SoakConfig(
+        processes=args.processes,
+        ops_per_worker=args.ops,
+        distinct_keys=args.keys,
+        value_bytes=args.value_bytes,
+        seed=args.seed,
+        fault_plan=plan_dict,
+        max_bytes=args.max_bytes,
+        pinned=args.pinned,
+        lock_deadline_s=args.deadline,
+    )
+    report = run_soak(config, root=args.root)
+    print(json.dumps(report.as_dict(), indent=2))
+    print(
+        f"soak {'OK' if report.ok else 'FAILED'}: "
+        f"{report.total_computations} computations over "
+        f"{report.distinct_computed} keys, {report.deaths} injected deaths, "
+        f"{report.lru_evictions} evictions, "
+        f"{report.corrupt_loads} corrupt loads"
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

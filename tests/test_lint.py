@@ -385,10 +385,12 @@ class TestEndToEnd:
         assert "demo-matrix-1" in data["subject"]
         assert set(data["passes_run"]) == {
             "dcfg", "concurrency", "perf", "markers", "invariance",
-            "dominance", "config", "xar",
+            "dominance", "config", "xar", "store",
         }
         # --no-invariance skips the family instead of silently running it.
         assert data["family_sources"]["invariance"] == "skipped"
+        # No cache dir on this run: store hygiene has nothing to scan.
+        assert data["family_sources"]["store"] == "skipped"
 
     def test_cli_list_rules(self, capsys):
         from repro.lint.cli import main

@@ -1,0 +1,662 @@
+"""The concurrency-safe shared artifact store.
+
+Covers the PR's tentpole (``repro.store``: single-flight key locks,
+crash-consistent checksummed writes, bounded LRU eviction with pinning,
+and the chaos soak harness) and its satellites: the ``ArtifactCache``
+fsync bugfix, the ``RetryPolicy`` wall-clock deadline, the 8-process
+same-key hammer test, and the ``CACHE001`` hygiene lint rule.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from conftest import TEST_SCALE
+from repro.config import default_cache_max_bytes
+from repro.core.looppoint import LoopPointOptions, LoopPointPipeline
+from repro.errors import StoreLockTimeout, WorkloadError
+from repro.lint.findings import Severity
+from repro.lint.store_passes import run_store_passes
+from repro.parallel.artifacts import (
+    ArtifactCache,
+    canonical_key,
+    pid_alive,
+    tmp_file_pid,
+)
+from repro.resilience import (
+    STORE_CRASH_REPLACE,
+    STORE_TORN_WRITE,
+    FaultPlan,
+    FaultSpec,
+    fault_scope,
+    install_fault_plan,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.store import (
+    KeyLock,
+    SharedArtifactStore,
+    SoakConfig,
+    probe_stale_lock,
+    run_soak,
+    scan_store,
+)
+from repro.workloads.demo import build_demo_matrix
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+#: A pid that cannot exist (kernel pid_max caps at 2^22 ≈ 4.2M).
+DEAD_PID = 2**22 + 7
+
+
+def _options(**kw):
+    kw.setdefault("scale", TEST_SCALE)
+    return LoopPointOptions(**kw)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: RetryPolicy wall-clock deadline.
+# ---------------------------------------------------------------------------
+
+
+class TestRetryDeadline:
+    def test_unbounded_by_default(self):
+        policy = RetryPolicy()
+        assert policy.deadline_s is None
+        assert policy.remaining(1e9) is None
+        assert not policy.expired(1e9)
+        assert policy.clamped_delay(3, "k", elapsed_s=1e9) == policy.delay(3, "k")
+
+    def test_remaining_and_expired(self):
+        policy = RetryPolicy(deadline_s=2.0)
+        assert policy.remaining(0.5) == pytest.approx(1.5)
+        assert policy.remaining(3.0) == 0.0
+        assert not policy.expired(1.9)
+        assert policy.expired(2.0)
+        assert policy.expired(5.0)
+
+    def test_clamped_delay_never_overshoots(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, max_delay_s=10.0, jitter=0.0, deadline_s=1.0
+        )
+        # Raw delay for attempt 3 is 4s; only 0.25s of budget remains.
+        assert policy.clamped_delay(3, "k", elapsed_s=0.75) == pytest.approx(0.25)
+        assert policy.clamped_delay(3, "k", elapsed_s=1.5) == 0.0
+
+    def test_delay_schedule_unchanged_by_deadline(self):
+        base = RetryPolicy(seed=7)
+        bounded = RetryPolicy(seed=7, deadline_s=30.0)
+        for attempt in range(1, 6):
+            assert base.delay(attempt, "x") == bounded.delay(attempt, "x")
+
+
+# ---------------------------------------------------------------------------
+# Satellite: crash-durable ArtifactCache writes (the fsync bugfix).
+# ---------------------------------------------------------------------------
+
+
+class TestCrashConsistentStore:
+    def test_store_fsyncs_temp_and_directory(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        cache = ArtifactCache(tmp_path)
+        cache.store("record", {"k": 1}, b"payload")
+        # At least: payload temp file, sidecar temp file, parent dir.
+        assert len(synced) >= 3
+
+    def test_sidecar_published_with_payload(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        material = {"k": 1}
+        cache.store("record", material, b"payload")
+        path = cache._path("record", canonical_key(material))
+        assert path.exists()
+        sidecar = cache._sidecar(path)
+        assert sidecar.exists()
+        import hashlib
+
+        assert (
+            sidecar.read_text().strip()
+            == hashlib.sha256(path.read_bytes()).hexdigest()
+        )
+
+    def test_torn_write_detected_on_load(self, tmp_path):
+        """Injected damage between fsync and publish reads back as a miss."""
+        plan = FaultPlan(faults=(
+            FaultSpec(site=STORE_TORN_WRITE, mode="truncate", max_fires=1),
+        ))
+        cache = ArtifactCache(tmp_path)
+        with fault_scope(plan):
+            cache.store("record", {"k": 1}, list(range(2000)))
+        # The published payload is torn; its sidecar carries the intended
+        # digest, so the next load evicts it instead of trusting it.
+        assert cache.load("record", {"k": 1}) is None
+        assert cache.evictions["record"] == 1
+        assert not cache._path("record", canonical_key({"k": 1})).exists()
+
+    def test_torn_write_garbage_mode(self, tmp_path):
+        plan = FaultPlan(faults=(
+            FaultSpec(site=STORE_TORN_WRITE, mode="garbage", max_fires=1),
+        ))
+        cache = ArtifactCache(tmp_path)
+        with fault_scope(plan):
+            cache.store("record", {"k": 2}, b"x" * 500)
+        assert cache.load("record", {"k": 2}) is None
+
+    def test_bitrot_detected_by_sidecar(self, tmp_path):
+        """Damage that still decompresses is caught by the checksum."""
+        cache = ArtifactCache(tmp_path)
+        material = {"k": 3}
+        cache.store("record", material, b"original")
+        path = cache._path("record", canonical_key(material))
+        # Re-gzip a *valid* payload with different content: without the
+        # sidecar this would load as a (wrong) artifact for lack of any
+        # other evidence; the checksum rejects it.
+        from repro.parallel.artifacts import _MAGIC, CACHE_VERSION
+
+        rotten = gzip.compress(
+            pickle.dumps((_MAGIC, CACHE_VERSION, material, b"tampered"))
+        )
+        path.write_bytes(rotten)
+        assert cache.load("record", material) is None
+
+    def test_legacy_artifact_without_sidecar_still_loads(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        material = {"k": 4}
+        cache.store("record", material, b"legacy")
+        cache._sidecar(cache._path("record", canonical_key(material))).unlink()
+        assert cache.load("record", material) == b"legacy"
+
+    def test_crash_during_replace_leaves_recoverable_store(self, tmp_path):
+        """A writer dying between fsync and publish loses only its write."""
+        proc = multiprocessing.get_context("spawn").Process(
+            target=_crash_replace_child, args=(str(tmp_path),)
+        )
+        proc.start()
+        proc.join(60)
+        assert proc.exitcode == 5  # the injected os._exit
+        # The crash window left debris but no published payload...
+        leftovers = list(tmp_path.rglob(".tmp-*")) + list(
+            tmp_path.rglob("*.sha256")
+        )
+        assert leftovers
+        # ...and a fresh open sweeps all of it (the writer pid is dead).
+        cache = ArtifactCache(tmp_path)
+        assert cache.orphans_swept == len(leftovers)
+        assert not list(tmp_path.rglob(".tmp-*"))
+        assert cache.load("record", {"k": "crash"}) is None
+
+
+def _crash_replace_child(cache_dir: str) -> None:
+    install_fault_plan(FaultPlan(faults=(
+        FaultSpec(site=STORE_CRASH_REPLACE, max_fires=1),
+    )))
+    cache = ArtifactCache(cache_dir)
+    cache.store("record", {"k": "crash"}, b"never published")
+
+
+class TestOrphanSweep:
+    def test_dead_pid_tmp_removed_live_kept(self, tmp_path):
+        root = tmp_path / "v1" / "record" / "ab"
+        root.mkdir(parents=True)
+        dead = root / f".tmp-{DEAD_PID}-x.pkl.gz"
+        live = root / f".tmp-{os.getpid()}-y.pkl.gz"
+        dead.write_bytes(b"dead writer debris")
+        live.write_bytes(b"in-flight write")
+        cache = ArtifactCache(tmp_path)
+        assert cache.orphans_swept == 1
+        assert not dead.exists()
+        assert live.exists()
+
+    def test_dangling_sidecar_removed(self, tmp_path):
+        root = tmp_path / "v1" / "record" / "cd"
+        root.mkdir(parents=True)
+        (root / "feed.pkl.gz.sha256").write_text("abc123\n")
+        cache = ArtifactCache(tmp_path)
+        assert cache.orphans_swept == 1
+        assert not (root / "feed.pkl.gz.sha256").exists()
+
+    def test_tmp_pid_parsing(self):
+        assert tmp_file_pid(".tmp-1234-abc.pkl.gz") == 1234
+        assert tmp_file_pid(".tmp-zz-abc") is None
+        assert tmp_file_pid("regular.pkl.gz") is None
+        assert pid_alive(os.getpid())
+        assert not pid_alive(DEAD_PID)
+        assert not pid_alive(-1)
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: per-key locks.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(fcntl is None, reason="no fcntl on this platform")
+class TestKeyLock:
+    def test_acquire_writes_owner_release_truncates(self, tmp_path):
+        lock = KeyLock(tmp_path / "a.lock", name="record:a")
+        with lock:
+            assert lock.held
+            owner = json.loads((tmp_path / "a.lock").read_text())
+            assert owner["pid"] == os.getpid()
+        assert not lock.held
+        # Released: truncated to empty, never unlinked.
+        assert (tmp_path / "a.lock").exists()
+        assert (tmp_path / "a.lock").read_text() == ""
+
+    def test_timeout_on_wedged_holder(self, tmp_path):
+        path = tmp_path / "b.lock"
+        fd = os.open(str(path), os.O_RDWR | os.O_CREAT)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        os.write(fd, json.dumps({"pid": os.getpid()}).encode())
+        try:
+            waiter = KeyLock(
+                path,
+                policy=RetryPolicy(
+                    base_delay_s=0.01, max_delay_s=0.02, deadline_s=0.15
+                ),
+                name="record:b",
+            )
+            with pytest.raises(StoreLockTimeout) as err:
+                waiter.acquire()
+            # Diagnostics name the live holder (wedged, not dead).
+            assert "alive" in str(err.value)
+            assert str(os.getpid()) in str(err.value)
+        finally:
+            os.close(fd)
+
+    def test_timeout_diagnoses_dead_holder(self, tmp_path):
+        path = tmp_path / "c.lock"
+        fd = os.open(str(path), os.O_RDWR | os.O_CREAT)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        os.write(fd, json.dumps({"pid": DEAD_PID}).encode())
+        try:
+            waiter = KeyLock(
+                path,
+                policy=RetryPolicy(
+                    base_delay_s=0.01, max_delay_s=0.02, deadline_s=0.15
+                ),
+            )
+            with pytest.raises(StoreLockTimeout) as err:
+                waiter.acquire()
+            assert "dead" in str(err.value)
+            assert waiter.stale_holder_probes > 0
+        finally:
+            os.close(fd)
+
+    def test_stale_lock_probe(self, tmp_path):
+        # A crashed holder: owner record present, flock free.
+        stale = tmp_path / "stale.lock"
+        stale.write_text(json.dumps({"pid": DEAD_PID}))
+        assert probe_stale_lock(stale) == DEAD_PID
+        # A cleanly released lock: empty file.
+        clean = tmp_path / "clean.lock"
+        clean.write_text("")
+        assert probe_stale_lock(clean) is None
+        # A held lock is never reported stale.
+        held = tmp_path / "held.lock"
+        fd = os.open(str(held), os.O_RDWR | os.O_CREAT)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        os.write(fd, json.dumps({"pid": os.getpid()}).encode())
+        try:
+            assert probe_stale_lock(held) is None
+        finally:
+            os.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: single-flight get_or_compute.
+# ---------------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_compute_once_then_hit(self, tmp_path):
+        store = SharedArtifactStore(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return b"artifact bytes" * 10
+
+        first = store.get_or_compute("record", {"k": 1}, compute)
+        second = store.get_or_compute("record", {"k": 1}, compute)
+        assert first == second
+        assert len(calls) == 1
+        assert sum(store.hits.values()) == 1
+        assert sum(store.stores.values()) == 1
+
+    def test_under_lock_recheck_not_double_counted(self, tmp_path):
+        """A waiter that finds the artifact under the lock logs one miss."""
+        store = SharedArtifactStore(tmp_path)
+        material = {"k": 2}
+        key = canonical_key(material)
+
+        def compute_via_other():
+            # Simulate the race: by the time this caller holds the lock,
+            # another process has published the artifact.
+            other = SharedArtifactStore(tmp_path)
+            other.store("record", material, b"published by the winner")
+            return None
+
+        # Pre-publish through a second handle, then load under lock.
+        compute_via_other()
+        with store.key_lock("record", key):
+            found = store.load("record", material, count_miss=False)
+        assert found == b"published by the winner"
+        assert sum(store.misses.values()) == 0  # not counted
+        assert sum(store.hits.values()) == 1  # hits always count
+
+
+# ---------------------------------------------------------------------------
+# Satellite: the 8-process same-key hammer.
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentWriters:
+    def test_eight_processes_one_key_one_computation(self, tmp_path):
+        config = SoakConfig(
+            processes=8, ops_per_worker=1, distinct_keys=1,
+            value_bytes=4096, seed=3,
+        )
+        report = run_soak(config, root=tmp_path)
+        assert report.ok, report.problems
+        assert report.worker_exits == [0] * 8
+        # Exactly one computation store-wide; every worker read
+        # byte-identical content (corrupt_loads covers mismatches).
+        assert report.total_computations == 1
+        assert report.distinct_computed == 1
+        assert report.duplicate_computations == 0
+        assert report.corrupt_loads == 0
+        assert report.orphan_tmps_after_sweep == 0
+        assert not list((tmp_path / "store").rglob(".tmp-*"))
+
+    def test_many_keys_many_processes_clean(self, tmp_path):
+        config = SoakConfig(
+            processes=4, ops_per_worker=12, distinct_keys=6,
+            value_bytes=1024, seed=9,
+        )
+        report = run_soak(config, root=tmp_path)
+        assert report.ok, report.problems
+        assert report.total_computations == 6  # one per key, store-wide
+        assert report.duplicate_computations == 0
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: bounded LRU eviction with pinning.
+# ---------------------------------------------------------------------------
+
+
+class TestEviction:
+    def _fill(self, store, n, size=300):
+        payloads = {}
+        for i in range(n):
+            payloads[i] = os.urandom(size)  # incompressible
+            store.get_or_compute(
+                "record", {"k": i}, lambda i=i: payloads[i]
+            )
+        return payloads
+
+    def test_lru_evicts_oldest_first(self, tmp_path):
+        store = SharedArtifactStore(tmp_path, max_bytes=1400)
+        self._fill(store, 6)
+        assert store.lru_evictions > 0
+        assert store.total_bytes() <= 1400
+        # The most recent keys survive; the oldest were evicted.
+        assert store.load("record", {"k": 5}) is not None
+        assert store.load("record", {"k": 0}, count_miss=False) is None
+
+    def test_touch_refreshes_recency(self, tmp_path):
+        # Entries land at ~375 bytes on disk; 1600 holds four of the six.
+        store = SharedArtifactStore(tmp_path, max_bytes=1600)
+        for i in range(3):
+            store.get_or_compute(
+                "record", {"k": i}, lambda i=i: os.urandom(300)
+            )
+        # Touch key 0 so key 1 becomes the eviction candidate.
+        assert store.load("record", {"k": 0}) is not None
+        self._fill_more(store, start=3, n=3)
+        assert store.load("record", {"k": 0}, count_miss=False) is not None
+        assert store.load("record", {"k": 1}, count_miss=False) is None
+
+    def _fill_more(self, store, start, n):
+        for i in range(start, start + n):
+            store.get_or_compute(
+                "record", {"k": i}, lambda i=i: os.urandom(300)
+            )
+
+    def test_pinned_keys_never_evicted(self, tmp_path):
+        store = SharedArtifactStore(tmp_path, max_bytes=1000)
+        store.pin("record", canonical_key({"k": 0}))
+        self._fill(store, 8)
+        assert store.lru_evictions > 0
+        assert store.load("record", {"k": 0}, count_miss=False) is not None
+
+    def test_pin_touched_protects_everything_loaded(self, tmp_path):
+        a = SharedArtifactStore(tmp_path, max_bytes=700, pin_touched=True)
+        self._fill(a, 2)  # both now pinned by this live process
+        b = SharedArtifactStore(tmp_path, max_bytes=700)
+        self._fill_more(b, start=10, n=4)
+        # b evicted its own keys, never a's pinned ones.
+        assert a.load("record", {"k": 0}, count_miss=False) is not None
+        assert a.load("record", {"k": 1}, count_miss=False) is not None
+
+    def test_over_budget_tolerated_when_all_pinned(self, tmp_path):
+        store = SharedArtifactStore(
+            tmp_path, max_bytes=500, pin_touched=True
+        )
+        self._fill(store, 5)
+        assert store.lru_evictions == 0
+        assert store.total_bytes() > 500  # over budget, but never broken
+
+    def test_stats_line_reports_budgeted_evictions(self, tmp_path):
+        store = SharedArtifactStore(tmp_path, max_bytes=1000)
+        self._fill(store, 6)
+        assert "lru_evicted=" in store.stats_line()
+        unbounded = SharedArtifactStore(tmp_path / "other")
+        assert "lru_evicted" not in unbounded.stats_line()
+
+
+# ---------------------------------------------------------------------------
+# Config plumbing: REPRO_CACHE_MAX_BYTES / --cache-max-bytes.
+# ---------------------------------------------------------------------------
+
+
+class TestBudgetConfig:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        assert default_cache_max_bytes() is None
+        for raw, expect in [
+            ("0", None), ("", None), ("4096", 4096),
+            ("64k", 64 * 1024), ("2M", 2 * 1024**2), ("1g", 1024**3),
+        ]:
+            monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", raw)
+            assert default_cache_max_bytes() == expect
+        for bad in ("lots", "-1", "12q"):
+            monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", bad)
+            with pytest.raises(WorkloadError):
+                default_cache_max_bytes()
+
+    def test_options_override_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "64k")
+        assert _options().resolved_cache_max_bytes() == 64 * 1024
+        assert _options(cache_max_bytes=123).resolved_cache_max_bytes() == 123
+        assert _options(cache_max_bytes=0).resolved_cache_max_bytes() is None
+
+
+# ---------------------------------------------------------------------------
+# Pipeline integration: shared store, health accounting.
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineIntegration:
+    def test_pipeline_uses_shared_store_and_stays_warm(self, tmp_path):
+        workload = build_demo_matrix(1, nthreads=4, scale=TEST_SCALE)
+        cold = LoopPointPipeline(
+            workload, options=_options(cache_dir=str(tmp_path))
+        )
+        cold.run(simulate_full=False)
+        assert isinstance(cold.artifacts, SharedArtifactStore)
+        assert sum(cold.artifacts.stores.values()) == 3
+        warm = LoopPointPipeline(
+            build_demo_matrix(1, nthreads=4, scale=TEST_SCALE),
+            options=_options(cache_dir=str(tmp_path)),
+        )
+        result = warm.run(simulate_full=False)
+        assert sum(warm.artifacts.stores.values()) == 0
+        assert warm.artifacts.last_outcome["select"] == "hit"
+        assert result.health.cache_evictions == 0
+
+    def test_budget_evicts_unpinned_strangers_not_own_artifacts(
+        self, tmp_path
+    ):
+        # Unrelated unpinned artifacts crowd the store...
+        stranger = SharedArtifactStore(tmp_path)
+        for i in range(4):
+            stranger.store("record", {"stranger": i}, os.urandom(2000))
+        # ...then a budgeted pipeline run must evict them, not itself.
+        workload = build_demo_matrix(1, nthreads=4, scale=TEST_SCALE)
+        pipeline = LoopPointPipeline(
+            workload,
+            options=_options(cache_dir=str(tmp_path), cache_max_bytes=4000),
+        )
+        result = pipeline.run(simulate_full=False)
+        assert result.health.cache_evictions > 0
+        assert "cache_evictions=" in result.health.summary()
+        for stage in ("record", "profile", "select"):
+            assert pipeline.artifacts.last_outcome.get(stage) != "hit"
+        # Its own three artifacts survived their own budget pressure.
+        warm = LoopPointPipeline(
+            build_demo_matrix(1, nthreads=4, scale=TEST_SCALE),
+            options=_options(cache_dir=str(tmp_path), cache_max_bytes=4000),
+        )
+        warm.run(simulate_full=False)
+        assert warm.artifacts.last_outcome["select"] == "hit"
+
+
+# ---------------------------------------------------------------------------
+# Chaos soaks under seeded fault plans.
+# ---------------------------------------------------------------------------
+
+
+class TestChaosSoak:
+    def test_soak_survives_torn_writes_and_crashes(self, tmp_path):
+        plan = {
+            "seed": 23,
+            "faults": [
+                {"site": "store.torn_write", "probability": 0.3,
+                 "mode": "truncate", "max_fires": 2},
+                {"site": "store.crash_replace", "probability": 0.15,
+                 "max_fires": 1},
+            ],
+        }
+        config = SoakConfig(
+            processes=4, ops_per_worker=20, distinct_keys=8,
+            value_bytes=1024, seed=23, fault_plan=plan,
+        )
+        report = run_soak(config, root=tmp_path)
+        assert report.ok, report.problems
+        assert report.corrupt_loads == 0
+        assert report.orphan_tmps_after_sweep == 0
+        assert set(report.worker_exits) <= {0, 5, 6}
+
+    def test_soak_survives_lock_holder_death_with_eviction(self, tmp_path):
+        plan = {
+            "seed": 41,
+            "faults": [
+                {"site": "store.lock_death", "probability": 0.3,
+                 "max_fires": 1},
+            ],
+        }
+        config = SoakConfig(
+            processes=4, ops_per_worker=16, distinct_keys=6,
+            value_bytes=1024, seed=41, fault_plan=plan,
+            max_bytes=16 * 1024, pinned=2,
+        )
+        report = run_soak(config, root=tmp_path)
+        assert report.ok, report.problems
+        assert report.corrupt_loads == 0
+        assert report.pinned_evicted == []
+        # Lock-holder deaths must have been survivable: any dead holder's
+        # flock was freed by the kernel and someone else computed.
+        assert report.lock_timeouts == 0
+
+    def test_soak_cli_smoke(self, tmp_path, capsys):
+        from repro.store.soak import main
+
+        code = main([
+            "--root", str(tmp_path), "--processes", "2", "--ops", "4",
+            "--keys", "3", "--value-bytes", "256", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "soak OK" in out
+        assert json.loads(out[: out.rindex("}") + 1])["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# Satellite: the CACHE001 hygiene lint rule.
+# ---------------------------------------------------------------------------
+
+
+class TestStoreLint:
+    def test_clean_store_no_findings(self, tmp_path):
+        store = SharedArtifactStore(tmp_path)
+        store.store("record", {"k": 1}, b"healthy")
+        assert run_store_passes(str(tmp_path)) == []
+        assert scan_store(str(tmp_path)).clean
+
+    def test_absent_or_unset_dir_no_findings(self, tmp_path):
+        assert run_store_passes(None) == []
+        assert run_store_passes(str(tmp_path / "never-created")) == []
+
+    def test_dirty_store_findings(self, tmp_path):
+        store = SharedArtifactStore(tmp_path)
+        material = {"k": 1}
+        store.store("record", material, b"artifact one")
+        path = store._path("record", canonical_key(material))
+        # Corruption: flip the payload bytes under the sidecar.
+        path.write_bytes(b"rotted bytes")
+        # Crash debris: a dead writer's temp file...
+        (path.parent / f".tmp-{DEAD_PID}-x.pkl.gz").write_bytes(b"junk")
+        # ...a lock whose holder died before releasing...
+        lock_dir = store.locks_dir / "record"
+        lock_dir.mkdir(parents=True, exist_ok=True)
+        (lock_dir / "feed.lock").write_text(json.dumps({"pid": DEAD_PID}))
+        # ...and a pin file from a dead process.
+        store.pins_dir.mkdir(parents=True, exist_ok=True)
+        (store.pins_dir / f"{DEAD_PID}.json").write_text('["record/x"]')
+
+        findings = run_store_passes(str(tmp_path))
+        assert {f.rule_id for f in findings} == {"CACHE001"}
+        by_message = {f.message.split(" ")[0]: f for f in findings}
+        assert len(findings) == 4
+        mismatch = [f for f in findings if "mismatch" in f.message]
+        assert len(mismatch) == 1
+        # Corruption is an error; debris is a warning.
+        assert mismatch[0].severity is Severity.ERROR
+        assert all(
+            f.severity is Severity.WARNING
+            for f in findings
+            if f is not mismatch[0]
+        ), by_message
+
+    def test_lint_family_runs_with_cache_dir(self, tmp_path):
+        from repro.lint import lint_workload
+
+        workload = build_demo_matrix(1, nthreads=4, scale=TEST_SCALE)
+        report = lint_workload(
+            workload,
+            pipeline_options=_options(cache_dir=str(tmp_path)),
+        )
+        assert "store" in report.passes_run
+        assert report.family_sources["store"] == "computed"
+        assert not [f for f in report.findings if f.rule_id == "CACHE001"]
