@@ -94,3 +94,28 @@ def build_select_population(
     matrix = np.abs(matrix)
     weights = rng.uniform(0.5, 2.0, size=n)
     return matrix, weights
+
+
+#: Thread count of the end-to-end pipeline scenario: smaller than the
+#: engine scenarios so a full record+profile+select rep stays sub-second.
+PIPELINE_NTHREADS = 4
+
+
+def build_pipeline_workload(input_class: str = "train"):
+    """The ``pipeline_e2e`` scenario: demo matrix at tiny scale.
+
+    Returns ``(workload, scale)``.  Sized to produce a couple hundred
+    regions — enough that the analysis stages (profile replay + k-means
+    sweep offline; streaming probe+classify live) dominate the wall, and
+    repetitive enough that live mode's clusterer actually gets to skip.
+    Only seed-stable APIs, so ``measure_baseline.py`` can record the
+    offline wall against the pre-optimization checkout.
+    """
+    from repro.config import get_scale
+    from repro.workloads.registry import get_workload
+
+    scale = get_scale("tiny")
+    workload = get_workload(
+        "demo-matrix-1", input_class, PIPELINE_NTHREADS, scale=scale
+    )
+    return workload, scale

@@ -137,6 +137,20 @@ def build_parser() -> argparse.ArgumentParser:
              "evaluation, as the paper does for ref inputs)",
     )
     parser.add_argument(
+        "--live", action="store_true",
+        help="single-pass live sampling: profile, select, and simulate in "
+             "one streaming replay — matched regions are fast-forwarded "
+             "over and extrapolated, novel ones simulated in detail "
+             "(Pac-Sim-style; composes with --cache-dir/--resume/--trace)",
+    )
+    parser.add_argument(
+        "--live-threshold", type=float, default=None, metavar="D",
+        help="with --live: novelty distance in signature space; a region "
+             "farther than D from every cluster centroid is simulated in "
+             "detail and admitted (default: 0.1; <= 0 forces every region "
+             "novel, reproducing the offline profile bit-for-bit)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list known workloads and exit",
     )
     parser.add_argument(
@@ -243,6 +257,8 @@ def run_one(
     degrade: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
     trace_path: Optional[str] = None,
+    live: bool = False,
+    live_threshold: Optional[float] = None,
     console: Optional[Console] = None,
 ) -> List[object]:
     """Run the methodology end to end on one program; returns a table row."""
@@ -266,7 +282,19 @@ def run_one(
             fault_plan=fault_plan, trace_path=trace_path, **overrides,
         ),
     )
-    result = pipeline.run(simulate_full=simulate_full, resume=resume)
+    if live:
+        from .analysis.online import LiveOptions
+
+        live_opts = (
+            LiveOptions(threshold=live_threshold)
+            if live_threshold is not None else LiveOptions()
+        )
+        result = pipeline.run_live(
+            simulate_full=simulate_full, resume=resume,
+            live_options=live_opts,
+        )
+    else:
+        result = pipeline.run(simulate_full=simulate_full, resume=resume)
     if pipeline.artifacts is not None:
         console.status("cache", pipeline.artifacts.stats_line())
     if pipeline.last_trace is not None:
@@ -282,6 +310,22 @@ def run_one(
         "predicted",
         f"cycles={p.cycles} instructions={p.instructions} ipc={p.ipc:.6f}",
     )
+    if result.live_report is not None:
+        lr = result.live_report
+        err = (
+            f"{lr.final_error_estimate:.4f}"
+            if lr.final_error_estimate is not None else "--"
+        )
+        # Same deal as "predicted": the live-smoke CI job diffs this line
+        # between live, forced-novel, and resumed runs.
+        console.status(
+            "live",
+            f"regions={lr.num_regions} simulated={lr.num_simulated} "
+            f"extrapolated={lr.num_skipped} clusters={lr.num_clusters} "
+            f"topups={lr.topups} "
+            f"coverage={lr.extrapolated_fraction * 100:.0f}% "
+            f"error_estimate={err}",
+        )
     health = result.health
     if not health.ok:
         console.status("health", health.summary())
@@ -358,6 +402,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.resume and not args.cache_dir:
         parser.error("--resume requires --cache-dir (resume restores "
                      "completed stages from the artifact cache)")
+    if args.live_threshold is not None and not args.live:
+        parser.error("--live-threshold only makes sense with --live")
 
     trace_value = (
         args.trace if args.trace is not None else default_trace_value()
@@ -386,7 +432,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         job_timeout_s=args.job_timeout,
                         job_retries=args.job_retries,
                         degrade=args.degrade, fault_plan=fault_plan,
-                        trace_path=trace_path, console=console)
+                        trace_path=trace_path, live=args.live,
+                        live_threshold=args.live_threshold,
+                        console=console)
             )
         except ReproError as exc:
             console.error("run-looppoint", f"{name} FAILED: {exc}")

@@ -10,6 +10,7 @@ from .projection import random_projection, project
 from .kmeans import KMeansResult, kmeans
 from .bic import bic_score
 from .simpoint import SimPointOptions, SimPointSelection, ClusterInfo, select_simpoints
+from .online import OnlineCluster, OnlineClusterer, OnlineClusterOptions
 
 __all__ = [
     "random_projection",
@@ -21,4 +22,7 @@ __all__ = [
     "SimPointSelection",
     "ClusterInfo",
     "select_simpoints",
+    "OnlineCluster",
+    "OnlineClusterer",
+    "OnlineClusterOptions",
 ]

@@ -22,6 +22,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.online import LiveOptions, LiveReport, LiveResult
     from ..lint.findings import LintReport
 
 from ..clustering.simpoint import (
@@ -39,6 +40,7 @@ from ..config import (
 )
 from ..errors import (
     ClusteringError,
+    ProfilingError,
     ReproError,
     ResumeError,
     SimulationError,
@@ -67,6 +69,9 @@ from ..resilience import (
     renormalize_clusters,
 )
 from ..store import DEFAULT_LOCK_POLICY, SharedArtifactStore
+from ..dcfg.graph import DCFGBuilder, build_dcfg_from_pinball
+from ..dcfg.loops import loop_header_blocks
+from ..profiling.filters import FilterPolicy
 from ..pinplay.pinball import Pinball, RegionPinball
 from ..pinplay.recorder import record_execution
 from ..pinplay.region import extract_region_pinballs
@@ -172,6 +177,9 @@ class LoopPointResult:
     speedup: SpeedupReport
     #: Invariant-verification report, present when options.lint is set.
     lint_report: Optional["LintReport"] = None
+    #: Live-sampling coverage/error accounting, present for
+    #: :meth:`LoopPointPipeline.run_live` results only.
+    live_report: Optional["LiveReport"] = None
     #: Failure/retry/degradation accounting for this run; ``health.ok`` is
     #: True for a clean run, ``health.degraded`` flags results that a clean
     #: run would not have produced (fallback or dropped regions).
@@ -261,6 +269,19 @@ class LoopPointPipeline:
         self._pinball: Optional[Pinball] = None
         self._profile: Optional[ProfileData] = None
         self._selection: Optional[SimPointSelection] = None
+        #: Live-mode memos: discovered marker PCs ("dcfg" stage), the
+        #: streaming pass's artifact ("live" stage), and the options the
+        #: latter was keyed under.
+        self._marker_pcs: Optional[List[int]] = None
+        self._live: Optional["LiveResult"] = None
+        self._live_options: Optional["LiveOptions"] = None
+        #: When set, a record-stage cache miss attaches a DCFG builder
+        #: to the recording engine so live mode gets its control-flow
+        #: graph without a dedicated analysis replay (the builder's
+        #: per-thread edge chains are order-free across threads, so the
+        #: result is identical to a replay-built DCFG).
+        self._want_record_dcfg = False
+        self._record_dcfg = None
         #: Persistent stage-artifact cache (None when no cache_dir is set).
         #: A SharedArtifactStore: safe to point many concurrent pipelines
         #: at one directory (single-flight per-key locks, crash-consistent
@@ -344,6 +365,21 @@ class LoopPointPipeline:
         material["stage"] = "select"
         material["simpoint"] = asdict(self.options.simpoint)
         material["startup_fraction"] = self.options.startup_fraction
+        return material
+
+    def _dcfg_material(self) -> Dict[str, Any]:
+        material = self._record_material()
+        material["stage"] = "dcfg"
+        return material
+
+    def _live_material(self, live_options: "LiveOptions") -> Dict[str, Any]:
+        material = self._record_material()
+        material["stage"] = "live"
+        material["slice_size"] = self.slice_size
+        material["warmup_instructions"] = (
+            self.options.resolved_scale().warmup_instructions
+        )
+        material["live"] = asdict(live_options)
         return material
 
     # -- cached stages ------------------------------------------------------
@@ -478,6 +514,11 @@ class LoopPointPipeline:
 
     def _compute_record(self) -> Pinball:
         w = self.workload
+        builder = None
+        extra = ()
+        if self._want_record_dcfg:
+            builder = DCFGBuilder(w.program, w.nthreads)
+            extra = (builder,)
         pinball, _ = record_execution(
             w.program,
             w.thread_program,
@@ -485,7 +526,10 @@ class LoopPointPipeline:
             w.nthreads,
             wait_policy=self.options.wait_policy,
             seed=self.options.record_seed,
+            extra_observers=extra,
         )
+        if builder is not None:
+            self._record_dcfg = builder.result()
         return pinball
 
     def record(self) -> Pinball:
@@ -548,6 +592,92 @@ class LoopPointPipeline:
                     self._compute_select,
                 )
         return self._selection
+
+    def _compute_marker_pcs(self) -> List[int]:
+        pinball = self.record()
+        dcfg = self._record_dcfg
+        if dcfg is None:
+            dcfg = build_dcfg_from_pinball(self.workload.program, pinball)
+        policy = FilterPolicy()
+        blocks = [
+            b for b in loop_header_blocks(
+                dcfg, self.workload.program, main_only=True
+            )
+            if policy.marker_eligible(b)
+        ]
+        if not blocks:
+            raise ProfilingError(
+                f"no marker-eligible loop headers found in "
+                f"{self.workload.program.name!r}"
+            )
+        return sorted(b.pc for b in blocks)
+
+    def marker_pcs(self) -> List[int]:
+        """Live stage 2a: worker-loop marker PCs from the DCFG.
+
+        When the record stage is computed in-process (cache miss), the
+        DCFG is built *during* recording by an attached observer and
+        this stage costs nothing; on a record cache hit it falls back
+        to one analysis replay.  Cached under the ``dcfg`` stage key.
+        """
+        if self._marker_pcs is None:
+            self._want_record_dcfg = True
+            with fault_scope(self.options.fault_plan):
+                self._marker_pcs = self._stage_artifact(
+                    "dcfg", self._dcfg_material(), list,
+                    self._compute_marker_pcs,
+                )
+        return self._marker_pcs
+
+    def _compute_live(self, live_options: "LiveOptions") -> "LiveResult":
+        from ..analysis.online import LiveSampler
+
+        pinball = self.record()
+        program = self.workload.program
+        blocks = [program.block_at(pc) for pc in self.marker_pcs()]
+        sampler = LiveSampler(
+            program,
+            pinball,
+            blocks,
+            self.slice_size,
+            self.options.resolved_scale().warmup_instructions,
+            simulate=lambda rp: self._fresh_simulator().run_pinball(rp),
+            options=live_options,
+        )
+        return sampler.run()
+
+    def live(
+        self, live_options: Optional["LiveOptions"] = None
+    ) -> "LiveResult":
+        """Live stage 2b: the streaming profile+select+extrapolate pass.
+
+        One constrained replay classifies each region as it closes,
+        fast-forwards over matched regions, simulates novel ones in
+        detail, and tops up high-variance clusters — see
+        :mod:`repro.analysis.online`.  Cached under the ``live`` stage
+        key (which embeds the live options, slice size and warmup
+        budget on top of the record material).
+        """
+        from ..analysis.online import LiveOptions, LiveResult
+
+        options = live_options or self._live_options or LiveOptions()
+        if (
+            self._live is not None
+            and live_options is not None
+            and live_options != self._live_options
+        ):
+            self._live = None
+        self._live_options = options
+        if self._live is None:
+            # Ask the record stage (if it has not run yet) to build the
+            # DCFG during recording — the single-pass fast path.
+            self._want_record_dcfg = True
+            with fault_scope(self.options.fault_plan):
+                self._live = self._stage_artifact(
+                    "live", self._live_material(options), LiveResult,
+                    lambda: self._compute_live(options),
+                )
+        return self._live
 
     def regions(self) -> List[RegionOfInterest]:
         """The looppoints as (PC, count)-delimited regions, in run order."""
@@ -811,7 +941,19 @@ class LoopPointPipeline:
         key on."""
         return self._stage_keys()
 
-    def _prepare_resume(self, stage_keys: Dict[str, str]) -> None:
+    def _live_stage_keys(
+        self, live_options: "LiveOptions"
+    ) -> Dict[str, str]:
+        """Stage keys of a live-mode run: record -> dcfg -> live."""
+        return {
+            "record": canonical_key(self._record_material()),
+            "dcfg": canonical_key(self._dcfg_material()),
+            "live": canonical_key(self._live_material(live_options)),
+        }
+
+    def _prepare_resume(
+        self, stage_keys: Dict[str, str], loaders=None
+    ) -> None:
         """Validate the manifest against current options and mark stages.
 
         Resume does not *trust* the journal for artifacts — completed
@@ -854,9 +996,27 @@ class LoopPointPipeline:
             resumable.append(stage)
         self._resume_stages = set(resumable)
         self._manifest.mark_resume(resumable)
-        self._restore_resumed_stages()
+        self._restore_resumed_stages(loaders)
 
-    def _restore_resumed_stages(self) -> None:
+    def _offline_loaders(self):
+        return (
+            ("record", self._record_material, Pinball, "_pinball"),
+            ("profile", self._profile_material, ProfileData, "_profile"),
+            ("select", self._select_material, SimPointSelection,
+             "_selection"),
+        )
+
+    def _live_loaders(self, live_options: "LiveOptions"):
+        from ..analysis.online import LiveResult
+
+        return (
+            ("record", self._record_material, Pinball, "_pinball"),
+            ("dcfg", self._dcfg_material, list, "_marker_pcs"),
+            ("live", lambda: self._live_material(live_options),
+             LiveResult, "_live"),
+        )
+
+    def _restore_resumed_stages(self, loaders=None) -> None:
         """Prime the stage memos from the cache, in pipeline order.
 
         Without this, a resumed run whose *last* completed stage hits the
@@ -872,12 +1032,8 @@ class LoopPointPipeline:
         failure.
         """
         assert self.artifacts is not None
-        loaders = (
-            ("record", self._record_material, Pinball, "_pinball"),
-            ("profile", self._profile_material, ProfileData, "_profile"),
-            ("select", self._select_material, SimPointSelection,
-             "_selection"),
-        )
+        if loaders is None:
+            loaders = self._offline_loaders()
         with active_tracer().span("stage:restore", stage="restore"):
             for stage, material_fn, kind, attr in loaders:
                 if stage not in self._resume_stages:
@@ -930,6 +1086,114 @@ class LoopPointPipeline:
         finally:
             if tracer is not None:
                 self.last_trace = tracer.finish()
+
+    def run_live(
+        self,
+        simulate_full: bool = False,
+        resume: bool = False,
+        live_options: Optional["LiveOptions"] = None,
+    ) -> LoopPointResult:
+        """Execute the live (single-pass streaming) methodology.
+
+        One constrained replay profiles, selects, and simulates in
+        flight: regions matching an already-seen phase are
+        fast-forwarded over and extrapolated from their cluster's
+        representative, novel regions are simulated in detail as they
+        close, and high-variance clusters get top-up samples before the
+        final extrapolation.  ``resume=True`` restarts a killed run
+        from the shared artifact store exactly like :meth:`run` —
+        stages journal under ``record``/``dcfg``/``live``.
+        """
+        from ..analysis.online import LiveOptions
+
+        options = live_options or self._live_options or LiveOptions()
+        self.health = RunHealth()
+        tracer = None
+        if self.options.trace_path:
+            tracer = Tracer(
+                self.options.trace_path,
+                workload=self.workload.full_name,
+                mode="live",
+                jobs=self.options.resolved_jobs(),
+            )
+        try:
+            with obs_scope(tracer), fault_scope(self.options.fault_plan):
+                with active_tracer().span(
+                    "run", workload=self.workload.full_name,
+                    resume=resume, mode="live",
+                ):
+                    return self._run_live(options, simulate_full, resume)
+        finally:
+            if tracer is not None:
+                self.last_trace = tracer.finish()
+
+    def _run_live(
+        self, live_options: "LiveOptions", simulate_full: bool,
+        resume: bool,
+    ) -> LoopPointResult:
+        stage_keys = self._live_stage_keys(live_options)
+        if resume:
+            self._prepare_resume(
+                stage_keys, loaders=self._live_loaders(live_options)
+            )
+        elif self._manifest is not None:
+            self._manifest.start_run(stage_keys)
+        tracer = active_tracer()
+        with tracer.span("stage:live", stage="live"):
+            live = self.live(live_options)
+        actual = None
+        if simulate_full:
+            with tracer.span("stage:fullsim", stage="fullsim"):
+                actual = self.simulate_full().metrics
+        scale = self.options.resolved_scale()
+        # Zero-mass samples (an all-library tail region) carry no weight
+        # and would trip the speedup math's positivity checks.
+        speedup_clusters = [
+            c for c in live.clusters
+            if live.profile.slices[c.representative].filtered_instructions
+            > 0
+        ]
+        speedup = compute_speedups(
+            live.profile,
+            speedup_clusters,
+            warmup_instructions=scale.warmup_instructions,
+            region_results=[
+                r for r in live.region_results
+                if live.profile.slices[r.region_id].filtered_instructions
+                > 0
+            ],
+            execution=None,
+        )
+        lint_report = None
+        if self.options.lint:
+            from ..lint.runner import lint_pipeline
+
+            with tracer.span("stage:lint", stage="lint"):
+                lint_report = lint_pipeline(self)
+        if isinstance(self.artifacts, SharedArtifactStore):
+            self.health.cache_evictions = self.artifacts.lru_evictions
+        if self._manifest is not None:
+            self._manifest.complete_run({
+                "predicted_cycles": live.predicted.cycles,
+                "predicted_instructions": live.predicted.instructions,
+                "live_error_estimate": live.report.final_error_estimate,
+                "health": self.health.as_dict(),
+            })
+        return LoopPointResult(
+            workload=self.workload.full_name,
+            wait_policy=self.options.wait_policy.value,
+            num_slices=live.profile.num_slices,
+            num_looppoints=live.report.num_clusters,
+            predicted=live.predicted,
+            actual=actual,
+            region_results=live.region_results,
+            speedup=speedup,
+            lint_report=lint_report,
+            live_report=live.report,
+            health=self.health,
+            frequency_ghz=self.system.core.frequency_ghz,
+            reference_frequency_ghz=self.system.core.frequency_ghz,
+        )
 
     def _run(
         self, simulate_full: bool, constrained: bool, resume: bool

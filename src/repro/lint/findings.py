@@ -220,6 +220,15 @@ RULES: Dict[str, Rule] = _registry([
          "metrics registry's cache counters are independent observers of "
          "one run — disagreement means a torn trace or lost metrics",
          family="xar"),
+    # -- live-sampling audit passes -----------------------------------------
+    Rule("LIVE001", Severity.ERROR,
+         "live extrapolation accounting broken",
+         "live design / Eq. (2): every fast-forwarded region must belong "
+         "to a cluster whose representative was simulated in detail, "
+         "per-sample cluster masses must reconcile with the profile's "
+         "filtered instructions under one shared multiplier, and the "
+         "running error estimate must be monotone non-increasing across "
+         "top-up samples", family="live"),
     # -- shared-store hygiene passes ----------------------------------------
     Rule("CACHE001", Severity.WARNING,
          "artifact store carries crash debris or corruption",

@@ -77,9 +77,12 @@ CACHED_FAMILIES: FrozenSet[str] = REPLAY_FAMILIES | {"invariance"}
 #: describe the cache directory's *current* on-disk state (orphans, stale
 #: locks, torn payloads), so a cached verdict would report the state of a
 #: previous scan, not this one.
+#: ``live`` is cheap arithmetic over the in-memory ``LiveResult`` and
+#: runs only when the pipeline actually executed a live pass — like
+#: ``store``, its verdict describes current state and is never cached.
 FAMILY_ORDER: Tuple[str, ...] = (
     "faultplan", "dcfg", "concurrency", "perf", "markers",
-    "invariance", "dominance", "config", "xar", "store",
+    "invariance", "dominance", "config", "xar", "live", "store",
 )
 
 
@@ -265,6 +268,12 @@ class LintEngine:
             material["record"] = stage_keys["record"]
         elif family == "invariance":
             material["profile"] = stage_keys["profile"]
+            # A live pipeline's invariance check compares the *streamed*
+            # profile against a fresh offline re-profile — a different
+            # (stronger) claim than offline-vs-offline, so it must not
+            # share cache entries with the offline verdict.
+            if getattr(self.pipeline, "_live", None) is not None:
+                material["profile_src"] = "live"
         elif family in ("dominance", "xar"):
             material["select"] = stage_keys["select"]
         if family == "perf":
@@ -324,6 +333,7 @@ class LintEngine:
         pipeline = self.pipeline
         options = self.options
         stage_keys = pipeline.stage_keys()
+        live = getattr(pipeline, "_live", None)
 
         expensive = [f for f in FAMILY_ORDER if f in CACHED_FAMILIES]
         want: List[str] = []
@@ -332,6 +342,13 @@ class LintEngine:
                 self.results[family] = ([], "skipped")
                 continue
             if family == "invariance" and not options.check_invariance:
+                self.results[family] = ([], "skipped")
+                continue
+            if live is not None and family in ("dominance", "xar"):
+                # A live run has no offline selection; forcing one here
+                # would execute the very profile+select stages live mode
+                # exists to avoid.  The LIVE001 family audits the
+                # streaming selection instead.
                 self.results[family] = ([], "skipped")
                 continue
             cached = self._load_cached(family, stage_keys)
@@ -345,11 +362,16 @@ class LintEngine:
 
         # Something must be recomputed: materialize the artifacts the
         # tasks read.  On a warm pipeline cache these come back from disk
-        # without re-recording or re-profiling.
+        # without re-recording or re-profiling.  A live pipeline lints
+        # its streamed profile: the boundaries are equal to the offline
+        # profile's by construction (the scout reuses the slicer's close
+        # rule), and MARK004 *verifies* exactly that claim.
         program = pipeline.workload.program
         pinball = pipeline.record()
-        profile = pipeline.profile()
-        needs_selection = bool({"dominance", "xar"} & set(want))
+        profile = live.profile if live is not None else pipeline.profile()
+        needs_selection = live is None and bool(
+            {"dominance", "xar"} & set(want)
+        )
         selection = pipeline.select() if needs_selection else None
 
         tasks: List[Any] = []

@@ -1,0 +1,173 @@
+"""Live-sampling audit passes (rule LIVE001).
+
+The streaming pipeline replaces the offline select stage with in-flight
+decisions, so its accounting is checked directly on the
+:class:`~repro.analysis.online.LiveResult` instead of on cached stage
+artifacts: every region the replay fast-forwarded over must be covered
+by a cluster whose representative *was* simulated in detail, the
+per-sample Eq. (2) weights must reconcile with the profile exactly as
+XAR002 demands of the offline selection, and the Ekman top-up pass must
+never have *raised* the running error estimate (it is monotone
+non-increasing by construction — a violation means the estimator's
+frozen priors were mutated mid-run).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from .findings import Finding, make_finding
+from .xar_passes import MASS_RTOL, _close
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.online import LiveResult
+
+
+def run_live_passes(live: "LiveResult") -> List[Finding]:
+    """All LIVE001 checks over one live pass's result."""
+    findings: List[Finding] = []
+    findings.extend(_check_extrapolation_cover(live))
+    findings.extend(_check_mass_reconciliation(live))
+    findings.extend(_check_monotone_estimates(live))
+    return findings
+
+
+def _check_extrapolation_cover(live: "LiveResult") -> List[Finding]:
+    """Every extrapolated region names an admitted, simulated rep.
+
+    A skipped region's timing comes entirely from its cluster's detailed
+    samples; a cluster with a dangling representative (never simulated,
+    or pointing at a region that does not exist) extrapolates from
+    nothing.
+    """
+    findings: List[Finding] = []
+    report = live.report
+    simulated = {
+        rec.index for rec in report.records if rec.simulated
+    }
+    clusters = {c.cluster_id: c for c in report.clusters}
+    for rec in report.records:
+        if rec.simulated:
+            continue
+        loc = f"region {rec.index}"
+        cluster = clusters.get(rec.cluster_id)
+        if cluster is None:
+            findings.append(make_finding(
+                "LIVE001", loc,
+                f"extrapolated region belongs to unknown cluster "
+                f"{rec.cluster_id}",
+            ))
+            continue
+        if rec.index not in cluster.members:
+            findings.append(make_finding(
+                "LIVE001", loc,
+                f"extrapolated region is not a member of its cluster "
+                f"{cluster.cluster_id}",
+            ))
+        if cluster.representative not in simulated:
+            findings.append(make_finding(
+                "LIVE001", loc,
+                f"cluster {cluster.cluster_id} representative "
+                f"{cluster.representative} was never simulated in "
+                f"detail; nothing to extrapolate this region from",
+            ))
+    for cluster in report.clusters:
+        dangling = [s for s in cluster.samples if s not in simulated]
+        if dangling:
+            findings.append(make_finding(
+                "LIVE001", f"cluster {cluster.cluster_id}",
+                f"sample(s) {dangling} are recorded as detailed samples "
+                f"but carry no simulation result",
+            ))
+    return findings
+
+
+def _check_mass_reconciliation(live: "LiveResult") -> List[Finding]:
+    """Eq. (2), per-sample form: weights reconcile with the profile.
+
+    The live extrapolation splits each cluster's mass over its detailed
+    samples in proportion to their own filtered counts, under one shared
+    multiplier (mass over the samples' summed filtered count).  The
+    XAR002 invariants carry over: per-sample mass must equal multiplier
+    times the sample's own count, and all masses must sum to the
+    profile's filtered instructions.
+    """
+    findings: List[Finding] = []
+    profile = live.profile
+    total = float(profile.filtered_instructions)
+    if total <= 0:
+        findings.append(make_finding(
+            "LIVE001", "<profile>",
+            f"profile filtered_instructions is {total}; nothing to "
+            f"weight clusters against",
+        ))
+        return findings
+    mass_sum = 0.0
+    by_cluster: Dict[int, float] = {}
+    for info in live.clusters:
+        loc = f"cluster {info.cluster_id} (sample {info.representative})"
+        mass_sum += info.instruction_mass
+        by_cluster[info.cluster_id] = (
+            by_cluster.get(info.cluster_id, 0.0) + info.instruction_mass
+        )
+        if info.representative < 0 or (
+            info.representative >= len(profile.slices)
+        ):
+            findings.append(make_finding(
+                "LIVE001", loc,
+                f"sample index {info.representative} names no profiled "
+                f"region",
+            ))
+            continue
+        own = float(
+            profile.slices[info.representative].filtered_instructions
+        )
+        if info.multiplier <= 0.0:
+            # Zero-mass clusters (an all-library tail) legitimately
+            # weight to zero; anything else is broken accounting.
+            if info.instruction_mass > 0.0:
+                findings.append(make_finding(
+                    "LIVE001", loc,
+                    f"non-positive multiplier {info.multiplier} on a "
+                    f"cluster carrying mass {info.instruction_mass}",
+                ))
+            continue
+        if not _close(info.multiplier * own, info.instruction_mass):
+            findings.append(make_finding(
+                "LIVE001", loc,
+                f"sample mass {info.instruction_mass:.12g} != shared "
+                f"multiplier {info.multiplier:.12g} x own filtered "
+                f"count {own:.12g} (Eq. 2, per-sample form)",
+            ))
+    for cluster in live.report.clusters:
+        got = by_cluster.get(cluster.cluster_id, 0.0)
+        if not _close(got, float(cluster.mass)):
+            findings.append(make_finding(
+                "LIVE001", f"cluster {cluster.cluster_id}",
+                f"per-sample masses sum to {got:.12g}, not the "
+                f"cluster's member mass {cluster.mass}",
+            ))
+    if not _close(mass_sum, total, rtol=max(MASS_RTOL, 1e-6)):
+        findings.append(make_finding(
+            "LIVE001", "<clusters>",
+            f"cluster masses sum to {mass_sum:.12g}, not the profile's "
+            f"{total:.12g} filtered instructions: extrapolation does "
+            f"not cover (exactly) the streamed execution",
+        ))
+    return findings
+
+
+def _check_monotone_estimates(live: "LiveResult") -> List[Finding]:
+    """The error estimate never rises across top-ups."""
+    findings: List[Finding] = []
+    estimates = live.report.error_estimates
+    for i, (before, after) in enumerate(zip(estimates, estimates[1:])):
+        if after > before * (1.0 + MASS_RTOL) + MASS_RTOL:
+            findings.append(make_finding(
+                "LIVE001", f"top-up {i + 1}",
+                f"error estimate rose from {before:.6g} to {after:.6g}; "
+                f"the estimator's priors and denominator are frozen "
+                f"after initial sampling, so adding a sample can only "
+                f"shrink it",
+            ))
+    return findings

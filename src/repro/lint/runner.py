@@ -100,9 +100,13 @@ def lint_pipeline(
     expensive = engine.collect()
 
     program = workload.program
+    # A live pipeline is linted against its streamed profile — forcing
+    # pipeline.profile() here would run the offline replay live mode
+    # exists to skip.
+    live = getattr(pipeline, "_live", None)
     profile = None
     if engine.family_enabled("markers") or engine.family_enabled("config"):
-        profile = pipeline.profile()
+        profile = live.profile if live is not None else pipeline.profile()
 
     for family in FAMILY_ORDER:
         if family == "faultplan":
@@ -128,6 +132,18 @@ def lint_pipeline(
                 thresholds=options.thresholds,
             ), options.disable))
             report.mark_pass("config")
+        elif family == "live":
+            # Runs only when this pipeline actually executed a live
+            # pass: the checks are arithmetic over the in-memory
+            # LiveResult, so there is nothing to audit on an offline
+            # run and nothing worth caching.
+            if live is None or not engine.family_enabled("live"):
+                report.mark_pass("live", source="skipped")
+                continue
+            from .live_passes import run_live_passes
+
+            report.extend(_keep(run_live_passes(live), options.disable))
+            report.mark_pass("live")
         elif family == "store":
             # Cheap directory walk, never cached: hygiene findings
             # describe the cache dir's *current* state (see incremental's

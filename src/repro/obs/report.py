@@ -158,6 +158,36 @@ def folded_stacks(trace: TraceData) -> str:
     return "\n".join(f"{path} {value}" for path, value in sorted(totals.items()))
 
 
+def live_coverage_lines(trace: TraceData) -> List[str]:
+    """The ``--live`` run summary, reconstructed from ``live.*`` metrics.
+
+    Empty for offline traces.  Counters carry the region/cluster tallies
+    and the ``live.final_error_estimate`` gauge the estimator's value
+    after the last top-up — together the coverage story of a streaming
+    run: how much of the execution was simulated in detail versus
+    extrapolated from an admitted representative.
+    """
+    counters = trace.counters()
+    regions = counters.get("live.regions")
+    if regions is None:
+        return []
+    simulated = counters.get("live.simulated", 0)
+    skipped = counters.get("live.skipped", 0)
+    clusters = counters.get("live.clusters", 0)
+    topups = counters.get("live.topups", 0)
+    extrapolated = counters.get("live.extrapolated_filtered", 0)
+    lines = [
+        f"{regions} region(s): {simulated} simulated in detail, "
+        f"{skipped} fast-forwarded and extrapolated",
+        f"{clusters} cluster(s) admitted, {topups} top-up sample(s)",
+        f"{extrapolated} filtered instruction(s) covered by extrapolation",
+    ]
+    estimate = trace.gauges().get("live.final_error_estimate")
+    if estimate is not None:
+        lines.append(f"final error estimate {estimate:.4f}")
+    return lines
+
+
 def render_report(trace: TraceData) -> str:
     """The full ``repro-obs report`` text for one trace."""
     header = [
@@ -193,6 +223,9 @@ def render_report(trace: TraceData) -> str:
             title="per-region cost (all processes)",
         ))
     parts.append("critical path\n  " + "\n  ".join(critical_path_lines(trace)))
+    live_lines = live_coverage_lines(trace)
+    if live_lines:
+        parts.append("live coverage\n  " + "\n  ".join(live_lines))
     counters = trace.counters()
     if counters:
         counter_rows = [[name, counters[name]] for name in sorted(counters)]
@@ -249,4 +282,21 @@ def render_diff(a: TraceData, b: TraceData) -> str:
         ))
     else:
         parts.append("counters identical (deterministic telemetry)")
+    # Live runs promise determinism too: same seed, same stream of
+    # matched/novel decisions, so the extrapolated-region tallies must
+    # agree between runs.  A divergence here is a replay bug, not noise.
+    live_names = sorted(
+        name for name in set(counters_a) | set(counters_b)
+        if name.startswith("live.")
+    )
+    if live_names:
+        diverged = [
+            name for name in live_names
+            if counters_a.get(name, 0) != counters_b.get(name, 0)
+        ]
+        parts.append(
+            "live determinism BROKEN: extrapolated-region counts differ "
+            f"({', '.join(diverged)})" if diverged else
+            "live determinism OK: extrapolated-region counts identical"
+        )
     return "\n\n".join(parts)

@@ -105,6 +105,16 @@ class TraceData:
                 out[name] = out.get(name, 0) + int(value)
         return out
 
+    def gauges(self) -> Dict[str, float]:
+        """All metrics records' gauges, last write wins (file order)."""
+        out: Dict[str, float] = {}
+        for record in self.metrics:
+            for name, value in (
+                record.get("metrics", {}).get("gauges", {}).items()
+            ):
+                out[name] = float(value)
+        return out
+
 
 def _span_from(record: Dict[str, Any]) -> Optional[SpanRecord]:
     try:

@@ -170,6 +170,85 @@ def bench_select(matrix, weights, max_k: int, reps: int) -> Dict:
     }
 
 
+def bench_pipeline(build, reps: int) -> Dict:
+    """Offline record+profile+select (legacy) vs the live streaming pass.
+
+    Both sides start from nothing and end with a selection: the offline
+    path records, replays once for the DCFG, replays again for slicing,
+    then runs the k-means/BIC sweep; the live path records with the DCFG
+    builder attached and streams probe+classify+skip in a single replay.
+    Detailed simulation is *stubbed* on the live side because the offline
+    stages being compared exclude simulation too — but the live side
+    still pays for cutting each sampled region's pinball (work the
+    offline path defers to its simulate stage), so the measured ratio is
+    biased against live mode, not for it.
+    """
+    from ..analysis.online import LiveOptions, LiveSampler
+    from ..clustering.simpoint import SimPointOptions, select_simpoints
+    from ..dcfg.graph import DCFGBuilder
+    from ..dcfg.loops import loop_header_blocks
+    from ..pinplay.recorder import record_execution
+    from ..profiling.filters import FilterPolicy
+    from ..profiling.profile_result import profile_pinball
+    from ..timing.mcsim import SimulationResult
+    from ..timing.metrics import SimMetrics
+
+    workload, scale = build()
+    slice_size = scale.slice_size(workload.nthreads)
+
+    def offline():
+        pinball, _ = record_execution(
+            workload.program, workload.thread_program, workload.omp,
+            workload.nthreads, seed=0,
+        )
+        profile = profile_pinball(workload.program, pinball, slice_size)
+        select_simpoints(
+            profile.bbv_matrix(), profile.slice_filtered_counts(),
+            SimPointOptions(seed=42),
+        )
+
+    def stub_simulate(rp):
+        cycles = max(1, rp.filtered_instructions // 2)
+        return SimulationResult(
+            region_id=rp.region_id,
+            metrics=SimMetrics(
+                cycles=cycles,
+                instructions=rp.total_instructions,
+                filtered_instructions=rp.filtered_instructions,
+            ),
+            start_cycle=0,
+            end_cycle=cycles,
+        )
+
+    def live():
+        builder = DCFGBuilder(workload.program, workload.nthreads)
+        pinball, _ = record_execution(
+            workload.program, workload.thread_program, workload.omp,
+            workload.nthreads, seed=0, extra_observers=(builder,),
+        )
+        policy = FilterPolicy()
+        markers = [
+            b for b in loop_header_blocks(
+                builder.result(), workload.program, main_only=True
+            )
+            if policy.marker_eligible(b)
+        ]
+        LiveSampler(
+            workload.program, pinball, markers, slice_size,
+            scale.warmup_instructions, stub_simulate,
+            options=LiveOptions(),
+        ).run()
+
+    live()  # warm imports/caches
+    live_wall = _median_wall(live, reps)
+    offline_wall = _median_wall(offline, reps)
+    return {
+        "legacy_wall_seconds": offline_wall,
+        "fast_wall_seconds": live_wall,
+        "ratio": offline_wall / live_wall,
+    }
+
+
 def load_baseline(path: Path) -> Optional[Dict]:
     if not path.is_file():
         return None
@@ -213,6 +292,8 @@ def run_bench(
         "engine_fine": bench_engine(fine, reps, nthreads, seed),
         "engine_coarse": bench_engine(coarse, reps, nthreads, seed),
         "select": bench_select(matrix, weights, max_k, reps),
+        # Same size in smoke and full: one rep is already sub-second.
+        "pipeline_e2e": bench_pipeline(wl.build_pipeline_workload, reps),
     }
 
     baseline = load_baseline(baseline_path or default_baseline_path())

@@ -30,8 +30,10 @@ the two markers.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import (
-    Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING,
+    Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple,
+    TYPE_CHECKING,
 )
 
 import numpy as np
@@ -49,6 +51,321 @@ from .pinball import Pinball
 
 if TYPE_CHECKING:  # pragma: no cover - profiling imports pinplay at runtime
     from ..profiling.markers import Marker
+
+
+@dataclass
+class ReplayCursor:
+    """A replay's scalar scheduling state at one cut.
+
+    Everything :meth:`ConstrainedReplayer.scout_filtered_cut` needs to
+    re-run the deterministic schedule from a past cut — per-thread log
+    positions, instruction counters, the sync-order cursor, the
+    in-flight quantum and the tracked global marker counts.  Execution
+    counts are deliberately *not* here (they are the heavy part); the
+    live sampler reconstructs them in bulk via
+    :meth:`ConstrainedReplayer.advance_exec_counts`.
+    """
+
+    positions: List[int]
+    per_thread_total: List[int]
+    per_thread_filtered: List[int]
+    next_gseq: int
+    quantum_resume: Optional[tuple]
+    marker_counts: Dict[int, int]
+
+
+@dataclass
+class RegionScout:
+    """What one boundary scout learned about the next region.
+
+    ``end is None`` means the logs ran out first: the region is the
+    program's tail and has no closing marker.  ``probe`` is the first
+    marker execution at/after the probe target (it may equal ``end``).
+    All counters are absolute (from program start) at the end cut.
+    """
+
+    probe: Optional["Marker"]
+    end: Optional["Marker"]
+    filtered: int
+    total: int
+    per_thread_total: List[int]
+    per_thread_filtered: List[int]
+    counts_at_end: Dict[int, int]
+    end_positions: List[int]
+
+
+@dataclass
+class FilteredCut:
+    """The cut at the first entry whose pre-entry filtered count meets a
+    target coordinate (how live mode places warmup starts)."""
+
+    positions: List[int]
+    total: int
+    filtered: int
+
+
+class _WalkState:
+    """Mutable scalar state threaded through :func:`_walk`."""
+
+    __slots__ = ("pos", "ptt", "ptf", "next_gseq", "counts",
+                 "quantum_resume")
+
+    def __init__(self, pos, ptt, ptf, next_gseq, counts, quantum_resume):
+        self.pos = pos
+        self.ptt = ptt
+        self.ptf = ptf
+        self.next_gseq = next_gseq
+        self.counts = counts
+        self.quantum_resume = quantum_resume
+
+
+class _SkipIndex:
+    """Per-thread skip tables for one (pinball, stop-bid set).
+
+    Instruction prefix sums over each log (sync entries contribute
+    zero), the sorted positions that must be handled individually
+    (syncs and stop-set marker blocks, with an end-of-log sentinel),
+    and the block entries' (index, bid, repeat) columns for bulk
+    execution-count updates.  Built once and cached on the replayer:
+    live sampling fast-forwards and scouts the same pinball once per
+    region, and rebuilding these tables per jump would be quadratic.
+    """
+
+    def __init__(self, program: Program, pinball: Pinball,
+                 stop_bids: FrozenSet[int]) -> None:
+        blocks = program.blocks
+        n_by_bid = [b.n_instr for b in blocks]
+        f_by_bid = [0 if b.image.is_library else b.n_instr for b in blocks]
+        self.pc_of = {bid: blocks[bid].pc for bid in stop_bids}
+        self.cum_t: List[np.ndarray] = []
+        self.cum_f: List[np.ndarray] = []
+        self.stops: List[np.ndarray] = []
+        self.blk_idx: List[np.ndarray] = []
+        self.blk_bid: List[np.ndarray] = []
+        self.blk_rep: List[np.ndarray] = []
+        self.ends: List[int] = []
+        for log in pinball.logs:
+            n = len(log)
+            ent_t = [0] * n
+            ent_f = [0] * n
+            s_list: List[int] = []
+            b_idx: List[int] = []
+            b_bid: List[int] = []
+            b_rep: List[int] = []
+            for i, entry in enumerate(log):
+                if entry[0] == "b":
+                    bid = entry[1]
+                    rep = entry[2]
+                    ent_t[i] = n_by_bid[bid] * rep
+                    ent_f[i] = f_by_bid[bid] * rep
+                    b_idx.append(i)
+                    b_bid.append(bid)
+                    b_rep.append(rep)
+                    if bid in stop_bids:
+                        s_list.append(i)
+                else:
+                    s_list.append(i)
+            s_list.append(n)
+            self.cum_t.append(np.cumsum(np.array(ent_t, dtype=np.int64)))
+            self.cum_f.append(np.cumsum(np.array(ent_f, dtype=np.int64)))
+            self.stops.append(np.array(s_list, dtype=np.int64))
+            self.blk_idx.append(np.array(b_idx, dtype=np.int64))
+            self.blk_bid.append(np.array(b_bid, dtype=np.int64))
+            self.blk_rep.append(np.array(b_rep, dtype=np.int64))
+            self.ends.append(n)
+
+    def add_counts(self, flat: np.ndarray, start_pos: Sequence[int],
+                   end_pos: Sequence[int], nblocks: int) -> int:
+        """Bulk-add the block executions in ``[start_pos, end_pos)`` into
+        a flattened ``nthreads x nblocks`` count array; returns the number
+        of log entries spanned."""
+        spanned = 0
+        for tid in range(len(self.blk_idx)):
+            lo = int(np.searchsorted(self.blk_idx[tid], start_pos[tid]))
+            hi = int(np.searchsorted(self.blk_idx[tid], end_pos[tid]))
+            np.add.at(
+                flat,
+                self.blk_bid[tid][lo:hi] + tid * nblocks,
+                self.blk_rep[tid][lo:hi],
+            )
+            spanned += end_pos[tid] - start_pos[tid]
+        return spanned
+
+
+def _walk(
+    logs,
+    quantum: int,
+    index: _SkipIndex,
+    state: _WalkState,
+    *,
+    target_bid: int = -1,
+    target_count: int = -1,
+    marker_desc=None,
+    boundary_abs: Optional[int] = None,
+    probe_abs: Optional[int] = None,
+    filtered_abs: Optional[int] = None,
+) -> Tuple[bool, Optional[Tuple[int, int]], Optional[Tuple[int, int]]]:
+    """Advance ``state`` along the deterministic schedule until a stop.
+
+    Three stop modes (the caller picks one):
+
+    - *marker target* (``target_bid``/``target_count``): stop just
+      before the ``count``-th global execution of the target block —
+      :meth:`ConstrainedReplayer.fast_forward_to`'s rule, verbatim.
+    - *region boundary* (``boundary_abs``): stop at the first marker
+      execution whose pre-entry global filtered count reaches the
+      target; additionally records the first marker execution at/after
+      ``probe_abs`` without stopping.  This is exactly the slicer's
+      close-slice rule, so the scout's boundary is the boundary the
+      offline :class:`~repro.profiling.slicer.LoopAlignedSlicer` cuts.
+    - *filtered coordinate* (``filtered_abs``): stop at the first entry
+      whose pre-entry global filtered count reaches the target — the
+      warmup-cut rule of region extraction.
+
+    Plain block runs between stops are consumed whole by bisecting the
+    prefix sums; scheduling (least-filtered-first, quantum boundaries,
+    the gseq gate, mid-quantum resume) matches :meth:`run` bit-exactly.
+    Returns ``(found, probe, boundary)`` with markers as (pc, count).
+    """
+    pos = state.pos
+    ptt = state.ptt
+    ptf = state.ptf
+    counts = state.counts
+    next_gseq = state.next_gseq
+    pc_of = index.pc_of
+    ends = index.ends
+    nthreads = len(logs)
+    gf = sum(ptf)
+    live = set(t for t in range(nthreads) if pos[t] < ends[t])
+    searchsorted = np.searchsorted
+    found = False
+    probe: Optional[Tuple[int, int]] = None
+    boundary: Optional[Tuple[int, int]] = None
+    resume = state.quantum_resume
+    state.quantum_resume = None
+    if filtered_abs is not None and gf >= filtered_abs:
+        state.next_gseq = next_gseq
+        state.quantum_resume = resume
+        return True, None, None
+
+    while live and not found:
+        if resume is not None and resume[0] in live:
+            candidates = [resume[0]]
+            resume_round = True
+        else:
+            resume = None
+            candidates = sorted(live, key=lambda t: (ptf[t], t))
+            resume_round = False
+        progressed = False
+        for tid in candidates:
+            log = logs[tid]
+            p = pos[tid]
+            end = ends[tid]
+            t_cum = index.cum_t[tid]
+            f_cum = index.cum_f[tid]
+            t_stops = index.stops[tid]
+            tt = ptt[tid]
+            tf = ptf[tid]
+            if resume is not None:
+                stop_at = tt + resume[1]
+                resume = None
+            else:
+                stop_at = tt + quantum
+            while tt < stop_at and p < end:
+                if filtered_abs is not None and gf >= filtered_abs:
+                    found = True
+                    state.quantum_resume = (tid, stop_at - tt)
+                    break
+                s = int(t_stops[searchsorted(t_stops, p)])
+                if s > p:
+                    # Plain block entries up to the next stop: the
+                    # quantum admits every entry whose pre-entry
+                    # total is below ``stop_at`` (the per-event
+                    # loop's exact rule), found by one bisect.
+                    base = int(t_cum[p - 1]) if p else 0
+                    f_base = int(f_cum[p - 1]) if p else 0
+                    j = int(searchsorted(t_cum, stop_at - tt + base))
+                    new_p = j + 1
+                    if new_p > s:
+                        new_p = s
+                    if filtered_abs is not None:
+                        # Truncate the run so the entry that first sees
+                        # the filtered target is the next to consume.
+                        jj = int(searchsorted(
+                            f_cum, f_base + (filtered_abs - gf)
+                        ))
+                        if jj + 1 < new_p:
+                            new_p = jj + 1
+                    df = int(f_cum[new_p - 1]) - f_base
+                    tt += int(t_cum[new_p - 1]) - base
+                    tf += df
+                    gf += df
+                    p = new_p
+                    progressed = True
+                    continue
+                entry = log[p]
+                if entry[0] == "b":
+                    bid = entry[1]
+                    rep = entry[2]
+                    pc = pc_of[bid]
+                    c = counts.get(pc, 0)
+                    if boundary_abs is not None:
+                        if (probe is None and probe_abs is not None
+                                and gf >= probe_abs):
+                            probe = (pc, c)
+                        if gf >= boundary_abs:
+                            boundary = (pc, c)
+                            found = True
+                            state.quantum_resume = (tid, stop_at - tt)
+                            break
+                    if bid == target_bid and c + rep > target_count:
+                        if c != target_count:
+                            raise ReplayError(
+                                f"fast-forward marker {marker_desc} "
+                                f"falls inside a batched entry "
+                                f"(repeat {rep} spans counts "
+                                f"{c}..{c + rep})"
+                            )
+                        found = True
+                        state.quantum_resume = (tid, stop_at - tt)
+                        break
+                    counts[pc] = c + rep
+                    base = int(t_cum[p - 1]) if p else 0
+                    f_base = int(f_cum[p - 1]) if p else 0
+                    df = int(f_cum[p]) - f_base
+                    tt += int(t_cum[p]) - base
+                    tf += df
+                    gf += df
+                    p += 1
+                    progressed = True
+                else:
+                    gseq = entry[4]
+                    if gseq != next_gseq:
+                        break  # not this thread's turn at the order
+                    next_gseq += 1
+                    p += 1
+                    progressed = True
+            pos[tid] = p
+            ptt[tid] = tt
+            ptf[tid] = tf
+            if p >= end:
+                live.discard(tid)
+            if found or progressed:
+                break
+        if not progressed and not found and live:
+            if resume_round:
+                continue  # blocked mid-quantum: fall back to the sort
+            waiting = {
+                t: logs[t][pos[t]][4] for t in live
+                if logs[t][pos[t]][0] == "s"
+            }
+            raise ReplayError(
+                f"replay stuck during fast-forward: "
+                f"next_gseq={next_gseq}, thread sync heads "
+                f"{waiting} — corrupt or truncated pinball"
+            )
+    state.next_gseq = next_gseq
+    return found, probe, boundary
 
 
 class ConstrainedReplayer:
@@ -108,6 +425,9 @@ class ConstrainedReplayer:
         #: must start from the prefix's counts, not from zero).
         self._marker_counts: Dict[int, int] = {}
         self._fast_forwarded = False
+        #: Cached per-thread skip tables, keyed by stop-bid set: live
+        #: sampling jumps the same pinball once per region.
+        self._skip_indexes: Dict[FrozenSet[int], _SkipIndex] = {}
         #: ``(tid, remaining_instructions)`` of the scheduling quantum
         #: that was in flight when a marker cut stopped the replay.  A
         #: cut generally lands mid-quantum; resuming must finish that
@@ -187,166 +507,25 @@ class ConstrainedReplayer:
         counts = self._marker_counts
         for pc in pcs:
             counts.setdefault(pc, 0)
-        pc_of = {bid: pc for pc, bid in pcs.items()}
-        stop_bids = set(pc_of)
         self._fast_forwarded = True
 
-        logs = self.pinball.logs
         nthreads = self.pinball.nthreads
-        pos = self.positions
-        quantum = self.quantum_instructions
-        blocks = program.blocks
         nblocks = program.num_blocks
-        n_by_bid = [b.n_instr for b in blocks]
-        f_by_bid = [
-            0 if b.image.is_library else b.n_instr for b in blocks
-        ]
-
-        # Per-thread skip tables: instruction prefix sums over the log
-        # (sync entries contribute zero), the sorted positions that must
-        # be handled individually (syncs and tracked marker blocks, with
-        # an end-of-log sentinel), and the block entries' (index, bid,
-        # repeat) columns for the bulk execution-count update.
-        cum_t: List[np.ndarray] = []
-        cum_f: List[np.ndarray] = []
-        stops: List[np.ndarray] = []
-        blk_idx: List[np.ndarray] = []
-        blk_bid: List[np.ndarray] = []
-        blk_rep: List[np.ndarray] = []
-        for tid in range(nthreads):
-            log = logs[tid]
-            n = len(log)
-            ent_t = [0] * n
-            ent_f = [0] * n
-            s_list: List[int] = []
-            b_idx: List[int] = []
-            b_bid: List[int] = []
-            b_rep: List[int] = []
-            for i, entry in enumerate(log):
-                if entry[0] == "b":
-                    bid = entry[1]
-                    rep = entry[2]
-                    ent_t[i] = n_by_bid[bid] * rep
-                    ent_f[i] = f_by_bid[bid] * rep
-                    b_idx.append(i)
-                    b_bid.append(bid)
-                    b_rep.append(rep)
-                    if bid in stop_bids:
-                        s_list.append(i)
-                else:
-                    s_list.append(i)
-            s_list.append(n)
-            cum_t.append(np.cumsum(np.array(ent_t, dtype=np.int64)))
-            cum_f.append(np.cumsum(np.array(ent_f, dtype=np.int64)))
-            stops.append(np.array(s_list, dtype=np.int64))
-            blk_idx.append(np.array(b_idx, dtype=np.int64))
-            blk_bid.append(np.array(b_bid, dtype=np.int64))
-            blk_rep.append(np.array(b_rep, dtype=np.int64))
-
-        ptt = list(self.per_thread_total)
-        ptf = list(self.per_thread_filtered)
-        next_gseq = self._next_gseq
-        ends = [len(log) for log in logs]
-        start_pos = list(pos)
-        live = set(t for t in range(nthreads) if pos[t] < ends[t])
-        searchsorted = np.searchsorted
-        found = False
-        resume = self._quantum_resume
+        index = self._skip_index(frozenset(pcs.values()))
+        state = _WalkState(
+            pos=list(self.positions),
+            ptt=list(self.per_thread_total),
+            ptf=list(self.per_thread_filtered),
+            next_gseq=self._next_gseq,
+            counts=counts,
+            quantum_resume=self._quantum_resume,
+        )
         self._quantum_resume = None
-
-        while live and not found:
-            if resume is not None and resume[0] in live:
-                candidates = [resume[0]]
-                resume_round = True
-            else:
-                resume = None
-                candidates = sorted(live, key=lambda t: (ptf[t], t))
-                resume_round = False
-            progressed = False
-            for tid in candidates:
-                log = logs[tid]
-                p = pos[tid]
-                end = ends[tid]
-                t_cum = cum_t[tid]
-                f_cum = cum_f[tid]
-                t_stops = stops[tid]
-                tt = ptt[tid]
-                tf = ptf[tid]
-                if resume is not None:
-                    stop_at = tt + resume[1]
-                    resume = None
-                else:
-                    stop_at = tt + quantum
-                while tt < stop_at and p < end:
-                    s = int(t_stops[searchsorted(t_stops, p)])
-                    if s > p:
-                        # Plain block entries up to the next stop: the
-                        # quantum admits every entry whose pre-entry
-                        # total is below ``stop_at`` (the per-event
-                        # loop's exact rule), found by one bisect.
-                        base = int(t_cum[p - 1]) if p else 0
-                        j = int(searchsorted(t_cum, stop_at - tt + base))
-                        new_p = j + 1
-                        if new_p > s:
-                            new_p = s
-                        tt += int(t_cum[new_p - 1]) - base
-                        tf += int(f_cum[new_p - 1]) - (
-                            int(f_cum[p - 1]) if p else 0
-                        )
-                        p = new_p
-                        progressed = True
-                        continue
-                    entry = log[p]
-                    if entry[0] == "b":
-                        bid = entry[1]
-                        rep = entry[2]
-                        pc = pc_of[bid]
-                        c = counts[pc]
-                        if bid == target_bid and c + rep > target_count:
-                            if c != target_count:
-                                raise ReplayError(
-                                    f"fast-forward marker {marker} "
-                                    f"falls inside a batched entry "
-                                    f"(repeat {rep} spans counts "
-                                    f"{c}..{c + rep})"
-                                )
-                            found = True
-                            self._quantum_resume = (tid, stop_at - tt)
-                            break
-                        counts[pc] = c + rep
-                        base = int(t_cum[p - 1]) if p else 0
-                        tt += int(t_cum[p]) - base
-                        tf += int(f_cum[p]) - (
-                            int(f_cum[p - 1]) if p else 0
-                        )
-                        p += 1
-                        progressed = True
-                    else:
-                        gseq = entry[4]
-                        if gseq != next_gseq:
-                            break  # not this thread's turn at the order
-                        next_gseq += 1
-                        p += 1
-                        progressed = True
-                pos[tid] = p
-                ptt[tid] = tt
-                ptf[tid] = tf
-                if p >= end:
-                    live.discard(tid)
-                if found or progressed:
-                    break
-            if not progressed and not found and live:
-                if resume_round:
-                    continue  # blocked mid-quantum: fall back to the sort
-                waiting = {
-                    t: logs[t][pos[t]][4] for t in live
-                    if logs[t][pos[t]][0] == "s"
-                }
-                raise ReplayError(
-                    f"replay stuck during fast-forward: "
-                    f"next_gseq={next_gseq}, thread sync heads "
-                    f"{waiting} — corrupt or truncated pinball"
-                )
+        found, _, _ = _walk(
+            self.pinball.logs, self.quantum_instructions, index, state,
+            target_bid=target_bid, target_count=target_count,
+            marker_desc=marker,
+        )
         if not found:
             raise ReplayError(
                 f"fast-forward target {marker} never reached "
@@ -354,32 +533,165 @@ class ConstrainedReplayer:
             )
 
         flat = np.asarray(self.exec_counts, dtype=np.int64).reshape(-1)
-        skipped = 0
-        for tid in range(nthreads):
-            lo = int(searchsorted(blk_idx[tid], start_pos[tid]))
-            hi = int(searchsorted(blk_idx[tid], pos[tid]))
-            np.add.at(
-                flat,
-                blk_bid[tid][lo:hi] + tid * nblocks,
-                blk_rep[tid][lo:hi],
-            )
-            skipped += pos[tid] - start_pos[tid]
+        skipped = index.add_counts(flat, self.positions, state.pos, nblocks)
         self.exec_counts = flat.reshape(nthreads, nblocks).tolist()
-        self.total_instructions += sum(ptt) - sum(self.per_thread_total)
-        self.filtered_instructions += sum(ptf) - sum(
-            self.per_thread_filtered
+        self.positions = state.pos
+        self.total_instructions += (
+            sum(state.ptt) - sum(self.per_thread_total)
         )
-        self.per_thread_total = ptt
-        self.per_thread_filtered = ptf
+        self.filtered_instructions += (
+            sum(state.ptf) - sum(self.per_thread_filtered)
+        )
+        self.per_thread_total = state.ptt
+        self.per_thread_filtered = state.ptf
         self.num_events += skipped
-        self._next_gseq = next_gseq
+        self._next_gseq = state.next_gseq
+        self._quantum_resume = state.quantum_resume
         reg = active_metrics()
         if reg is not None:
             reg.inc("replay.fast_forward.runs")
             reg.inc("replay.fast_forward.entries", skipped)
         return skipped
 
-    def run(self, until: Optional[Marker] = None) -> EngineResult:
+    def _skip_index(self, stop_bids: FrozenSet[int]) -> _SkipIndex:
+        """The per-thread skip tables for this stop set, built once."""
+        index = self._skip_indexes.get(stop_bids)
+        if index is None:
+            index = _SkipIndex(self.program, self.pinball, stop_bids)
+            self._skip_indexes[stop_bids] = index
+        return index
+
+    def _stop_bids(self, marker_pcs: Iterable[int]) -> FrozenSet[int]:
+        return frozenset(
+            self.program.block_at(pc).bid for pc in marker_pcs
+        )
+
+    def cursor(self) -> ReplayCursor:
+        """Snapshot the scalar scheduling state at the current cut."""
+        return ReplayCursor(
+            positions=list(self.positions),
+            per_thread_total=list(self.per_thread_total),
+            per_thread_filtered=list(self.per_thread_filtered),
+            next_gseq=self._next_gseq,
+            quantum_resume=self._quantum_resume,
+            marker_counts=dict(self._marker_counts),
+        )
+
+    def sync_marker_counts(self, counts: Dict[int, int]) -> None:
+        """Overwrite tracked global marker counts.
+
+        Live sampling interleaves observed segments (where the slicer's
+        tracker counts executions) with fast-forwards (where this
+        replayer does); whichever side went dark resyncs from the other
+        through this before the next ``until``/fast-forward target.
+        """
+        self._marker_counts.update(counts)
+
+    def scout_region(
+        self,
+        marker_pcs: Iterable[int],
+        *,
+        slice_target: int,
+        probe_target: int,
+        counts: Optional[Dict[int, int]] = None,
+    ) -> RegionScout:
+        """Look ahead from the current cut to the next region boundary.
+
+        Pure lookahead on copied scalar state: the replay does not
+        advance, no event is delivered.  The boundary rule is the
+        slicer's — first marker execution whose accumulated filtered
+        work since this cut reaches ``slice_target`` — so the scouted
+        end marker is exactly where the offline slicer would close the
+        slice.  ``probe_target`` likewise locates the first marker at
+        or beyond the probe prefix (classification point).  ``counts``
+        supplies the true global marker counts at this cut (defaults
+        to this replayer's tracked counts).
+        """
+        index = self._skip_index(self._stop_bids(marker_pcs))
+        state = _WalkState(
+            pos=list(self.positions),
+            ptt=list(self.per_thread_total),
+            ptf=list(self.per_thread_filtered),
+            next_gseq=self._next_gseq,
+            counts=dict(self._marker_counts if counts is None else counts),
+            quantum_resume=self._quantum_resume,
+        )
+        gf0 = sum(state.ptf)
+        gt0 = sum(state.ptt)
+        found, probe, end = _walk(
+            self.pinball.logs, self.quantum_instructions, index, state,
+            boundary_abs=gf0 + slice_target,
+            probe_abs=gf0 + probe_target,
+        )
+        from ..profiling.markers import Marker
+        return RegionScout(
+            probe=None if probe is None else Marker(*probe),
+            end=None if not found else Marker(*end),
+            filtered=sum(state.ptf) - gf0,
+            total=sum(state.ptt) - gt0,
+            per_thread_total=state.ptt,
+            per_thread_filtered=state.ptf,
+            counts_at_end=state.counts,
+            end_positions=state.pos,
+        )
+
+    def scout_filtered_cut(
+        self,
+        marker_pcs: Iterable[int],
+        *,
+        cursor: ReplayCursor,
+        target_filtered: int,
+    ) -> FilteredCut:
+        """Locate the first entry at/after ``cursor`` whose pre-entry
+        global filtered count reaches ``target_filtered``.
+
+        This is region extraction's warmup-cut rule (the first hook
+        call with ``filtered >= warmup_filtered``), replayed on copied
+        scalar state without advancing this replayer.
+        """
+        index = self._skip_index(self._stop_bids(marker_pcs))
+        state = _WalkState(
+            pos=list(cursor.positions),
+            ptt=list(cursor.per_thread_total),
+            ptf=list(cursor.per_thread_filtered),
+            next_gseq=cursor.next_gseq,
+            counts=dict(cursor.marker_counts),
+            quantum_resume=cursor.quantum_resume,
+        )
+        found, _, _ = _walk(
+            self.pinball.logs, self.quantum_instructions, index, state,
+            filtered_abs=target_filtered,
+        )
+        if not found:
+            raise ReplayError(
+                f"filtered coordinate {target_filtered} beyond end of "
+                f"execution (stopped at {sum(state.ptf)})"
+            )
+        return FilteredCut(
+            positions=state.pos,
+            total=sum(state.ptt),
+            filtered=sum(state.ptf),
+        )
+
+    def advance_exec_counts(
+        self,
+        base_counts: Sequence[Sequence[int]],
+        start_positions: Sequence[int],
+        end_positions: Sequence[int],
+        marker_pcs: Iterable[int] = (),
+    ) -> List[List[int]]:
+        """Execution counts at a later cut, from a snapshot plus the log
+        entries between the two cuts (one bulk scatter-add, no walk)."""
+        nthreads = self.pinball.nthreads
+        nblocks = self.program.num_blocks
+        index = self._skip_index(self._stop_bids(marker_pcs))
+        flat = np.asarray(base_counts, dtype=np.int64).reshape(-1).copy()
+        index.add_counts(flat, start_positions, end_positions, nblocks)
+        return flat.reshape(nthreads, nblocks).tolist()
+
+    def run(
+        self, until: Optional[Marker] = None, *, finish: bool = True
+    ) -> EngineResult:
         """Replay, feeding observers; returns the summary.
 
         With ``until`` the replay stops exactly at the end marker's cut
@@ -388,6 +700,15 @@ class ConstrainedReplayer:
         :meth:`fast_forward_to` this is marker-to-marker replay.  The
         ``count`` coordinate is global from program start, so after a
         fast-forward the PC must have been named in ``track_pcs``.
+
+        ``finish=False`` suppresses the observers' ``on_finish`` —
+        live sampling replays one execution as many ``until`` segments
+        interleaved with fast-forwards, and only the last segment may
+        finalize observers (the slicer treats a second finish as a
+        hard error for exactly this reason).  Counters, positions and
+        the EventRing flush behave identically either way, so a
+        segmented replay's final :class:`EngineResult` is bit-identical
+        to an unsegmented one's.
         """
         logs = self.pinball.logs
         nthreads = self.pinball.nthreads
@@ -567,8 +888,9 @@ class ConstrainedReplayer:
             self._marker_counts[until.pc] = until_c
         if ring is not None:
             self.exec_counts = ring.exec_counts()  # flushes the ring
-        for ob in self.observers:
-            ob.on_finish()
+        if finish:
+            for ob in self.observers:
+                ob.on_finish()
         reg = active_metrics()
         if reg is not None:  # once per replay, never per event
             reg.inc("replay.runs")

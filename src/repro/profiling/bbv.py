@@ -101,6 +101,14 @@ class BBVCollector:
     def total_instructions(self) -> int:
         return sum(self._per_thread_instructions)
 
+    def peek(self) -> np.ndarray:
+        """The concatenated global BBV so far, without resetting.
+
+        Live classification inspects a probe prefix mid-slice; the
+        accumulator keeps filling if the region turns out novel.
+        """
+        return self._matrix.reshape(-1).copy()
+
     def emit(self) -> np.ndarray:
         """The concatenated global BBV; resets the accumulator."""
         vector = self._matrix.reshape(-1).copy()

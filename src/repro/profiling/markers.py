@@ -84,3 +84,15 @@ class MarkerTracker:
     def snapshot(self) -> Dict[int, int]:
         """Current counts, keyed by PC."""
         return dict(self._counts)
+
+    def sync(self, counts: Dict[int, int]) -> None:
+        """Jump tracked counts forward to a later cut's values.
+
+        A fast-forwarded replay advances past marker executions without
+        delivering them; the skip accounting knows the true global
+        counts at the landing cut and resyncs the tracker here.  PCs
+        this tracker does not follow are ignored.
+        """
+        for pc, count in counts.items():
+            if pc in self._counts:
+                self._counts[pc] = count

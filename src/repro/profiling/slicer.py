@@ -39,6 +39,10 @@ class Slice:
     total_instructions: int
     per_thread_filtered: List[int]
     start_filtered: int
+    #: Live mode only: the replay fast-forwarded over this slice's tail,
+    #: so ``bbv`` holds just the probe prefix while the instruction
+    #: counters are exact (skip accounting is lossless for counts).
+    extrapolated: bool = False
 
     @property
     def imbalance(self) -> float:
@@ -201,10 +205,69 @@ class LoopAlignedSlicer(Observer):
         if self._slice_total > 0 or not self.slices:
             self._close_slice(None)
 
+    # -- live-mode hooks --------------------------------------------------------
+
+    def live_peek_bbv(self) -> np.ndarray:
+        """The open slice's BBV so far, without closing or resetting.
+
+        Live classification reads the probe prefix here; a novel verdict
+        keeps replaying into the same accumulator, so the peek must not
+        consume it.
+        """
+        return self.bbv.peek()
+
+    def live_close_at(self, end: Marker) -> Slice:
+        """Close the open slice at a marker cut the replay stopped at.
+
+        The marker execution itself has not been delivered (an ``until``
+        stop lands just before it) and belongs to the next slice — the
+        exact arrangement :meth:`on_block` produces when the marker event
+        arrives, so closing here instead is bit-identical.
+        """
+        if self._finished:
+            raise ProfilingError("slicer already finished")
+        self._close_slice(end)
+        return self.slices[-1]
+
+    def live_close_skipped(
+        self,
+        end: Optional[Marker],
+        *,
+        filtered_instructions: int,
+        total_instructions: int,
+        per_thread_filtered: List[int],
+        marker_counts: dict,
+    ) -> Slice:
+        """Close the open slice whose tail the replay fast-forwarded over.
+
+        The skip delivered no events, so the accumulator holds only the
+        probe prefix; the exact instruction counters come from the skip
+        accounting, and the tracker jumps to the end cut's global marker
+        counts (the skipped executions happened, they just went unseen).
+        """
+        if self._finished:
+            raise ProfilingError("slicer already finished")
+        self._global_filtered += (
+            filtered_instructions - self._slice_filtered
+        )
+        self._slice_filtered = filtered_instructions
+        self._slice_total = total_instructions
+        self.tracker.sync(marker_counts)
+        self._close_slice(
+            end, per_thread=per_thread_filtered, extrapolated=True
+        )
+        return self.slices[-1]
+
     # -- internals --------------------------------------------------------------
 
-    def _close_slice(self, end: Optional[Marker]) -> None:
-        per_thread = self.bbv.per_thread_instructions
+    def _close_slice(
+        self,
+        end: Optional[Marker],
+        per_thread: Optional[List[int]] = None,
+        extrapolated: bool = False,
+    ) -> None:
+        if per_thread is None:
+            per_thread = self.bbv.per_thread_instructions
         vector = self.bbv.emit()
         start_coordinate = (
             self._global_filtered - self._slice_filtered
@@ -219,6 +282,7 @@ class LoopAlignedSlicer(Observer):
                 total_instructions=self._slice_total,
                 per_thread_filtered=per_thread,
                 start_filtered=start_coordinate,
+                extrapolated=extrapolated,
             )
         )
         self._slice_start = end

@@ -37,7 +37,7 @@ class TestHarness:
         assert smoke_report["schema"] == "repro-bench/1"
         assert smoke_report["smoke"] is True
         assert set(smoke_report["scenarios"]) == {
-            "engine_fine", "engine_coarse", "select",
+            "engine_fine", "engine_coarse", "select", "pipeline_e2e",
         }
         for data in smoke_report["scenarios"].values():
             assert data["legacy_wall_seconds"] > 0
