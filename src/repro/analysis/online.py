@@ -312,8 +312,15 @@ class LiveSampler:
             regions=sum(1 for s in self._states if s.novel),
         ):
             results = self._simulate_novel()
-        with tracer.span("live:topup", stage="live"):
+        with tracer.span("live:topup", stage="live") as topup_span:
             estimates, topups = self._top_up(results)
+            # The whole error-estimate time series (initial estimate,
+            # then one point per top-up) rides on the span, so
+            # ``repro-obs report`` can render the live convergence
+            # curve without replaying anything.
+            topup_span.set(
+                "estimates", [round(e, 6) for e in estimates]
+            )
         clusters = self._cluster_infos(results)
         region_results = [
             results[i] for i in sorted(results)
@@ -344,6 +351,28 @@ class LiveSampler:
                     "live.final_error_estimate",
                     report.final_error_estimate,
                 )
+        # Per-cluster uncertainty attribution from the estimator's own
+        # frozen priors: without a reference run only the *shares* are
+        # known; the pipeline upgrades them to signed error cycles when
+        # a full-run simulation exists.
+        from ..obs.attribution import (
+            attribute_error, emit_attribution, live_scores,
+        )
+
+        emit_attribution(attribute_error(
+            live_scores(
+                report.clusters,
+                sample_cycles={
+                    idx: float(res.metrics.cycles)
+                    for idx, res in results.items()
+                },
+                sample_filtered={
+                    idx: float(self._states[idx].filtered)
+                    for idx in results
+                },
+            ),
+            predicted_cycles=float(predicted.cycles),
+        ))
         return LiveResult(
             profile=profile,
             report=report,

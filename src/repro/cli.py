@@ -338,6 +338,13 @@ def run_one(
         if result.speedup.measured_speedup is not None else "--"
     )
     fallbacks = health.serial_fallbacks + len(health.fallback_regions)
+    wall_s = time.time() - t0
+    if cache_dir:
+        _record_history(
+            name, workload.full_name, result, pipeline, live,
+            wall_s=wall_s, cache_dir=cache_dir, console=console,
+            retries=health.retries, fallbacks=fallbacks,
+        )
     return [
         workload.full_name,
         result.num_slices,
@@ -349,8 +356,70 @@ def run_one(
         health.retries,
         fallbacks,
         f"{health.retained_coverage * 100:.0f}%",
-        f"{time.time() - t0:.1f}s",
+        f"{wall_s:.1f}s",
     ]
+
+
+def _record_history(
+    name: str,
+    full_name: str,
+    result: object,
+    pipeline: LoopPointPipeline,
+    live: bool,
+    wall_s: float,
+    cache_dir: str,
+    console: Console,
+    retries: int,
+    fallbacks: int,
+) -> None:
+    """Append this run's headline numbers to the workload's history file.
+
+    Best-effort: the evaluation's results must never be lost to a full
+    disk under ``<cache-dir>/history/``, so failures only print a status
+    line.  ``repro-obs history`` renders the trend; ``--check`` gates on
+    it in CI.
+    """
+    import hashlib
+
+    from .obs.history import HistoryRecord, HistoryStore, history_path_for
+
+    ts = time.time()
+    if pipeline.last_trace is not None:
+        run_id = str(pipeline.last_trace["trace_id"])
+    else:
+        run_id = hashlib.sha256(
+            f"{full_name}:{ts:.6f}:{os.getpid()}".encode()
+        ).hexdigest()[:16]
+    counters = {"retries": retries, "fallbacks": fallbacks,
+                "slices": result.num_slices}
+    if result.live_report is not None:
+        lr = result.live_report
+        counters["live_simulated"] = lr.num_simulated
+        counters["live_extrapolated"] = lr.num_skipped
+        counters["live_topups"] = lr.topups
+    record = HistoryRecord(
+        workload=full_name,
+        mode="live" if live else "offline",
+        ts=ts,
+        run_id=run_id,
+        runtime_error_pct=result.runtime_error_pct,
+        coverage_pct=result.health.retained_coverage * 100.0,
+        wall_s=wall_s,
+        predicted_cycles=float(result.predicted.cycles),
+        actual_cycles=(
+            float(result.actual.cycles) if result.actual is not None
+            else None
+        ),
+        num_looppoints=result.num_looppoints,
+        counters=counters,
+    )
+    path = history_path_for(cache_dir, name)
+    try:
+        total = HistoryStore(path).append(record)
+    except OSError as exc:
+        console.status("history", f"append failed ({exc}); run unaffected")
+        return
+    console.status("history", f"{path} ({total} record(s))")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

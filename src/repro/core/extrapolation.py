@@ -9,10 +9,16 @@ metrics are predicted.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..clustering.simpoint import ClusterInfo
 from ..errors import ClusteringError
+from ..obs.attribution import (
+    ErrorAttribution,
+    attribute_error,
+    emit_attribution,
+    offline_scores,
+)
 from ..timing.metrics import SimMetrics
 from ..timing.mcsim import SimulationResult
 
@@ -59,3 +65,36 @@ def prediction_error(predicted: float, actual: float) -> float:
     if actual == 0:
         raise ClusteringError("actual value is zero; error undefined")
     return 100.0 * abs(predicted - actual) / abs(actual)
+
+
+def attribute_extrapolation_error(
+    clusters: Sequence[ClusterInfo],
+    region_results: Sequence[SimulationResult],
+    slice_filtered: Sequence[float],
+    predicted_cycles: float,
+    actual_cycles: Optional[float] = None,
+    emit: bool = True,
+) -> ErrorAttribution:
+    """Decompose the extrapolation error across clusters (Ekman-style).
+
+    Each cluster's uncertainty score converts its within-cluster
+    instruction-count variance and its representative's offset from the
+    cluster mean into cycles via the representative's CPI; the signed
+    total error (predicted − actual) is then allocated proportionally,
+    so the per-cluster attributions sum back to the total — the
+    reconciliation the XAR002-style test pins.  With ``emit`` the
+    decomposition lands as ``attribution.*`` gauges and attributes on
+    the current span (free when tracing is off).
+    """
+    rep_cycles = {
+        result.region_id: float(result.metrics.cycles)
+        for result in region_results
+    }
+    attribution = attribute_error(
+        offline_scores(clusters, rep_cycles, slice_filtered),
+        predicted_cycles=predicted_cycles,
+        actual_cycles=actual_cycles,
+    )
+    if emit:
+        emit_attribution(attribution)
+    return attribution

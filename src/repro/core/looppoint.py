@@ -46,6 +46,7 @@ from ..errors import (
     SimulationError,
     WorkloadError,
 )
+from ..obs.heartbeat import Heartbeat, heartbeat_path_for, heartbeat_scope
 from ..obs.tracer import Tracer, active_metrics, active_tracer, obs_scope
 from ..parallel.artifacts import ArtifactCache, canonical_key
 from ..parallel.executor import (
@@ -84,7 +85,11 @@ from ..timing.mcsim import (
 )
 from ..timing.metrics import SimMetrics
 from ..workloads.base import Workload
-from .extrapolation import extrapolate_metrics, prediction_error
+from .extrapolation import (
+    attribute_extrapolation_error,
+    extrapolate_metrics,
+    prediction_error,
+)
 from .speedup import SpeedupReport, compute_speedups
 from .warmup import WarmupStrategy, region_cuts_for_selection
 
@@ -1070,6 +1075,7 @@ class LoopPointPipeline:
         """
         self.health = RunHealth()
         tracer = None
+        heartbeat = None
         if self.options.trace_path:
             tracer = Tracer(
                 self.options.trace_path,
@@ -1077,13 +1083,22 @@ class LoopPointPipeline:
                 mode="constrained" if constrained else "binary",
                 jobs=self.options.resolved_jobs(),
             )
+            heartbeat = Heartbeat(
+                heartbeat_path_for(self.options.trace_path)
+            )
+        completed = False
         try:
-            with obs_scope(tracer), fault_scope(self.options.fault_plan):
+            with obs_scope(tracer), heartbeat_scope(heartbeat), \
+                    fault_scope(self.options.fault_plan):
                 with active_tracer().span(
                     "run", workload=self.workload.full_name, resume=resume
                 ):
-                    return self._run(simulate_full, constrained, resume)
+                    result = self._run(simulate_full, constrained, resume)
+            completed = True
+            return result
         finally:
+            if heartbeat is not None:
+                heartbeat.finish("done" if completed else "failed")
             if tracer is not None:
                 self.last_trace = tracer.finish()
 
@@ -1109,6 +1124,7 @@ class LoopPointPipeline:
         options = live_options or self._live_options or LiveOptions()
         self.health = RunHealth()
         tracer = None
+        heartbeat = None
         if self.options.trace_path:
             tracer = Tracer(
                 self.options.trace_path,
@@ -1116,14 +1132,23 @@ class LoopPointPipeline:
                 mode="live",
                 jobs=self.options.resolved_jobs(),
             )
+            heartbeat = Heartbeat(
+                heartbeat_path_for(self.options.trace_path)
+            )
+        completed = False
         try:
-            with obs_scope(tracer), fault_scope(self.options.fault_plan):
+            with obs_scope(tracer), heartbeat_scope(heartbeat), \
+                    fault_scope(self.options.fault_plan):
                 with active_tracer().span(
                     "run", workload=self.workload.full_name,
                     resume=resume, mode="live",
                 ):
-                    return self._run_live(options, simulate_full, resume)
+                    result = self._run_live(options, simulate_full, resume)
+            completed = True
+            return result
         finally:
+            if heartbeat is not None:
+                heartbeat.finish("done" if completed else "failed")
             if tracer is not None:
                 self.last_trace = tracer.finish()
 
@@ -1145,6 +1170,37 @@ class LoopPointPipeline:
         if simulate_full:
             with tracer.span("stage:fullsim", stage="fullsim"):
                 actual = self.simulate_full().metrics
+        if actual is not None and active_metrics() is not None:
+            # The live pass already emitted uncertainty *shares* from
+            # its estimator priors; with a reference run in hand,
+            # upgrade them to signed error cycles (gauges last-write-win
+            # per name, so this overlays cleanly).
+            from ..obs.attribution import (
+                attribute_error, emit_attribution, live_scores,
+            )
+
+            with tracer.span(
+                "stage:attribution", stage="attribution",
+                clusters=len(live.report.clusters),
+            ):
+                emit_attribution(attribute_error(
+                    live_scores(
+                        live.report.clusters,
+                        sample_cycles={
+                            r.region_id: float(r.metrics.cycles)
+                            for r in live.region_results
+                        },
+                        sample_filtered={
+                            r.region_id: float(
+                                live.profile.slices[r.region_id]
+                                .filtered_instructions
+                            )
+                            for r in live.region_results
+                        },
+                    ),
+                    predicted_cycles=float(live.predicted.cycles),
+                    actual_cycles=float(actual.cycles),
+                ))
         scale = self.options.resolved_scale()
         # Zero-mass samples (an all-library tail region) carry no weight
         # and would trip the speedup math's positivity checks.
@@ -1235,6 +1291,24 @@ class LoopPointPipeline:
         if simulate_full:
             with tracer.span("stage:fullsim", stage="fullsim"):
                 actual = self.simulate_full().metrics
+        if active_metrics() is not None:
+            # Which clusters carry the prediction error?  Emitted as
+            # attribution.* gauges + span attributes; free on the null
+            # path (the usual is-None gate).
+            with tracer.span(
+                "stage:attribution", stage="attribution",
+                clusters=len(clusters),
+            ):
+                attribute_extrapolation_error(
+                    clusters,
+                    region_results,
+                    profile.slice_filtered_counts(),
+                    predicted_cycles=float(predicted.cycles),
+                    actual_cycles=(
+                        float(actual.cycles) if actual is not None
+                        else None
+                    ),
+                )
         scale = self.options.resolved_scale()
         speedup = compute_speedups(
             profile,

@@ -67,8 +67,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
-        help="lint a run's span-trace file (OBS001/OBS002) instead of a "
-             "workload; the positional program argument is ignored",
+        help="lint a run's span-trace file (OBS001/OBS002/OBS004) instead "
+             "of a workload; the positional program argument is ignored",
+    )
+    parser.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="audit a run-history file (OBS003: schema and timestamp "
+             "order) instead of a workload; the positional program "
+             "argument is ignored",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -165,16 +171,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             sys.stderr.close()
         return 0
 
-    if args.trace:
-        from .obs_passes import lint_trace_file
+    if args.trace or args.history:
+        from .obs_passes import lint_history_file, lint_trace_file
 
         try:
-            report = lint_trace_file(
-                args.trace, disable=frozenset(args.disable)
-            )
+            if args.trace:
+                report = lint_trace_file(
+                    args.trace, disable=frozenset(args.disable)
+                )
+            else:
+                report = lint_history_file(
+                    args.history, disable=frozenset(args.disable)
+                )
         except ReproError as exc:
-            print(f"[repro-lint] {args.trace} FAILED: {exc}",
-                  file=sys.stderr)
+            print(f"[repro-lint] {args.trace or args.history} "
+                  f"FAILED: {exc}", file=sys.stderr)
             return 2
         try:
             return _finish(report, args)

@@ -187,6 +187,18 @@ RULES: Dict[str, Rule] = _registry([
          "obs design: the bounded reader keeps damaged or huge traces "
          "from exhausting memory; findings on the parsed prefix remain "
          "valid, absences do not", family="obs"),
+    Rule("OBS003", Severity.ERROR,
+         "run-history record violates the schema or timestamp order",
+         "obs design: the regression gate trusts the history store — a "
+         "record missing required fields, carrying the wrong schema "
+         "marker, or timestamped before its predecessor would silently "
+         "poison the rolling baseline", family="obs"),
+    Rule("OBS004", Severity.WARNING,
+         "stale heartbeat beside a completed trace",
+         "obs design: the heartbeat must finish (state done/failed) when "
+         "its run does; a sidecar still claiming 'running' next to a "
+         "trace with an end record means the finalizer was skipped and "
+         "repro-obs tail would misreport a live run", family="obs"),
     # -- cross-artifact audit passes ---------------------------------------
     Rule("XAR001", Severity.ERROR,
          "BBV block universe is not a subset of the DCFG's executed "

@@ -9,9 +9,42 @@ Public surface:
 * :class:`Console` — the CLI's single status-line code path.
 * :func:`read_trace` / :func:`render_report` — trace files back to humans
   (the ``repro-obs`` CLI wraps these).
+* :func:`attribute_error` / :class:`ErrorAttribution` — per-cluster
+  decomposition of the extrapolation error.
+* :func:`prometheus_text` / :func:`otlp_json` — standard-format export
+  (``repro-obs export`` wraps these).
+* :class:`Heartbeat` / :func:`active_heartbeat` — live-progress gauges
+  for long replays (``repro-obs tail`` reads them).
+* :class:`HistoryStore` / :func:`check_regression` — the run-history
+  regression store (``repro-obs history`` wraps it).
 """
 
+from .attribution import (
+    ClusterErrorAttribution,
+    ErrorAttribution,
+    attribute_error,
+    emit_attribution,
+    live_scores,
+    offline_scores,
+)
 from .console import Console
+from .export import otlp_json, prometheus_text
+from .heartbeat import (
+    HEARTBEAT_SCHEMA,
+    Heartbeat,
+    active_heartbeat,
+    heartbeat_path_for,
+    heartbeat_scope,
+    read_heartbeat,
+)
+from .history import (
+    HISTORY_SCHEMA,
+    HistoryRecord,
+    HistoryStore,
+    Regression,
+    check_regression,
+    history_path_for,
+)
 from .metrics import BUCKET_BOUNDS, Histogram, MetricsRegistry
 from .report import folded_stacks, render_diff, render_report
 from .trace import (
@@ -37,12 +70,20 @@ from .tracer import (
 
 __all__ = [
     "BUCKET_BOUNDS",
+    "ClusterErrorAttribution",
     "Console",
     "DEFAULT_LIMITS",
+    "ErrorAttribution",
+    "HEARTBEAT_SCHEMA",
+    "HISTORY_SCHEMA",
+    "Heartbeat",
     "Histogram",
+    "HistoryRecord",
+    "HistoryStore",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "Regression",
     "Span",
     "SpanContext",
     "SpanRecord",
@@ -51,10 +92,22 @@ __all__ = [
     "TraceError",
     "TraceLimits",
     "Tracer",
+    "active_heartbeat",
     "active_metrics",
     "active_tracer",
+    "attribute_error",
+    "check_regression",
+    "emit_attribution",
     "folded_stacks",
+    "heartbeat_path_for",
+    "heartbeat_scope",
+    "history_path_for",
+    "live_scores",
     "obs_scope",
+    "offline_scores",
+    "otlp_json",
+    "prometheus_text",
+    "read_heartbeat",
     "read_trace",
     "render_diff",
     "render_report",

@@ -1,20 +1,31 @@
-"""``repro-obs``: read a run's trace file and explain where time went.
+"""``repro-obs``: read a run's telemetry and explain it.
 
 Examples::
 
     repro-obs report /tmp/cache/demo-matrix-1.trace.jsonl
     repro-obs folded trace.jsonl -o stacks.folded
     repro-obs diff before.trace.jsonl after.trace.jsonl
+    repro-obs export trace.jsonl --format prometheus
+    repro-obs export trace.jsonl --format otlp-json -o spans.json
+    repro-obs export trace.jsonl --serve 9464
+    repro-obs history cache/history/demo-matrix-1.history.jsonl
+    repro-obs history cache/history/demo-matrix-1.history.jsonl --check
+    repro-obs tail cache/demo-matrix-1.trace.jsonl
 
-``report`` renders the per-stage/per-region breakdown and the parallel
-critical-path summary; ``folded`` exports flamegraph-style folded stacks;
-``diff`` compares two runs' stage walls and deterministic counters for
-regression triage.
+``report`` renders the per-stage/per-region breakdown, the parallel
+critical-path summary, the top error contributors, and exact histogram
+aggregates; ``folded`` exports flamegraph-style folded stacks; ``diff``
+compares two runs' stage walls, counters, and histogram aggregates for
+regression triage; ``export`` emits Prometheus text exposition or
+OTLP-style JSON (optionally serving a scrape endpoint); ``history``
+renders the run-history trend table and gates on regressions
+(``--check``); ``tail`` shows a running replay's heartbeat.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -53,7 +64,160 @@ def build_parser() -> argparse.ArgumentParser:
     diff = sub.add_parser("diff", help="compare two runs' traces")
     diff.add_argument("trace_a", help="baseline trace file")
     diff.add_argument("trace_b", help="comparison trace file")
+
+    export = sub.add_parser(
+        "export", help="standard-format telemetry export",
+    )
+    export.add_argument("trace", help="trace file (JSON lines)")
+    export.add_argument(
+        "--format", choices=["prometheus", "otlp-json"],
+        default="prometheus", dest="fmt",
+        help="prometheus text exposition (metrics) or OTLP-style JSON "
+             "(spans); default: prometheus",
+    )
+    export.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write the document here (default: stdout)",
+    )
+    export.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve a Prometheus /metrics scrape endpoint on this port "
+             "instead of printing (re-reads the trace per scrape; "
+             "0 picks a free port)",
+    )
+    export.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="with --serve: stop after N requests (default: forever)",
+    )
+
+    history = sub.add_parser(
+        "history", help="run-history trends and regression gate",
+    )
+    history.add_argument(
+        "history_file", help="history file (JSON lines, see repro-lint "
+                             "--history for its audit)",
+    )
+    history.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the newest run regresses (accuracy/coverage) "
+             "against the rolling baseline",
+    )
+    history.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="rolling-baseline size for --check (default: 5)",
+    )
+    history.add_argument(
+        "--last", type=int, default=20, metavar="N",
+        help="trend rows to show (default: 20)",
+    )
+
+    tail = sub.add_parser(
+        "tail", help="show a running replay's heartbeat",
+    )
+    tail.add_argument(
+        "path", help="heartbeat file, or the trace file it sits next to",
+    )
+    tail.add_argument(
+        "--stall-after", type=float, default=None, metavar="SEC",
+        help="age (seconds) past which a running heartbeat counts as "
+             "stalled (default: 30); stalls exit 3",
+    )
     return parser
+
+
+def _cmd_export(args: argparse.Namespace, limits: TraceLimits) -> int:
+    from .export import otlp_json, prometheus_text, serve
+
+    if args.serve is not None:
+        if args.fmt != "prometheus":
+            print("repro-obs: --serve only serves prometheus format",
+                  file=sys.stderr)
+            return 2
+        # Validate the trace once up front so a typo'd path fails fast
+        # instead of 503ing every scrape.
+        read_trace(args.trace, limits)
+        try:
+            serve(args.trace, args.serve, limits,
+                  max_requests=args.max_requests)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    trace = read_trace(args.trace, limits)
+    if args.fmt == "prometheus":
+        text = prometheus_text(trace)
+    else:
+        text = json.dumps(otlp_json(trace), indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from ..analysis.tables import ascii_table
+    from .history import (
+        DEFAULT_WINDOW, HistoryStore, check_regression, trend_rows,
+    )
+
+    store = HistoryStore(args.history_file)
+    records, corrupt = store.load()
+    if not records:
+        print(f"repro-obs: no history records in {args.history_file}",
+              file=sys.stderr)
+        return 2
+    rows = trend_rows(records[-max(1, args.last):])
+    print(ascii_table(
+        ["when", "mode", "runtime err", "coverage", "wall",
+         "looppoints", "run"],
+        rows,
+        title=f"run history: {records[-1].workload} "
+              f"({len(records)} record(s))",
+    ))
+    if corrupt:
+        print(f"  {corrupt} torn/corrupt line(s) skipped")
+    if not args.check:
+        return 0
+    regressions = check_regression(
+        records, window=args.window or DEFAULT_WINDOW
+    )
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression.detail}")
+        return 1
+    print(
+        f"history check OK: newest run holds the rolling baseline "
+        f"({min(len(records) - 1, args.window or DEFAULT_WINDOW)} "
+        f"prior run(s))"
+    )
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from .heartbeat import (
+        DEFAULT_STALL_AFTER_S, heartbeat_path_for, read_heartbeat,
+        tail_lines,
+    )
+
+    path = args.path
+    doc = read_heartbeat(path)
+    if doc is None and not path.endswith(".heartbeat.json"):
+        path = heartbeat_path_for(args.path)
+        doc = read_heartbeat(path)
+    if doc is None:
+        print(f"repro-obs: no heartbeat at {args.path}", file=sys.stderr)
+        return 2
+    stall_after = (
+        args.stall_after if args.stall_after is not None
+        else DEFAULT_STALL_AFTER_S
+    )
+    lines = tail_lines(doc, stall_after_s=stall_after)
+    print(f"heartbeat {path}")
+    for line in lines:
+        print(f"  {line}")
+    return 3 if "STALLED" in lines[0] else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,6 +240,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 read_trace(args.trace_a, limits),
                 read_trace(args.trace_b, limits),
             ))
+        elif args.command == "export":
+            return _cmd_export(args, limits)
+        elif args.command == "history":
+            return _cmd_history(args)
+        elif args.command == "tail":
+            return _cmd_tail(args)
     except TraceError as exc:
         print(f"repro-obs: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,233 @@
+"""Live progress heartbeats: a tiny sidecar file a human can tail mid-run.
+
+Span traces explain a run *after* it finishes (spans are written on
+close); a multi-minute replay in flight looks identical to a hung one.
+The heartbeat fills that gap: the engine and the parallel executor
+periodically overwrite one small JSON document — events delivered,
+events/sec, regions done/total, an ETA — next to the trace file, and
+``repro-obs tail`` renders it while the run is still going.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory, the
+store's publish discipline), so a reader never sees a torn document; the
+file is *overwritten*, not appended — it is a gauge, not a journal (the
+run-history store is the journal).  Staleness is detectable from the
+document itself: every beat carries a wall-clock stamp, so a reader (or
+lint rule OBS004) compares it against file-read time / the trace's end.
+
+Instrumented code uses the same discipline as the tracer seams: ask
+:func:`active_heartbeat` once, skip everything when it returns ``None``.
+Beats are rate-limited inside :meth:`Heartbeat.beat` (default 0.25 s),
+and the engine additionally counter-gates its calls, so the hot loop
+pays one integer decrement per scheduling round when enabled and a
+single ``is None`` check when not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Optional
+
+#: Heartbeat document schema marker.
+HEARTBEAT_SCHEMA = "repro-heartbeat/1"
+
+#: A beat older than this (seconds) marks the run as stalled in ``tail``
+#: and, post-mortem, in lint rule OBS004.
+DEFAULT_STALL_AFTER_S = 30.0
+
+
+def heartbeat_path_for(trace_path: str) -> str:
+    """The sidecar path for a trace file (``X.trace.jsonl`` ->
+    ``X.heartbeat.json``; anything else gets ``.heartbeat.json``
+    appended)."""
+    suffix = ".trace.jsonl"
+    if trace_path.endswith(suffix):
+        return trace_path[: -len(suffix)] + ".heartbeat.json"
+    return trace_path + ".heartbeat.json"
+
+
+class Heartbeat:
+    """Rate-limited atomic writer of one run's progress document."""
+
+    __slots__ = (
+        "path", "interval_s", "_seq", "_t0", "_last_write",
+        "_events", "_events_at_last", "_rate", "_regions_done",
+        "_regions_total", "_phase", "_state",
+    )
+
+    def __init__(self, path: str, interval_s: float = 0.25) -> None:
+        self.path = str(path)
+        self.interval_s = float(interval_s)
+        self._seq = 0
+        self._t0 = time.monotonic()
+        self._last_write = 0.0
+        self._events = 0
+        self._events_at_last = 0
+        self._rate = 0.0
+        self._regions_done = 0
+        self._regions_total = 0
+        self._phase = "start"
+        self._state = "running"
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._write(force=True)
+
+    # -- update entry points ------------------------------------------------
+
+    def beat(
+        self,
+        events: Optional[int] = None,
+        phase: Optional[str] = None,
+        force: bool = False,
+    ) -> bool:
+        """Record progress; writes at most once per ``interval_s`` unless
+        forced.  Returns whether a document was written."""
+        if events is not None:
+            self._events = int(events)
+        if phase is not None:
+            self._phase = str(phase)
+        return self._write(force=force)
+
+    def set_regions(self, done: int, total: int) -> None:
+        """Update the regions-done gauge (forces a write on completion of
+        the last region so short fanouts still leave a final count)."""
+        self._regions_done = int(done)
+        self._regions_total = int(total)
+        self._write(force=done >= total > 0)
+
+    def finish(self, state: str = "done") -> None:
+        """Final beat: mark the run finished (always written)."""
+        self._state = str(state)
+        self._write(force=True)
+
+    # -- derived ------------------------------------------------------------
+
+    def _eta_s(self, now: float) -> Optional[float]:
+        done, total = self._regions_done, self._regions_total
+        if self._state != "running" or not 0 < done < total:
+            return None
+        elapsed = now - self._t0
+        if elapsed <= 0:
+            return None
+        return elapsed * (total - done) / done
+
+    def _write(self, force: bool = False) -> bool:
+        now = time.monotonic()
+        if not force and now - self._last_write < self.interval_s:
+            return False
+        span = now - self._last_write
+        if span > 0 and self._last_write > 0:
+            self._rate = (self._events - self._events_at_last) / span
+        self._events_at_last = self._events
+        self._last_write = now
+        self._seq += 1
+        doc: Dict[str, Any] = {
+            "schema": HEARTBEAT_SCHEMA,
+            "pid": os.getpid(),
+            "seq": self._seq,
+            "state": self._state,
+            "phase": self._phase,
+            "epoch": time.time(),
+            "elapsed_s": round(now - self._t0, 3),
+            "events": self._events,
+            "events_per_sec": round(self._rate, 1),
+            "regions_done": self._regions_done,
+            "regions_total": self._regions_total,
+        }
+        eta = self._eta_s(now)
+        if eta is not None:
+            doc["eta_s"] = round(eta, 1)
+        # Atomic publish: a same-directory temp file + rename, so `tail`
+        # never reads a torn document (per-pid temp name keeps a parent
+        # and a worker from clobbering each other's in-flight writes).
+        tmp = f"{self.path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            # A heartbeat must never take the run down (read-only dir,
+            # disk full): drop the beat, keep simulating.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+
+# -- the installed heartbeat (same pattern as the tracer seam) -------------
+
+_ACTIVE_HB: Optional[Heartbeat] = None
+
+
+def active_heartbeat() -> Optional[Heartbeat]:
+    """The installed heartbeat, or ``None`` (the hot-seam fast path)."""
+    return _ACTIVE_HB
+
+
+@contextmanager
+def heartbeat_scope(heartbeat: Optional[Heartbeat]):
+    """Install ``heartbeat`` for the duration of the block (nestable)."""
+    if heartbeat is None:
+        yield
+        return
+    global _ACTIVE_HB
+    previous = _ACTIVE_HB
+    _ACTIVE_HB = heartbeat
+    try:
+        yield
+    finally:
+        _ACTIVE_HB = previous
+
+
+# -- reading ---------------------------------------------------------------
+
+
+def read_heartbeat(path: str) -> Optional[Dict[str, Any]]:
+    """The current document, or ``None`` when absent/torn (a torn read is
+    impossible from our own writer but the file may predate it)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def tail_lines(
+    doc: Dict[str, Any],
+    now_epoch: Optional[float] = None,
+    stall_after_s: float = DEFAULT_STALL_AFTER_S,
+) -> list:
+    """Human-readable rendering of one heartbeat document."""
+    now = time.time() if now_epoch is None else now_epoch
+    age = now - float(doc.get("epoch", now))
+    state = str(doc.get("state", "?"))
+    stalled = state == "running" and age > stall_after_s
+    head = (
+        f"pid {doc.get('pid', '?')} {state} phase={doc.get('phase', '?')} "
+        f"beat #{doc.get('seq', '?')} ({age:.1f}s ago"
+        + (", STALLED" if stalled else "")
+        + ")"
+    )
+    lines = [head]
+    events = int(doc.get("events", 0) or 0)
+    if events:
+        lines.append(
+            f"{events} event(s) delivered, "
+            f"{float(doc.get('events_per_sec', 0.0)):.1f} events/sec"
+        )
+    total = int(doc.get("regions_total", 0) or 0)
+    if total:
+        done = int(doc.get("regions_done", 0) or 0)
+        eta = doc.get("eta_s")
+        lines.append(
+            f"regions {done}/{total}"
+            + (f", eta {float(eta):.1f}s" if eta is not None else "")
+        )
+    lines.append(f"elapsed {float(doc.get('elapsed_s', 0.0)):.1f}s")
+    return lines

@@ -110,6 +110,16 @@ def region_breakdown(trace: TraceData) -> List[List[object]]:
     return rows
 
 
+def _as_int(value: object, default: int = 0) -> int:
+    """Attribute values come from JSON written by arbitrary (possibly
+    damaged) producers; coerce defensively instead of crashing the
+    report."""
+    try:
+        return int(float(value))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return default
+
+
 def critical_path_lines(trace: TraceData) -> List[str]:
     """One line per fan-out: busy vs elapsed, the critical region, and
     worker efficiency — the parallel-run summary the paper's speedup
@@ -119,7 +129,10 @@ def critical_path_lines(trace: TraceData) -> List[str]:
     for span in trace.spans:
         if span.name != "fanout":
             continue
-        workers = int(span.attrs.get("workers", 1) or 1)
+        # Tiny or forced-serial runs can leave a fanout span with a
+        # missing/zero workers attribute or zero elapsed time; every
+        # denominator here must survive that.
+        workers = _as_int(span.attrs.get("workers", 1), 1)
         regions = [
             c for c in children.get(span.span_id, [])
             if c.name.startswith("region:")
@@ -156,6 +169,85 @@ def folded_stacks(trace: TraceData) -> str:
         micros = int(round(self_s[span.span_id] * 1e6))
         totals[path] = totals.get(path, 0) + micros
     return "\n".join(f"{path} {value}" for path, value in sorted(totals.items()))
+
+
+def histogram_rows(trace: TraceData) -> List[List[object]]:
+    """Per-histogram rows with the *true* mean (exact sum over exact
+    count, both carried in the trace) instead of a bucket-midpoint
+    estimate."""
+    rows: List[List[object]] = []
+    for name, hist in sorted(trace.histograms().items()):
+        mean = hist.total / hist.count if hist.count > 0 else 0.0
+        rows.append([
+            name, hist.count, f"{hist.total:.6f}", f"{mean:.6f}",
+        ])
+    return rows
+
+
+def attribution_rows(trace: TraceData) -> List[List[object]]:
+    """Top error contributors, reconstructed from ``attribution.*``
+    gauges (emitted by the extrapolation stage / the live pass)."""
+    gauges = trace.gauges()
+    by_cluster: Dict[str, Dict[str, float]] = {}
+    prefix = "attribution.cluster."
+    for name, value in gauges.items():
+        if not name.startswith(prefix):
+            continue
+        tail = name[len(prefix):]
+        cluster_id, _, metric = tail.partition(".")
+        if not metric:
+            continue
+        by_cluster.setdefault(cluster_id, {})[metric] = value
+    if not by_cluster:
+        return []
+
+    def sort_key(item):
+        cid, metrics = item
+        return (
+            -abs(metrics.get("error_cycles", 0.0)),
+            -metrics.get("share", 0.0),
+            _as_int(cid),
+        )
+
+    rows: List[List[object]] = []
+    for cluster_id, metrics in sorted(by_cluster.items(), key=sort_key)[:10]:
+        error = metrics.get("error_cycles")
+        rows.append([
+            cluster_id,
+            f"{metrics.get('share', 0.0) * 100.0:.1f}%",
+            f"{error:+.0f}" if error is not None else "--",
+        ])
+    return rows
+
+
+def error_series_line(trace: TraceData) -> Optional[str]:
+    """The live error-estimate time series, read back from the
+    ``live:topup`` span's ``estimates`` attribute (initial estimate,
+    then one value per top-up — monotone non-increasing)."""
+    for span in trace.spans:
+        if span.name != "live:topup":
+            continue
+        series = span.attrs.get("estimates")
+        if not isinstance(series, list) or not series:
+            continue
+        try:
+            values = [float(v) for v in series]
+        except (TypeError, ValueError):
+            continue
+        shown = values if len(values) <= 8 else (
+            values[:4] + values[-4:]
+        )
+        text = " -> ".join(f"{v:.4f}" for v in shown[:4])
+        if len(values) > 8:
+            text += " -> ... -> " + " -> ".join(
+                f"{v:.4f}" for v in shown[4:]
+            )
+        elif len(shown) > 4:
+            text += " -> " + " -> ".join(f"{v:.4f}" for v in shown[4:])
+        return (
+            f"error-estimate series ({len(values)} point(s)): {text}"
+        )
+    return None
 
 
 def live_coverage_lines(trace: TraceData) -> List[str]:
@@ -224,13 +316,32 @@ def render_report(trace: TraceData) -> str:
         ))
     parts.append("critical path\n  " + "\n  ".join(critical_path_lines(trace)))
     live_lines = live_coverage_lines(trace)
+    series = error_series_line(trace)
+    if series:
+        live_lines.append(series)
     if live_lines:
         parts.append("live coverage\n  " + "\n  ".join(live_lines))
+    contrib_rows = attribution_rows(trace)
+    if contrib_rows:
+        total = trace.gauges().get("attribution.total_error_cycles")
+        table = _ascii_table(
+            ["cluster", "share", "error cycles"], contrib_rows,
+            title="top error contributors",
+        )
+        if total is not None:
+            table += f"\n  total extrapolation error {total:+.0f} cycles"
+        parts.append(table)
     counters = trace.counters()
     if counters:
         counter_rows = [[name, counters[name]] for name in sorted(counters)]
         parts.append(_ascii_table(["counter", "value"], counter_rows,
                                  title="counters (parent + workers)"))
+    hist_rows = histogram_rows(trace)
+    if hist_rows:
+        parts.append(_ascii_table(
+            ["histogram", "count", "sum", "mean"], hist_rows,
+            title="histograms (exact sum/count, true means)",
+        ))
     return "\n\n".join(parts)
 
 
@@ -282,6 +393,28 @@ def render_diff(a: TraceData, b: TraceData) -> str:
         ))
     else:
         parts.append("counters identical (deterministic telemetry)")
+    # Histograms compare on their exact aggregates: observation counts
+    # are deterministic for a seeded run (only the summed seconds of
+    # timing histograms legitimately differ), so a count delta is a
+    # regression signal, not noise.
+    hists_a, hists_b = a.histograms(), b.histograms()
+    hist_rows = []
+    for name in sorted(set(hists_a) | set(hists_b)):
+        ha, hb = hists_a.get(name), hists_b.get(name)
+        ca = ha.count if ha is not None else 0
+        cb = hb.count if hb is not None else 0
+        mean_a = ha.total / ha.count if ha is not None and ha.count else 0.0
+        mean_b = hb.total / hb.count if hb is not None and hb.count else 0.0
+        hist_rows.append([
+            name, ca, cb, cb - ca,
+            f"{mean_a:.6f}", f"{mean_b:.6f}",
+        ])
+    if hist_rows:
+        parts.append(_ascii_table(
+            ["histogram", "A count", "B count", "delta", "A mean",
+             "B mean"],
+            hist_rows, title="histogram exact aggregates, A vs B",
+        ))
     # Live runs promise determinism too: same seed, same stream of
     # matched/novel decisions, so the extrapolated-region tallies must
     # agree between runs.  A divergence here is a replay bug, not noise.

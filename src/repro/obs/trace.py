@@ -115,6 +115,24 @@ class TraceData:
                 out[name] = float(value)
         return out
 
+    def histograms(self) -> Dict[str, "Histogram"]:
+        """All metrics records' histograms merged (parent run + worker
+        jobs), so exact ``count``/``sum`` — and therefore true means —
+        survive aggregation instead of bucket-midpoint estimates."""
+        from .metrics import Histogram
+
+        out: Dict[str, Histogram] = {}
+        for record in self.metrics:
+            for name, data in (
+                record.get("metrics", {}).get("histograms", {}).items()
+            ):
+                hist = out.get(name)
+                if hist is None:
+                    hist = out[name] = Histogram()
+                if isinstance(data, dict):
+                    hist.merge_dict(data)
+        return out
+
 
 def _span_from(record: Dict[str, Any]) -> Optional[SpanRecord]:
     try:

@@ -1,0 +1,940 @@
+"""Observability v2: attribution, export, history, heartbeats, reader.
+
+Covers the second-generation obs contracts:
+
+* per-cluster error attributions **reconcile** — they sum to the total
+  extrapolation error by construction (XAR002-style, on the demo and an
+  NPB workload, offline and live);
+* Prometheus/OTLP exports are valid, deterministic documents (cumulative
+  buckets, exact ``_sum``/``_count``, 16/8-byte ids), and the scrape
+  endpoint serves them;
+* the run-history store appends crash-safely, enforces retention, and
+  its regression gate passes identical reruns while failing a seeded
+  accuracy regression (OBS003 audits the file);
+* heartbeats update during replays, finish with the run, and expose
+  stalls to ``repro-obs tail`` and OBS004;
+* the bounded trace reader keeps truncation/corruption accounting
+  correct across multi-segment traces.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from conftest import TEST_SCALE
+from repro.core.looppoint import LoopPointOptions, LoopPointPipeline
+from repro.lint.obs_passes import (
+    check_heartbeat,
+    check_history_file,
+    lint_history_file,
+    lint_trace_file,
+)
+from repro.obs import (
+    Heartbeat,
+    HistoryRecord,
+    HistoryStore,
+    TraceLimits,
+    Tracer,
+    active_heartbeat,
+    attribute_error,
+    check_regression,
+    heartbeat_path_for,
+    heartbeat_scope,
+    otlp_json,
+    prometheus_text,
+    read_heartbeat,
+    read_trace,
+    render_diff,
+    render_report,
+)
+from repro.obs.cli import main as obs_main
+from repro.obs.export import make_server
+from repro.obs.heartbeat import tail_lines
+from repro.obs.history import history_path_for
+from repro.workloads.demo import build_demo_matrix
+from repro.workloads.registry import get_workload
+
+
+def _options(**kw):
+    kw.setdefault("scale", TEST_SCALE)
+    return LoopPointOptions(**kw)
+
+
+def _write_lines(path, records):
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+
+
+def _start(pid=100, trace_id="t0", mono=50.0):
+    return {"type": "trace-start", "schema": "repro-trace/1",
+            "trace_id": trace_id, "pid": pid, "epoch": 1000.0, "mono": mono}
+
+
+def _span(span_id, name, pid=100, t0=50.0, dur=1.0, parent=None, **attrs):
+    record = {"type": "span", "id": span_id, "name": name, "pid": pid,
+              "t0": t0, "dur": dur, "cpu": dur / 2}
+    if parent is not None:
+        record["parent"] = parent
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+def _end(pid=100, trace_id="t0", spans=0, open_spans=0):
+    return {"type": "trace-end", "trace_id": trace_id, "pid": pid,
+            "spans": spans, "open_spans": open_spans}
+
+
+def _metrics(counters=None, gauges=None, histograms=None, pid=100):
+    return {"type": "metrics", "trace_id": "t0", "pid": pid, "scope": "run",
+            "metrics": {"counters": counters or {}, "gauges": gauges or {},
+                        "histograms": histograms or {}}}
+
+
+def _record(ts, err=1.0, coverage=100.0, **kw):
+    defaults = dict(
+        workload="demo/demo-matrix-1.test.4t", mode="offline", ts=ts,
+        run_id=f"run{ts:.0f}", runtime_error_pct=err, coverage_pct=coverage,
+        wall_s=0.5, predicted_cycles=1000,
+    )
+    defaults.update(kw)
+    return HistoryRecord(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Error attribution: the allocation math.
+# ---------------------------------------------------------------------------
+
+
+class TestAttribution:
+    def test_shares_follow_scores_and_reconcile(self):
+        att = attribute_error(
+            [(0, 10.0, 1.0), (1, 30.0, 3.0)],
+            predicted_cycles=110.0, actual_cycles=100.0,
+        )
+        assert att.total_error_cycles == pytest.approx(10.0)
+        assert [c.share for c in att.clusters] == pytest.approx([0.25, 0.75])
+        assert [c.error_cycles for c in att.clusters] == pytest.approx(
+            [2.5, 7.5]
+        )
+        assert att.reconciliation_residue() < 1e-9
+
+    def test_zero_scores_fall_back_to_mass_proportions(self):
+        att = attribute_error(
+            [(0, 10.0, 0.0), (1, 30.0, 0.0)],
+            predicted_cycles=90.0, actual_cycles=100.0,
+        )
+        assert [c.share for c in att.clusters] == pytest.approx([0.25, 0.75])
+        # The signed total is negative; the allocation still reconciles.
+        assert sum(c.error_cycles for c in att.clusters) == pytest.approx(-10.0)
+
+    def test_zero_scores_and_masses_fall_back_to_uniform(self):
+        att = attribute_error(
+            [(0, 0.0, 0.0), (1, 0.0, 0.0)],
+            predicted_cycles=110.0, actual_cycles=100.0,
+        )
+        assert [c.share for c in att.clusters] == pytest.approx([0.5, 0.5])
+
+    def test_bad_scores_clamp_to_zero(self):
+        att = attribute_error(
+            [(0, 1.0, -5.0), (1, 1.0, float("nan")),
+             (2, 1.0, float("inf")), (3, 1.0, 2.0)],
+            predicted_cycles=110.0, actual_cycles=100.0,
+        )
+        assert [c.score for c in att.clusters] == [0.0, 0.0, 0.0, 2.0]
+        assert att.clusters[3].share == pytest.approx(1.0)
+        assert att.reconciliation_residue() < 1e-9
+
+    def test_no_reference_means_no_error_cycles(self):
+        att = attribute_error([(0, 1.0, 1.0)], predicted_cycles=110.0)
+        assert att.total_error_cycles is None
+        assert att.clusters[0].error_cycles is None
+        assert att.clusters[0].share == pytest.approx(1.0)
+        assert att.reconciliation_residue() == 0.0
+
+    def test_top_orders_by_error_magnitude(self):
+        att = attribute_error(
+            [(0, 1.0, 1.0), (1, 1.0, 5.0), (2, 1.0, 2.0)],
+            predicted_cycles=92.0, actual_cycles=100.0,
+        )
+        assert [c.cluster_id for c in att.top(2)] == [1, 2]
+
+
+class TestAttributionReconciliation:
+    """The XAR002-style acceptance bar: emitted per-cluster attributions
+    sum to the total extrapolation error, on real pipeline runs."""
+
+    def _check_trace(self, path, result):
+        data = read_trace(path)
+        gauges = data.gauges()
+        total = gauges["attribution.total_error_cycles"]
+        expected = (
+            float(result.predicted.cycles) - float(result.actual.cycles)
+        )
+        assert total == pytest.approx(expected, abs=1e-6)
+        errors = [
+            v for name, v in gauges.items()
+            if name.startswith("attribution.cluster.")
+            and name.endswith(".error_cycles")
+        ]
+        shares = [
+            v for name, v in gauges.items()
+            if name.startswith("attribution.cluster.")
+            and name.endswith(".share")
+        ]
+        assert len(errors) == len(shares) == result.num_looppoints
+        assert sum(errors) == pytest.approx(total, abs=1e-4)
+        assert sum(shares) == pytest.approx(1.0, abs=1e-6)
+        assert all(s >= 0 for s in shares)
+        # The stage span carries the top contributors for triage.
+        (span,) = [s for s in data.spans if s.name == "stage:attribution"]
+        top = span.attrs["attribution_top"]
+        assert top and all(len(entry) == 2 for entry in top)
+
+    def test_demo_offline(self, tmp_path):
+        workload = build_demo_matrix(1, nthreads=4, scale=TEST_SCALE)
+        path = str(tmp_path / "demo.trace.jsonl")
+        result = LoopPointPipeline(
+            workload, options=_options(trace_path=path)
+        ).run(simulate_full=True)
+        self._check_trace(path, result)
+
+    def test_npb_offline(self, tmp_path):
+        workload = get_workload("npb-is", None, 4, scale=TEST_SCALE)
+        path = str(tmp_path / "npb.trace.jsonl")
+        result = LoopPointPipeline(
+            workload, options=_options(trace_path=path)
+        ).run(simulate_full=True)
+        self._check_trace(path, result)
+
+    def test_demo_live(self, tmp_path):
+        workload = build_demo_matrix(1, nthreads=4, scale=TEST_SCALE)
+        path = str(tmp_path / "live.trace.jsonl")
+        result = LoopPointPipeline(
+            workload, options=_options(trace_path=path)
+        ).run_live(simulate_full=True)
+        data = read_trace(path)
+        gauges = data.gauges()
+        total = gauges["attribution.total_error_cycles"]
+        assert total == pytest.approx(
+            float(result.predicted.cycles) - float(result.actual.cycles),
+            abs=1e-6,
+        )
+        errors = [
+            v for name, v in gauges.items()
+            if name.startswith("attribution.cluster.")
+            and name.endswith(".error_cycles")
+        ]
+        assert sum(errors) == pytest.approx(total, abs=1e-4)
+
+    def test_untraced_run_is_bit_identical(self, tmp_path):
+        """The attribution stage must not perturb the null path."""
+        workload = build_demo_matrix(1, nthreads=4, scale=TEST_SCALE)
+        plain = LoopPointPipeline(
+            workload, options=_options()
+        ).run(simulate_full=True)
+        traced = LoopPointPipeline(
+            build_demo_matrix(1, nthreads=4, scale=TEST_SCALE),
+            options=_options(trace_path=str(tmp_path / "t.trace.jsonl")),
+        ).run(simulate_full=True)
+        assert plain.predicted == traced.predicted
+        assert plain.actual == traced.actual
+
+
+# ---------------------------------------------------------------------------
+# Export: Prometheus exposition and OTLP-style JSON.
+# ---------------------------------------------------------------------------
+
+
+def _hist_dict():
+    from repro.obs.metrics import Histogram
+
+    h = Histogram()
+    for v in (0.001, 0.002, 0.5, 2.0):
+        h.observe(v)
+    return h.as_dict()
+
+
+class TestPrometheusExport:
+    def test_counters_gauges_and_histogram_series(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [
+            _start(),
+            _span("64.1", "run"),
+            _metrics(counters={"engine.events": 42},
+                     gauges={"live.final_error_estimate": 0.25},
+                     histograms={"job.seconds": _hist_dict()}),
+            _end(spans=1),
+        ])
+        text = prometheus_text(read_trace(path))
+        lines = text.splitlines()
+        assert "# TYPE repro_engine_events_total counter" in lines
+        assert "repro_engine_events_total 42" in lines
+        assert "# TYPE repro_live_final_error_estimate gauge" in lines
+        assert "repro_live_final_error_estimate 0.25" in lines
+        assert "# TYPE repro_job_seconds histogram" in lines
+        assert "repro_job_seconds_sum 2.503" in lines
+        assert "repro_job_seconds_count 4" in lines
+        # Bucket series are cumulative and end at +Inf == _count.
+        buckets = [l for l in lines if l.startswith("repro_job_seconds_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1] == 'repro_job_seconds_bucket{le="+Inf"} 4'
+
+    def test_export_is_deterministic(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [
+            _start(), _span("64.1", "run"),
+            _metrics(counters={"b": 2, "a": 1}), _end(spans=1),
+        ])
+        assert prometheus_text(read_trace(path)) == prometheus_text(
+            read_trace(path)
+        )
+        # Sorted by name, so insertion order cannot leak.
+        text = prometheus_text(read_trace(path))
+        assert text.index("repro_a_total") < text.index("repro_b_total")
+
+    def test_name_sanitization(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [
+            _start(), _span("64.1", "run"),
+            _metrics(gauges={"attribution.cluster.0.share": 1.0}),
+            _end(spans=1),
+        ])
+        assert "repro_attribution_cluster_0_share 1" in prometheus_text(
+            read_trace(path)
+        )
+
+
+class TestOtlpExport:
+    def test_structure_ids_and_parenting(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [
+            _start(),
+            _span("64.1", "run", t0=50.0, dur=2.0),
+            _span("64.2", "stage:profile", t0=50.1, dur=0.5, parent="64.1",
+                  stage="profile", workers=4, frac=0.5, flag=True),
+            _end(spans=2),
+        ])
+        doc = otlp_json(read_trace(path))
+        scope = doc["resourceSpans"][0]["scopeSpans"][0]
+        spans = {s["name"]: s for s in scope["spans"]}
+        assert set(spans) == {"run", "stage:profile"}
+        run, child = spans["run"], spans["stage:profile"]
+        assert len(run["traceId"]) == 32 and len(run["spanId"]) == 16
+        assert child["traceId"] == run["traceId"]
+        assert child["parentSpanId"] == run["spanId"]
+        assert "parentSpanId" not in run
+        # Times are unix-nano via the trace-start clock anchor
+        # (epoch 1000, mono 50 -> t0 50.0 lands at 1000s).
+        assert run["startTimeUnixNano"] == str(int(1000.0 * 1e9))
+        attrs = {a["key"]: a["value"] for a in child["attributes"]}
+        assert attrs["workers"] == {"intValue": "4"}
+        assert attrs["frac"] == {"doubleValue": 0.5}
+        assert attrs["flag"] == {"boolValue": True}
+        assert attrs["stage"] == {"stringValue": "profile"}
+        resource = {
+            a["key"]: a["value"]
+            for a in doc["resourceSpans"][0]["resource"]["attributes"]
+        }
+        assert resource["service.name"] == {"stringValue": "repro-looppoint"}
+        assert resource["repro.trace_id"] == {"stringValue": "t0"}
+
+
+class TestScrapeEndpoint:
+    def test_serves_metrics_and_404s_elsewhere(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [
+            _start(), _span("64.1", "run"),
+            _metrics(counters={"engine.events": 7}), _end(spans=1),
+        ])
+        server = make_server(path, 0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5
+            ) as resp:
+                assert resp.status == 200
+                assert "version=0.0.4" in resp.headers["Content-Type"]
+                body = resp.read().decode("utf-8")
+            assert "repro_engine_events_total 7" in body
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/nope", timeout=5
+                )
+            assert exc.value.code == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_unreadable_trace_degrades_to_503(self, tmp_path):
+        server = make_server(str(tmp_path / "missing.jsonl"), 0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics", timeout=5
+                )
+            assert exc.value.code == 503
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestExportCli:
+    def _trace(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [
+            _start(), _span("64.1", "run"),
+            _metrics(counters={"engine.events": 7}), _end(spans=1),
+        ])
+        return path
+
+    def test_prometheus_to_stdout(self, tmp_path, capsys):
+        assert obs_main(["export", self._trace(tmp_path)]) == 0
+        assert "repro_engine_events_total 7" in capsys.readouterr().out
+
+    def test_otlp_to_file(self, tmp_path, capsys):
+        out = tmp_path / "spans.json"
+        assert obs_main([
+            "export", self._trace(tmp_path),
+            "--format", "otlp-json", "-o", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+
+    def test_serve_rejects_otlp(self, tmp_path, capsys):
+        assert obs_main([
+            "export", self._trace(tmp_path),
+            "--format", "otlp-json", "--serve", "0",
+        ]) == 2
+
+    def test_serve_bounded_requests(self, tmp_path):
+        path = self._trace(tmp_path)
+        results = []
+
+        def scrape_after_bind():
+            # The CLI prints nothing before serving, so probe by retry.
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                for port in ports:
+                    try:
+                        with urllib.request.urlopen(
+                            f"http://127.0.0.1:{port}/metrics", timeout=1
+                        ) as resp:
+                            results.append(resp.read().decode("utf-8"))
+                            return
+                    except OSError:
+                        time.sleep(0.05)
+
+        # Pre-pick a free port so the probe knows where to look.
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            ports = [sock.getsockname()[1]]
+        thread = threading.Thread(target=scrape_after_bind, daemon=True)
+        thread.start()
+        assert obs_main([
+            "export", path, "--serve", str(ports[0]), "--max-requests", "1",
+        ]) == 0
+        thread.join(timeout=10)
+        assert results and "repro_engine_events_total 7" in results[0]
+
+
+# ---------------------------------------------------------------------------
+# Run-history store + regression gate.
+# ---------------------------------------------------------------------------
+
+
+class TestHistoryStore:
+    def test_append_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        store = HistoryStore(path)
+        store.append(_record(1.0, counters={"retries": 0, "slices": 6}))
+        store.append(_record(2.0, mode="live", err=None))
+        records, corrupt = store.load()
+        assert corrupt == 0
+        assert [r.ts for r in records] == [1.0, 2.0]
+        assert records[0].counters == {"retries": 0, "slices": 6}
+        assert records[1].runtime_error_pct is None
+        assert records[1].mode == "live"
+
+    def test_torn_line_skipped_and_counted(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        HistoryStore(path).append(_record(1.0))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"workload": "demo", "ts"')  # torn: no newline flush
+        records, corrupt = HistoryStore(path).load()
+        assert len(records) == 1 and corrupt == 1
+        # Appending after the torn line still yields parseable records:
+        # the torn fragment merges into the next line and is skipped.
+        HistoryStore(path).append(_record(2.0))
+        records, corrupt = HistoryStore(path).load()
+        assert [r.ts for r in records] == [1.0] and corrupt == 1
+
+    def test_retention_compacts_to_newest(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        store = HistoryStore(path, max_records=3)
+        for ts in range(1, 6):
+            store.append(_record(float(ts)))
+        records, _ = store.load()
+        assert [r.ts for r in records] == [3.0, 4.0, 5.0]
+
+    def test_history_path_for_is_namespaced(self, tmp_path):
+        path = history_path_for(str(tmp_path), "demo/demo-matrix-1")
+        assert path.endswith("history/demo_demo-matrix-1.history.jsonl")
+
+
+class TestRegressionGate:
+    def test_identical_reruns_pass(self):
+        records = [_record(float(ts), err=1.5) for ts in range(1, 6)]
+        assert check_regression(records) == []
+
+    def test_single_record_passes(self):
+        assert check_regression([_record(1.0)]) == []
+
+    def test_seeded_error_regression_fails(self):
+        records = [_record(float(ts), err=1.0) for ts in range(1, 5)]
+        records.append(_record(5.0, err=3.0))
+        (regression,) = check_regression(records)
+        assert regression.metric == "runtime_error_pct"
+        assert "exceeds" in regression.detail
+
+    def test_small_wobble_passes(self):
+        records = [_record(float(ts), err=2.0) for ts in range(1, 5)]
+        records.append(_record(5.0, err=2.3))  # < base+0.5pp and < base*1.25
+        assert check_regression(records) == []
+
+    def test_coverage_drop_fails(self):
+        records = [_record(float(ts), coverage=100.0) for ts in range(1, 5)]
+        records.append(_record(5.0, coverage=80.0))
+        (regression,) = check_regression(records)
+        assert regression.metric == "coverage_pct"
+
+    def test_window_bounds_the_baseline(self):
+        # Ancient bad runs outside the window must not mask a regression.
+        records = [_record(float(ts), err=9.0) for ts in range(1, 4)]
+        records += [_record(float(ts), err=1.0) for ts in range(4, 9)]
+        records.append(_record(9.0, err=5.0))
+        assert check_regression(records, window=5)
+        assert check_regression(records, window=50) == []
+
+
+class TestHistoryCli:
+    def test_trend_and_check_pass(self, tmp_path, capsys):
+        path = str(tmp_path / "h.jsonl")
+        store = HistoryStore(path)
+        for ts in (1.0, 2.0):
+            store.append(_record(ts, err=1.5))
+        assert obs_main(["history", path]) == 0
+        out = capsys.readouterr().out
+        assert "run history" in out and "1.500%" in out
+        assert obs_main(["history", path, "--check"]) == 0
+        assert "history check OK" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        path = str(tmp_path / "h.jsonl")
+        store = HistoryStore(path)
+        for ts in (1.0, 2.0, 3.0):
+            store.append(_record(ts, err=1.0))
+        store.append(_record(4.0, err=4.0))
+        assert obs_main(["history", path, "--check"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert obs_main(["history", str(tmp_path / "none.jsonl")]) == 2
+        assert "no history records" in capsys.readouterr().err
+
+
+class TestHistoryLint:
+    def test_clean_file_passes(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        store = HistoryStore(path)
+        store.append(_record(1.0))
+        store.append(_record(2.0))
+        report = lint_history_file(path)
+        assert report.exit_code == 0
+        assert "obs.history" in report.passes_run
+
+    def test_wrong_schema_and_backwards_time_flagged(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        good = _record(5.0).as_dict()
+        stale = _record(1.0).as_dict()
+        bad_schema = _record(6.0).as_dict()
+        bad_schema["schema"] = "repro-history/0"
+        _write_lines(path, [good, stale, bad_schema])
+        findings = check_history_file(path)
+        assert any("precedes" in f.message for f in findings)
+        assert any("schema marker" in f.message for f in findings)
+        assert all(f.rule_id == "OBS003" for f in findings)
+
+    def test_missing_fields_flagged(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        doc = _record(1.0).as_dict()
+        del doc["run_id"]
+        doc["mode"] = "speculative"
+        _write_lines(path, [doc])
+        findings = check_history_file(path)
+        assert any("run_id" in f.message for f in findings)
+        assert any("neither" in f.message for f in findings)
+
+    def test_lint_cli_history_mode(self, tmp_path, capsys):
+        from repro.lint.cli import main as lint_main
+
+        path = str(tmp_path / "h.jsonl")
+        HistoryStore(path).append(_record(1.0))
+        assert lint_main(["--history", path]) == 0
+        assert "no findings" in capsys.readouterr().out
+        bad = str(tmp_path / "bad.jsonl")
+        _write_lines(bad, [_record(2.0).as_dict(), _record(1.0).as_dict()])
+        assert lint_main(["--history", bad]) == 1
+
+
+# ---------------------------------------------------------------------------
+# Heartbeats.
+# ---------------------------------------------------------------------------
+
+
+class TestHeartbeat:
+    def test_path_derivation(self):
+        assert heartbeat_path_for("/x/a.trace.jsonl") == "/x/a.heartbeat.json"
+        assert heartbeat_path_for("/x/a.log") == "/x/a.log.heartbeat.json"
+
+    def test_initial_document_and_finish(self, tmp_path):
+        path = str(tmp_path / "hb.json")
+        hb = Heartbeat(path)
+        doc = read_heartbeat(path)
+        assert doc["schema"] == "repro-heartbeat/1"
+        assert doc["state"] == "running" and doc["seq"] == 1
+        hb.finish("done")
+        doc = read_heartbeat(path)
+        assert doc["state"] == "done" and doc["seq"] == 2
+
+    def test_rate_limiting_and_force(self, tmp_path):
+        hb = Heartbeat(str(tmp_path / "hb.json"), interval_s=3600.0)
+        assert hb.beat(events=10) is False  # inside the interval
+        assert hb.beat(events=20, force=True) is True
+        assert read_heartbeat(hb.path)["events"] == 20
+
+    def test_set_regions_forces_on_completion(self, tmp_path):
+        hb = Heartbeat(str(tmp_path / "hb.json"), interval_s=3600.0)
+        hb.set_regions(1, 4)  # rate-limited away
+        assert read_heartbeat(hb.path)["regions_done"] == 0
+        hb.set_regions(4, 4)  # completion forces the write
+        doc = read_heartbeat(hb.path)
+        assert doc["regions_done"] == 4 and doc["regions_total"] == 4
+
+    def test_eta_appears_mid_run(self, tmp_path):
+        hb = Heartbeat(str(tmp_path / "hb.json"))
+        hb._t0 -= 2.0  # pretend 2s elapsed
+        hb._regions_done, hb._regions_total = 1, 4
+        hb.beat(force=True)
+        doc = read_heartbeat(hb.path)
+        assert doc["eta_s"] == pytest.approx(6.0, rel=0.3)
+
+    def test_write_failure_never_raises(self, tmp_path):
+        hb = Heartbeat(str(tmp_path / "hb.json"))
+        hb.path = str(tmp_path / "no-such-dir" / "hb.json")
+        assert hb.beat(force=True) is False  # dropped, not raised
+
+    def test_scope_installs_and_restores(self, tmp_path):
+        assert active_heartbeat() is None
+        hb = Heartbeat(str(tmp_path / "hb.json"))
+        with heartbeat_scope(hb):
+            assert active_heartbeat() is hb
+            with heartbeat_scope(None):
+                assert active_heartbeat() is hb  # None scope is a no-op
+        assert active_heartbeat() is None
+
+    def test_tail_lines_stall_detection(self):
+        doc = {"schema": "repro-heartbeat/1", "pid": 1, "seq": 3,
+               "state": "running", "phase": "replay", "epoch": 1000.0,
+               "elapsed_s": 5.0, "events": 100, "events_per_sec": 20.0,
+               "regions_done": 1, "regions_total": 4, "eta_s": 15.0}
+        lines = tail_lines(doc, now_epoch=1100.0, stall_after_s=30.0)
+        assert "STALLED" in lines[0]
+        assert any("regions 1/4" in line for line in lines)
+        # A finished run is never stalled, no matter how old the beat.
+        done = dict(doc, state="done")
+        assert "STALLED" not in tail_lines(done, now_epoch=1100.0)[0]
+
+
+class TestHeartbeatPipeline:
+    def test_traced_run_leaves_finished_heartbeat(self, tmp_path):
+        workload = build_demo_matrix(1, nthreads=4, scale=TEST_SCALE)
+        trace = str(tmp_path / "run.trace.jsonl")
+        LoopPointPipeline(
+            workload, options=_options(jobs=2, trace_path=trace)
+        ).run(simulate_full=False)
+        doc = read_heartbeat(heartbeat_path_for(trace))
+        assert doc is not None
+        assert doc["state"] == "done"
+        assert doc["events"] > 0
+        assert doc["regions_total"] > 0
+        assert doc["regions_done"] == doc["regions_total"]
+        # A finished heartbeat beside a completed trace is OBS004-clean.
+        report = lint_trace_file(trace)
+        assert not any(
+            f.rule_id == "OBS004" for f in report.findings
+        )
+        assert "obs.heartbeat" in report.passes_run
+
+    def test_stale_heartbeat_flags_obs004(self, tmp_path):
+        workload = build_demo_matrix(1, nthreads=4, scale=TEST_SCALE)
+        trace = str(tmp_path / "run.trace.jsonl")
+        LoopPointPipeline(
+            workload, options=_options(trace_path=trace)
+        ).run(simulate_full=False)
+        hb_path = heartbeat_path_for(trace)
+        doc = read_heartbeat(hb_path)
+        doc["state"] = "running"
+        with open(hb_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        report = lint_trace_file(trace)
+        (finding,) = [f for f in report.findings if f.rule_id == "OBS004"]
+        assert "running" in finding.message
+
+    def test_no_heartbeat_is_fine(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [_start(), _span("64.1", "run"), _end(spans=1)])
+        assert check_heartbeat(read_trace(path)) == []
+
+    def test_failed_run_marks_heartbeat_failed(self, tmp_path):
+        from repro.resilience import FaultPlan
+
+        plan = FaultPlan.from_dict({
+            "seed": 1,
+            "faults": [{"site": "profile.divergence"}],
+        })
+        workload = build_demo_matrix(1, nthreads=4, scale=TEST_SCALE)
+        trace = str(tmp_path / "run.trace.jsonl")
+        with pytest.raises(Exception):
+            LoopPointPipeline(
+                workload,
+                options=_options(trace_path=trace, fault_plan=plan),
+            ).run(simulate_full=False)
+        doc = read_heartbeat(heartbeat_path_for(trace))
+        assert doc is not None and doc["state"] == "failed"
+
+
+class TestTailCli:
+    def test_tail_finished_run(self, tmp_path, capsys):
+        workload = build_demo_matrix(1, nthreads=4, scale=TEST_SCALE)
+        trace = str(tmp_path / "run.trace.jsonl")
+        LoopPointPipeline(
+            workload, options=_options(trace_path=trace)
+        ).run(simulate_full=False)
+        # Both the trace path and the sidecar path work.
+        assert obs_main(["tail", trace]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out and "event(s) delivered" in out
+        assert obs_main(["tail", heartbeat_path_for(trace)]) == 0
+
+    def test_tail_stalled_exits_3(self, tmp_path, capsys):
+        path = str(tmp_path / "x.heartbeat.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"schema": "repro-heartbeat/1", "pid": 1, "seq": 1,
+                       "state": "running", "phase": "replay",
+                       "epoch": time.time() - 120.0, "elapsed_s": 120.0,
+                       "events": 5, "events_per_sec": 0.0,
+                       "regions_done": 0, "regions_total": 0}, fh)
+        assert obs_main(["tail", path]) == 3
+        assert "STALLED" in capsys.readouterr().out
+        assert obs_main(["tail", path, "--stall-after", "3600"]) == 0
+
+    def test_tail_missing_exits_2(self, tmp_path, capsys):
+        assert obs_main(["tail", str(tmp_path / "none.trace.jsonl")]) == 2
+        assert "no heartbeat" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Bounded reader across multi-segment traces (appended runs).
+# ---------------------------------------------------------------------------
+
+
+class TestMultiSegmentReader:
+    def test_corruption_in_earlier_segment_stays_counted(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [_start(trace_id="t0"), _span("64.1", "run"),
+                            _end(trace_id="t0", spans=1)])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "span", "id"\n')  # torn write, segment 1
+        with open(path, "a", encoding="utf-8") as fh:
+            for record in [_start(trace_id="t1"),
+                           _span("64.9", "run", t0=60.0),
+                           _end(trace_id="t1", spans=1)]:
+                fh.write(json.dumps(record) + "\n")
+        data = read_trace(path)
+        assert data.segments == 2
+        assert data.trace_id == "t1"
+        # Spans reset to the last segment; damage accounting does not.
+        assert [s.span_id for s in data.spans] == ["64.9"]
+        assert data.corrupt_lines == 1
+        report = lint_trace_file(path)
+        assert any(f.rule_id == "OBS002" and "unparseable" in f.message
+                   for f in report.findings)
+
+    def test_span_budget_truncates_across_segments(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        first = [_start(trace_id="t0")] + [
+            _span(f"64.{i}", f"s{i}") for i in range(2)
+        ] + [_end(trace_id="t0", spans=2)]
+        second = [_start(trace_id="t1")] + [
+            _span(f"65.{i}", f"x{i}") for i in range(6)
+        ] + [_end(trace_id="t1", spans=6)]
+        _write_lines(path, first + second)
+        # The span budget bounds *accumulated* spans, which a trace-start
+        # resets — so a small first segment parses whole and the budget
+        # runs out inside the larger SECOND segment.
+        data = read_trace(path, TraceLimits(max_spans=4))
+        assert data.truncated
+        assert data.segments == 2
+        assert all(s.span_id.startswith("65.") for s in data.spans)
+        assert len(data.spans) == 4
+        # Budget runs out inside the FIRST segment: the reader never even
+        # reaches the second trace-start.
+        data = read_trace(path, TraceLimits(max_spans=2))
+        assert data.truncated
+        assert data.segments == 1
+        assert all(s.span_id.startswith("64.") for s in data.spans)
+        # The BYTE budget is global (it bounds the read, not a segment):
+        # exhausting it mid-file leaves only the first segment parsed.
+        data = read_trace(path, TraceLimits(max_bytes=300))
+        assert data.truncated
+        assert data.segments == 1
+
+    def test_worker_records_bind_to_last_segment(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        segment2 = [
+            _start(trace_id="t1", pid=100),
+            _span("64.1", "run", pid=100),
+            {"type": "process", "pid": 300, "epoch": 2000.0, "mono": 1.0},
+            _span("c8.1", "region:0", pid=300, t0=1.1, dur=0.2,
+                  parent="64.1"),
+            _end(trace_id="t1", pid=100, spans=2),
+        ]
+        _write_lines(path, [_start(trace_id="t0"), _span("9.1", "old"),
+                            _end(trace_id="t0", spans=1)] + segment2)
+        data = read_trace(path)
+        assert data.segments == 2
+        assert 300 in data.clocks
+        worker = {s.span_id: s for s in data.spans}["c8.1"]
+        assert data.abs_time(worker) == pytest.approx(2000.1)
+
+
+# ---------------------------------------------------------------------------
+# Report v2: histograms, attribution table, error series, fanout guard.
+# ---------------------------------------------------------------------------
+
+
+class TestReportV2:
+    def test_histogram_table_shows_true_mean(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [
+            _start(), _span("64.1", "run"),
+            _metrics(histograms={"job.seconds": _hist_dict()}),
+            _end(spans=1),
+        ])
+        text = render_report(read_trace(path))
+        assert "histograms (exact sum/count, true means)" in text
+        # mean = (0.001 + 0.002 + 0.5 + 2.0) / 4 = 0.625750
+        assert "0.625750" in text
+
+    def test_worker_histograms_merge(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [
+            _start(),
+            _span("64.1", "run"),
+            _metrics(histograms={"job.seconds": _hist_dict()}, pid=100),
+            _metrics(histograms={"job.seconds": _hist_dict()}, pid=200),
+            _end(spans=1),
+        ])
+        hist = read_trace(path).histograms()["job.seconds"]
+        assert hist.count == 8
+        assert hist.total == pytest.approx(2 * 2.503)
+
+    def test_diff_renders_histogram_aggregates(self, tmp_path):
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        for path, scale in ((a, 1), (b, 2)):
+            hist = _hist_dict()
+            hist["count"] *= scale
+            hist["sum"] *= scale
+            _write_lines(path, [
+                _start(), _span("64.1", "run"),
+                _metrics(histograms={"job.seconds": hist}), _end(spans=1),
+            ])
+        text = render_diff(read_trace(a), read_trace(b))
+        assert "histogram exact aggregates, A vs B" in text
+        assert "job.seconds" in text
+
+    def test_attribution_table_renders_and_sorts(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [
+            _start(), _span("64.1", "run"),
+            _metrics(gauges={
+                "attribution.total_error_cycles": -50.0,
+                "attribution.clusters": 2.0,
+                "attribution.cluster.0.share": 0.2,
+                "attribution.cluster.0.error_cycles": -10.0,
+                "attribution.cluster.1.share": 0.8,
+                "attribution.cluster.1.error_cycles": -40.0,
+            }),
+            _end(spans=1),
+        ])
+        text = render_report(read_trace(path))
+        assert "top error contributors" in text
+        assert "total extrapolation error -50 cycles" in text
+        # Largest |error| first.
+        assert text.index("-40") < text.index("-10")
+
+    def test_error_series_elides_long_runs(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        estimates = [round(0.5 - 0.03 * i, 4) for i in range(12)]
+        _write_lines(path, [
+            _start(),
+            _span("64.1", "run", t0=50.0, dur=2.0),
+            _span("64.2", "live:topup", t0=50.1, dur=0.5, parent="64.1",
+                  stage="live", estimates=estimates),
+            _metrics(counters={"live.regions": 6, "live.simulated": 2,
+                               "live.skipped": 4}),
+            _end(spans=2),
+        ])
+        text = render_report(read_trace(path))
+        assert "error-estimate series (12 point(s))" in text
+        assert "..." in text
+        assert "0.5000" in text and "0.1700" in text
+
+    def test_fanout_guard_survives_garbage_workers_and_zero_dur(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "t.jsonl")
+        _write_lines(path, [
+            _start(),
+            _span("64.1", "run", t0=50.0, dur=2.0),
+            _span("64.2", "fanout", t0=50.1, dur=0.0, parent="64.1",
+                  workers="garbage"),
+            _span("64.3", "region:0", t0=50.1, dur=0.0, parent="64.2"),
+            _span("64.4", "fanout", t0=50.2, dur=0.5, parent="64.1",
+                  workers=0),
+            _end(spans=4),
+        ])
+        text = render_report(read_trace(path))
+        assert "efficiency 0%" in text
+        # Garbage coerces to the 1-worker default, zero stays zero.
+        assert "on 1 worker(s)" in text
+        assert "on 0 worker(s)" in text
